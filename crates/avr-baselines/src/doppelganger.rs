@@ -1,0 +1,433 @@
+//! A Doppelgänger-style approximate-deduplication LLC (San Miguel et al.,
+//! MICRO'15), configured as the paper compares it: the same data-array
+//! capacity as the baseline LLC but a 4× larger tag array, so up to 4×
+//! more cachelines can be indexed when they dedup onto shared data entries.
+//!
+//! Approximate cachelines are mapped by an *approximate signature* built
+//! from the line's value span: the exponent bucket of the range, the
+//! exponent bucket and sign of the mean, and a 2-bit-per-value normalized
+//! shape. Lines whose signatures collide share one data entry — including
+//! lines "at the extreme edges of their respective expected value span"
+//! whose absolute values differ by up to the bucket width. That edge case
+//! is exactly what the paper blames for Doppelgänger's runaway error on
+//! lbm/orbit/wrf, and our signature reproduces it by construction.
+//!
+//! Dedup is applied *destructively* to the simulator's backing store (the
+//! deduped line's values are overwritten with the representative's), which
+//! models the cache returning representative data on every subsequent read.
+
+use avr_types::{CacheGeometry, CacheLine, LineAddr, VALUES_PER_LINE};
+use std::collections::HashMap;
+
+/// Result of inserting a line.
+#[derive(Clone, Debug, Default)]
+pub struct DedupOutcome {
+    /// The line deduped onto an existing entry: these are the
+    /// representative's values, which the caller must write into the
+    /// backing store (value feedback).
+    pub mapped_to: Option<CacheLine>,
+    /// Lines invalidated because their shared data entry was evicted, with
+    /// their dirtiness (dirty ones must be written back).
+    pub evicted: Vec<(LineAddr, bool)>,
+}
+
+#[derive(Clone, Debug)]
+struct DataEntry {
+    signature: u64,
+    representative: CacheLine,
+    refs: Vec<LineAddr>,
+    lru: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TagInfo {
+    entry: u32,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The dedup LLC. Tag capacity = 4 × (data entries); both LRU-replaced.
+#[derive(Clone, Debug)]
+pub struct DoppelLlc {
+    data_capacity: usize,
+    tag_capacity: usize,
+    latency: u64,
+    tags: HashMap<LineAddr, TagInfo>,
+    entries: HashMap<u32, DataEntry>,
+    sig_index: HashMap<u64, u32>,
+    next_entry: u32,
+    clock: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub dedup_count: u64,
+}
+
+impl DoppelLlc {
+    /// Build from the baseline LLC geometry (the data array matches it; the
+    /// tag array is 4× larger).
+    pub fn new(geom: CacheGeometry) -> Self {
+        let data_capacity = geom.capacity / 64;
+        DoppelLlc {
+            data_capacity,
+            tag_capacity: data_capacity * 4,
+            latency: geom.latency,
+            tags: HashMap::new(),
+            entries: HashMap::new(),
+            sig_index: HashMap::new(),
+            next_entry: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            dedup_count: 0,
+        }
+    }
+
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// The approximate signature. Exact (address-salted) for non-approx
+    /// lines so they never share.
+    pub fn signature(line: &CacheLine, approx: bool, addr: LineAddr) -> u64 {
+        if !approx {
+            return 0x8000_0000_0000_0000 | addr.0;
+        }
+        let vals: Vec<f32> = line.words.iter().map(|&w| f32::from_bits(w)).collect();
+        if vals.iter().any(|v| !v.is_finite()) {
+            // Specials: exact match only.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &w in &line.words {
+                h = (h ^ w as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            return h;
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for &v in &vals {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+        }
+        let mean = (sum / VALUES_PER_LINE as f64) as f32;
+        let range = max - min;
+        // Value-span buckets: log2 quantized to 1/48-octave steps (~1.5 %
+        // wide — the Doppelgänger map resolution). Lines whose means or
+        // spans differ by more than a bucket never dedup; lines *inside*
+        // one bucket dedup even when their absolute values sit at the
+        // bucket's opposite edges — the paper's noted failure mode.
+        let bucket = |v: f32| -> u64 {
+            if v == 0.0 {
+                0
+            } else {
+                ((v.abs().log2() * 24.0).floor() as i64 + 10_000) as u64
+            }
+        };
+        let mean_sign = (mean < 0.0) as u64;
+        let sig = bucket(range)
+            .wrapping_mul(0x1000_0000_01B3)
+            .wrapping_add(bucket(mean))
+            .wrapping_mul(0x1000_0000_01B3)
+            .wrapping_add(mean_sign);
+        // 2-bit normalized shape per value.
+        let mut shape = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            let q = if range == 0.0 {
+                0
+            } else {
+                (((v - min) / range) * 3.999).floor() as u64 & 0x3
+            };
+            shape |= q << (2 * i);
+        }
+        sig ^ shape.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Look up a line; on a hit refresh recency (and dirtiness for writes).
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        let now = self.tick();
+        let Some(t) = self.tags.get_mut(&line) else {
+            self.misses += 1;
+            return false;
+        };
+        t.lru = now;
+        if write {
+            t.dirty = true;
+        }
+        let entry = t.entry;
+        if let Some(e) = self.entries.get_mut(&entry) {
+            e.lru = now;
+        }
+        self.hits += 1;
+        true
+    }
+
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.tags.contains_key(&line)
+    }
+
+    /// The values a read of `line` observes (the representative's).
+    pub fn read_values(&self, line: LineAddr) -> Option<&CacheLine> {
+        let t = self.tags.get(&line)?;
+        self.entries.get(&t.entry).map(|e| &e.representative)
+    }
+
+    fn evict_tag_lru(&mut self, out: &mut Vec<(LineAddr, bool)>) {
+        let Some((&victim, _)) = self.tags.iter().min_by_key(|(_, t)| t.lru) else {
+            return;
+        };
+        let info = self.tags.remove(&victim).expect("victim present");
+        out.push((victim, info.dirty));
+        if let Some(e) = self.entries.get_mut(&info.entry) {
+            e.refs.retain(|&l| l != victim);
+            if e.refs.is_empty() {
+                let sig = e.signature;
+                self.entries.remove(&info.entry);
+                self.sig_index.remove(&sig);
+            }
+        }
+    }
+
+    fn evict_entry_lru(&mut self, out: &mut Vec<(LineAddr, bool)>) {
+        let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.lru) else {
+            return;
+        };
+        let e = self.entries.remove(&victim).expect("victim present");
+        self.sig_index.remove(&e.signature);
+        for l in e.refs {
+            if let Some(t) = self.tags.remove(&l) {
+                out.push((l, t.dirty));
+            }
+        }
+    }
+
+    /// Insert a missing line with its current values.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        values: &CacheLine,
+        approx: bool,
+        dirty: bool,
+    ) -> DedupOutcome {
+        let now = self.tick();
+        let mut outcome = DedupOutcome::default();
+        if self.tags.contains_key(&line) {
+            // Refresh path.
+            self.access(line, dirty);
+            return outcome;
+        }
+        while self.tags.len() >= self.tag_capacity {
+            self.evict_tag_lru(&mut outcome.evicted);
+        }
+        let sig = Self::signature(values, approx, line);
+        let entry_id = match self.sig_index.get(&sig).copied() {
+            Some(id) if approx => {
+                // Dedup: share the representative.
+                let e = self.entries.get_mut(&id).expect("indexed entry exists");
+                e.refs.push(line);
+                e.lru = now;
+                self.dedup_count += 1;
+                outcome.mapped_to = Some(e.representative);
+                id
+            }
+            _ => {
+                while self.entries.len() >= self.data_capacity {
+                    self.evict_entry_lru(&mut outcome.evicted);
+                }
+                let id = self.next_entry;
+                self.next_entry += 1;
+                self.entries.insert(
+                    id,
+                    DataEntry { signature: sig, representative: *values, refs: vec![line], lru: now },
+                );
+                self.sig_index.insert(sig, id);
+                id
+            }
+        };
+        self.tags.insert(line, TagInfo { entry: entry_id, dirty, lru: now });
+        // The freshly inserted line may appear in `evicted` only if
+        // capacity is pathological (tag_capacity 0); guard in tests.
+        outcome.evicted.retain(|(l, _)| *l != line);
+        outcome
+    }
+
+    /// Invalidate one line (writeback handled by caller). Returns dirtiness.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let info = self.tags.remove(&line)?;
+        if let Some(e) = self.entries.get_mut(&info.entry) {
+            e.refs.retain(|&l| l != line);
+            if e.refs.is_empty() {
+                let sig = e.signature;
+                self.entries.remove(&info.entry);
+                self.sig_index.remove(&sig);
+            }
+        }
+        Some(info.dirty)
+    }
+
+    /// Lines per data entry (compression-effectiveness diagnostic).
+    pub fn dedup_factor(&self) -> f64 {
+        if self.entries.is_empty() {
+            1.0
+        } else {
+            self.tags.len() as f64 / self.entries.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_types::CacheGeometry;
+
+    fn llc() -> DoppelLlc {
+        // 64-entry data array, 256 tags.
+        DoppelLlc::new(CacheGeometry { capacity: 64 * 64, ways: 16, latency: 15 })
+    }
+
+    fn line_of(vals: [f32; VALUES_PER_LINE]) -> CacheLine {
+        CacheLine::from_f32(&vals)
+    }
+
+    fn ramp(base: f32, step: f32) -> CacheLine {
+        let mut v = [0f32; VALUES_PER_LINE];
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = base + step * i as f32;
+        }
+        line_of(v)
+    }
+
+    #[test]
+    fn identical_lines_dedup() {
+        let mut c = llc();
+        let data = ramp(10.0, 0.5);
+        let a = LineAddr(0x100);
+        let b = LineAddr(0x900);
+        c.insert(a, &data, true, false);
+        let o = c.insert(b, &data, true, false);
+        assert!(o.mapped_to.is_some(), "identical approx lines share an entry");
+        assert_eq!(c.dedup_count, 1);
+        assert!((c.dedup_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similar_lines_in_same_span_bucket_dedup() {
+        let mut c = llc();
+        // Same shape, means within one 1/48-octave bucket: collide.
+        let a = ramp(64.0, 1.0);
+        let b = ramp(64.05, 1.0);
+        c.insert(LineAddr(1), &a, true, false);
+        let o = c.insert(LineAddr(2), &b, true, false);
+        assert!(o.mapped_to.is_some());
+        // The deduped reader sees the representative (a's values).
+        let rep = o.mapped_to.unwrap();
+        assert_eq!(rep, a);
+    }
+
+    #[test]
+    fn edge_of_bucket_error_can_be_large() {
+        // The documented Doppelgänger pathology: values at opposite edges
+        // of one 1/48-octave bucket are "approximately equal" to the map
+        // even though they differ by the full bucket width (~1.4 %) —
+        // errors that compound in feedback loops.
+        let a = ramp(64.0, 0.0);
+        let b = ramp(65.7, 0.0);
+        let sa = DoppelLlc::signature(&a, true, LineAddr(1));
+        let sb = DoppelLlc::signature(&b, true, LineAddr(2));
+        assert_eq!(sa, sb, "same-bucket collision expected");
+        // Across a bucket boundary the lines stay distinct.
+        let c = ramp(68.0, 0.0);
+        let sc = DoppelLlc::signature(&c, true, LineAddr(3));
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn different_shapes_do_not_dedup() {
+        let mut c = llc();
+        let up = ramp(10.0, 1.0);
+        let mut down_vals = [0f32; VALUES_PER_LINE];
+        for (i, v) in down_vals.iter_mut().enumerate() {
+            *v = 25.0 - i as f32;
+        }
+        c.insert(LineAddr(1), &up, true, false);
+        let o = c.insert(LineAddr(2), &line_of(down_vals), true, false);
+        assert!(o.mapped_to.is_none());
+    }
+
+    #[test]
+    fn non_approx_lines_never_share() {
+        let mut c = llc();
+        let data = ramp(5.0, 0.0);
+        c.insert(LineAddr(1), &data, false, false);
+        let o = c.insert(LineAddr(2), &data, false, false);
+        assert!(o.mapped_to.is_none());
+        assert_eq!(c.dedup_count, 0);
+    }
+
+    #[test]
+    fn hit_miss_tracking() {
+        let mut c = llc();
+        let l = LineAddr(0x5);
+        assert!(!c.access(l, false));
+        c.insert(l, &ramp(1.0, 0.1), true, false);
+        assert!(c.access(l, true));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn data_entry_eviction_invalidates_all_sharers() {
+        let mut c = DoppelLlc::new(CacheGeometry { capacity: 2 * 64, ways: 16, latency: 15 });
+        // Capacity: 2 entries, 8 tags.
+        let d1 = ramp(10.0, 1.0);
+        c.insert(LineAddr(1), &d1, true, true);
+        c.insert(LineAddr(2), &d1, true, false); // dedups with 1
+        c.insert(LineAddr(3), &ramp(1000.0, -3.0), true, false);
+        // A third distinct entry evicts the LRU entry (d1's), dropping both
+        // sharers; the dirty one is reported dirty.
+        let o = c.insert(LineAddr(4), &ramp(-5.0, 0.25), true, false);
+        let evicted: Vec<_> = o.evicted.iter().collect();
+        assert!(evicted.iter().any(|(l, d)| *l == LineAddr(1) && *d));
+        assert!(evicted.iter().any(|(l, d)| *l == LineAddr(2) && !*d));
+        assert!(!c.contains(LineAddr(1)) && !c.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn tag_pressure_evicts_without_touching_other_entries() {
+        let mut c = DoppelLlc::new(CacheGeometry { capacity: 4 * 64, ways: 16, latency: 15 });
+        // 4 entries, 16 tags. Insert 17 identical approx lines: they all
+        // share one entry but exceed tag capacity.
+        let data = ramp(2.0, 0.5);
+        for i in 0..17u64 {
+            c.insert(LineAddr(0x1000 + i), &data, true, false);
+        }
+        assert!(c.tags.len() <= 16);
+        assert_eq!(c.entries.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_frees_entry_when_last_sharer_leaves() {
+        let mut c = llc();
+        let data = ramp(3.0, 0.2);
+        c.insert(LineAddr(1), &data, true, false);
+        c.insert(LineAddr(2), &data, true, true);
+        assert_eq!(c.invalidate(LineAddr(1)), Some(false));
+        assert_eq!(c.entries.len(), 1, "entry kept while a sharer remains");
+        assert_eq!(c.invalidate(LineAddr(2)), Some(true));
+        assert_eq!(c.entries.len(), 0);
+    }
+
+    #[test]
+    fn read_values_returns_representative() {
+        let mut c = llc();
+        let rep = ramp(50.0, 0.5);
+        let near = ramp(50.04, 0.5);
+        c.insert(LineAddr(1), &rep, true, false);
+        c.insert(LineAddr(2), &near, true, false);
+        assert_eq!(c.read_values(LineAddr(2)), Some(&rep));
+    }
+}

@@ -1,0 +1,14 @@
+//! The paper's comparison designs (§4.1):
+//!
+//! * [`truncate`] — half-precision truncation of approximable values
+//!   (Jain'16 / Judd'16 / Sathish'12 style): fp32 values lose their low 16
+//!   bits at the DRAM boundary, halving approximate traffic (2:1).
+//! * [`doppelganger`] — an approximate-deduplication LLC (San Miguel'15):
+//!   identical LLC data-array size, a 4× larger tag array, and similar
+//!   cachelines sharing one data entry.
+
+pub mod doppelganger;
+pub mod truncate;
+
+pub use doppelganger::{DedupOutcome, DoppelLlc};
+pub use truncate::{truncate_line, truncate_word, TRUNCATED_LINE_BYTES};

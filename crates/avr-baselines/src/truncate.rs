@@ -1,0 +1,88 @@
+//! The Truncate design: approximable fp32 values are stored in memory with
+//! their 16 low-order mantissa bits dropped, for a fixed 2:1 compression of
+//! approximate traffic. This is the paper's stand-in for the concise-loads /
+//! Proteus / GPU-link-compression family [21, 22, 42].
+
+use avr_types::{CacheLine, DataType};
+
+/// Bytes transferred per 64 B cacheline of truncated data.
+pub const TRUNCATED_LINE_BYTES: u64 = 32;
+
+/// Truncate one value to its upper 16 bits (sign + exponent + 7 mantissa
+/// bits for f32 — a bfloat16-style cut; the integer analogue zeroes the low
+/// half).
+#[inline]
+pub fn truncate_word(raw: u32, dt: DataType) -> u32 {
+    match dt {
+        DataType::F32 => raw & 0xFFFF_0000,
+        DataType::Fixed32 => raw & 0xFFFF_0000,
+    }
+}
+
+/// Truncate a whole cacheline.
+pub fn truncate_line(line: &CacheLine, dt: DataType) -> CacheLine {
+    let mut out = *line;
+    for w in out.words.iter_mut() {
+        *w = truncate_word(*w, dt);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_relative_error_is_bounded() {
+        // Keeping 7 mantissa bits bounds relative error by 2^-8 ≈ 0.39 %
+        // (round-toward-zero truncation, error < 1 ulp of the kept field).
+        for v in [1.0f32, 3.14159, -2.7e8, 5.5e-12, 123.456] {
+            let t = f32::from_bits(truncate_word(v.to_bits(), DataType::F32));
+            let rel = ((t - v) / v).abs();
+            assert!(rel < 1.0 / 128.0, "{v} -> {t} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_idempotent() {
+        for v in [1.0f32, -9.9e4, 7.25e-3] {
+            let once = truncate_word(v.to_bits(), DataType::F32);
+            assert_eq!(truncate_word(once, DataType::F32), once);
+        }
+    }
+
+    #[test]
+    fn sign_and_exponent_survive() {
+        let v = -6.02e23f32;
+        let t = f32::from_bits(truncate_word(v.to_bits(), DataType::F32));
+        assert!(t < 0.0);
+        assert_eq!(v.to_bits() >> 23, t.to_bits() >> 23);
+    }
+
+    #[test]
+    fn zero_stays_zero() {
+        assert_eq!(truncate_word(0, DataType::F32), 0);
+        let nz = (-0.0f32).to_bits();
+        assert_eq!(truncate_word(nz, DataType::F32), nz);
+    }
+
+    #[test]
+    fn line_truncation_is_elementwise() {
+        let mut line = CacheLine::ZERO;
+        for (i, w) in line.words.iter_mut().enumerate() {
+            *w = ((i as f32) * 1.111).to_bits();
+        }
+        let t = truncate_line(&line, DataType::F32);
+        for (a, b) in line.words.iter().zip(&t.words) {
+            assert_eq!(truncate_word(*a, DataType::F32), *b);
+        }
+    }
+
+    #[test]
+    fn fixed_truncation_zeroes_fraction() {
+        // Q16.16: dropping the low 16 bits removes the fractional part.
+        let raw = ((42i32) << 16 | 0x8000) as u32; // 42.5
+        let t = truncate_word(raw, DataType::Fixed32);
+        assert_eq!(t, ((42i32) << 16) as u32);
+    }
+}

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the AVR hardware pipeline stages — the throughput of
+//! the simulated compressor/decompressor module itself (not a paper
+//! figure, but the performance backbone of the whole simulation).
+
+use avr_compress::{compress, decompress, Thresholds};
+use avr_types::{BlockData, DataType};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn smooth_block() -> BlockData {
+    let mut b = BlockData::default();
+    for (i, w) in b.words.iter_mut().enumerate() {
+        let (r, c) = ((i / 16) as f32, (i % 16) as f32);
+        *w = (250.0 + 0.8 * r + 0.4 * c).to_bits();
+    }
+    b
+}
+
+fn spiky_block() -> BlockData {
+    let mut b = smooth_block();
+    for i in (0..256).step_by(11) {
+        b.words[i] = (-1.0e9f32).to_bits();
+    }
+    b
+}
+
+fn noise_block() -> BlockData {
+    let mut b = BlockData::default();
+    let mut state = 0xACE1u32;
+    for w in b.words.iter_mut() {
+        state = state.wrapping_mul(48271) % 0x7FFF_FFFF;
+        *w = (state as f32).to_bits();
+    }
+    b
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let th = Thresholds::paper_default();
+
+    let smooth = smooth_block();
+    c.bench_function("compress_smooth_block", |b| {
+        b.iter(|| compress(std::hint::black_box(&smooth), DataType::F32, &th, 8).unwrap())
+    });
+
+    let spiky = spiky_block();
+    c.bench_function("compress_block_with_outliers", |b| {
+        b.iter(|| compress(std::hint::black_box(&spiky), DataType::F32, &th, 8))
+    });
+
+    let noise = noise_block();
+    c.bench_function("compress_incompressible_block", |b| {
+        b.iter(|| compress(std::hint::black_box(&noise), DataType::F32, &th, 8).is_err())
+    });
+
+    let compressed = compress(&smooth, DataType::F32, &th, 8).unwrap().compressed;
+    c.bench_function("decompress_block", |b| {
+        b.iter(|| decompress(std::hint::black_box(&compressed)))
+    });
+
+    c.bench_function("bias_selection", |b| {
+        b.iter_batched(
+            || smooth.words,
+            |words| avr_compress::choose_bias(std::hint::black_box(&words)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, codec_benches);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figure 10 (normalized energy) when run under `cargo bench` (prints the rows the
+//! paper reports), then times a representative kernel so Criterion has a
+//! stable measurement target. Scale via AVR_SCALE=tiny|bench.
+
+use avr_bench::*;
+use avr_core::DesignKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let sweep = Sweep::run(scale_from_env(), &[DesignKind::Baseline, DesignKind::Doppelganger, DesignKind::Truncate, DesignKind::ZeroAvr, DesignKind::Avr]);
+    print!("{}", fig10(&sweep));
+    // Representative kernel: one block through the codec.
+    let mut block = avr_types::BlockData::default();
+    for (i, w) in block.words.iter_mut().enumerate() {
+        *w = (100.0f32 + i as f32 * 0.01).to_bits();
+    }
+    let th = avr_compress::Thresholds::paper_default();
+    c.bench_function("fig10_codec_roundtrip", |b| {
+        b.iter(|| {
+            let o = avr_compress::compress(
+                std::hint::black_box(&block),
+                avr_types::DataType::F32,
+                &th,
+                8,
+            )
+            .unwrap();
+            std::hint::black_box(avr_compress::decompress(&o.compressed))
+        })
+    });
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the §4.2 hardware-overhead paragraph, then times the
+//! CMT-entry encode/decode pair (the only per-access hardware cost the
+//! metadata path adds).
+
+use avr_cache::cmt::CmtEntry;
+use avr_core::{OverheadReport, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    println!("\n=== §4.2 Hardware overhead ===");
+    print!("{}", OverheadReport::for_config(&SystemConfig::paper()).render());
+
+    let entry = CmtEntry {
+        compressed: true,
+        size_lines: 3,
+        n_lazy: 4,
+        method: 1,
+        bias: -37,
+        n_failed: 2,
+        n_skipped: 1,
+    };
+    c.bench_function("cmt_entry_encode_decode", |b| {
+        b.iter(|| {
+            let bits = std::hint::black_box(&entry).encode();
+            std::hint::black_box(CmtEntry::decode(bits))
+        })
+    });
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

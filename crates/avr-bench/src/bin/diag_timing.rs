@@ -1,0 +1,37 @@
+//! Timing diagnostic: where do baseline cycles go for one workload?
+use avr_core::{DesignKind, ExactVm, System, SystemConfig};
+use avr_workloads::{all_benchmarks, BenchScale, Workload};
+use avr_workloads::runner::mean_relative_error;
+
+fn run_diag(w: &dyn Workload, cfg: &SystemConfig, d: DesignKind) -> (avr_sim::RunMetrics, (u64, u64, u64)) {
+    let mut exact = ExactVm::new();
+    let golden = w.run(&mut exact);
+    let mut sys = System::new(cfg.clone(), d);
+    let out = w.run(&mut sys);
+    let diag = sys.core_diag();
+    let mut m = sys.finish(w.name());
+    m.output_error = mean_relative_error(&golden, &out);
+    (m, diag)
+}
+
+fn main() {
+    let cfg = SystemConfig::per_core_scaled();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "heat".into());
+    let suite = all_benchmarks(BenchScale::Bench);
+    let w = suite.iter().find(|w| w.name() == which).expect("workload");
+    for d in [DesignKind::Baseline, DesignKind::Truncate, DesignKind::Avr] {
+        let (m, diag) = run_diag(w.as_ref(), &cfg, d);
+        let c = &m.counters;
+        println!(
+            "{:<9} cycles={:>12} instr={:>12} ipc={:.2} llc_miss={:>9} traffic_MB={:>7.1} amat={:>6.1} err={:.3}%",
+            m.design, m.cycles, c.instructions, m.ipc, c.llc_misses_total,
+            c.traffic.total() as f64 / 1e6, c.amat(), m.output_error * 100.0
+        );
+        println!(
+            "          leading={} trailing={} stalls={} miss_lat_avg={:.0} ev={:?} req={:?}",
+            diag.0, diag.1, diag.2,
+            c.miss_lat_sum as f64 / c.miss_lat_count.max(1) as f64,
+            c.evictions, c.approx_requests
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! The Compression Metadata Table (paper §3.2, Fig. 3).
+//!
+//! One 24-bit entry per 1 KB memory block (four per 4 KB page): a compressed
+//! flag, the compressed size, the number of lazily evicted lines parked in
+//! the block's free space, the compression method, the exponent bias, and
+//! the failed/skipped compression-attempt history. The table lives in main
+//! memory and is cached on-chip in a TLB-like structure ([`CmtCache`]);
+//! cache misses cost metadata bandwidth.
+
+use avr_types::{BlockAddr, LINES_PER_BLOCK};
+use std::collections::HashMap;
+
+/// Per-block metadata. Field widths follow Fig. 3: size 3 b, method 2 b,
+/// bias 8 b, #lazy 4 b, #failed 4 b, #skipped 2 b (= 23 b) plus the leading
+/// compressed flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CmtEntry {
+    /// Is the block currently stored compressed in memory?
+    pub compressed: bool,
+    /// Compressed size in cachelines, 1..=8, encoded as size-1 in 3 bits.
+    /// Meaningless when `compressed` is false.
+    pub size_lines: u8,
+    /// Lazily evicted uncompressed lines currently parked in the block.
+    pub n_lazy: u8,
+    /// The 2-bit method field (layout x datatype).
+    pub method: u8,
+    /// Exponent bias of the stored summary.
+    pub bias: i8,
+    /// Consecutive failed compression attempts (saturating, 4 bits).
+    pub n_failed: u8,
+    /// Recompression attempts skipped since the last real attempt (2 bits).
+    pub n_skipped: u8,
+}
+
+impl CmtEntry {
+    /// Free lines available for lazy evictions.
+    pub fn lazy_space(&self) -> u8 {
+        if !self.compressed {
+            return 0;
+        }
+        (LINES_PER_BLOCK as u8) - self.size_lines - self.n_lazy
+    }
+
+    /// Should the next compression attempt be skipped? The paper keeps a
+    /// failure count and skips "a number of recompression attempts"
+    /// accordingly; our policy (documented in DESIGN.md) skips
+    /// `min(n_failed, 3)` attempts after `n_failed` consecutive failures.
+    pub fn should_skip(&self) -> bool {
+        self.n_skipped < self.n_failed.min(3)
+    }
+
+    /// Record a skipped attempt.
+    pub fn record_skip(&mut self) {
+        self.n_skipped = (self.n_skipped + 1).min(3);
+    }
+
+    /// Record the outcome of a real compression attempt.
+    pub fn record_attempt(&mut self, success: bool) {
+        self.n_skipped = 0;
+        if success {
+            self.n_failed = 0;
+        } else {
+            self.n_failed = (self.n_failed + 1).min(15);
+        }
+    }
+
+    /// Pack into the 24-bit hardware format (1 + 23 bits).
+    pub fn encode(&self) -> u32 {
+        debug_assert!(self.size_lines >= 1 || !self.compressed);
+        debug_assert!(self.size_lines <= 8);
+        debug_assert!(self.n_lazy < 16);
+        debug_assert!(self.method < 4);
+        debug_assert!(self.n_failed < 16);
+        debug_assert!(self.n_skipped < 4);
+        let size_field = if self.compressed { (self.size_lines - 1) as u32 } else { 0 };
+        (self.compressed as u32)
+            | size_field << 1
+            | (self.n_lazy as u32) << 4
+            | (self.method as u32) << 8
+            | ((self.bias as u8) as u32) << 10
+            | (self.n_failed as u32) << 18
+            | (self.n_skipped as u32) << 22
+    }
+
+    /// Unpack from the 24-bit hardware format.
+    pub fn decode(bits: u32) -> Self {
+        let compressed = bits & 1 == 1;
+        CmtEntry {
+            compressed,
+            size_lines: if compressed { ((bits >> 1) & 0x7) as u8 + 1 } else { 0 },
+            n_lazy: ((bits >> 4) & 0xF) as u8,
+            method: ((bits >> 8) & 0x3) as u8,
+            bias: ((bits >> 10) & 0xFF) as u8 as i8,
+            n_failed: ((bits >> 18) & 0xF) as u8,
+            n_skipped: ((bits >> 22) & 0x3) as u8,
+        }
+    }
+}
+
+/// The in-memory table: one entry per approximable block.
+#[derive(Clone, Debug, Default)]
+pub struct CmtTable {
+    entries: HashMap<BlockAddr, CmtEntry>,
+}
+
+impl CmtTable {
+    pub fn get(&self, block: BlockAddr) -> CmtEntry {
+        self.entries.get(&block).copied().unwrap_or_default()
+    }
+
+    pub fn get_mut(&mut self, block: BlockAddr) -> &mut CmtEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    pub fn set(&mut self, block: BlockAddr, e: CmtEntry) {
+        self.entries.insert(block, e);
+    }
+
+    /// Iterate all populated entries (footprint accounting).
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &CmtEntry)> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The on-chip CMT cache, updated in pair with the TLB: page-granularity,
+/// fully associative LRU over `capacity_pages` entries. A miss costs a
+/// metadata fetch (~12 B: 4 entries x 23 bits + the TLB approx bit).
+#[derive(Clone, Debug)]
+pub struct CmtCache {
+    capacity_pages: usize,
+    resident: HashMap<u64, u64>, // page -> last-use clock
+    clock: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Metadata bytes transferred on a CMT-cache miss (93 bits rounded up).
+pub const CMT_MISS_BYTES: u64 = 12;
+
+impl CmtCache {
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0);
+        CmtCache {
+            capacity_pages,
+            resident: HashMap::with_capacity(capacity_pages + 1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touch the page holding `block`'s metadata; returns `true` on hit.
+    /// On a miss the caller charges [`CMT_MISS_BYTES`] of traffic.
+    pub fn touch(&mut self, block: BlockAddr) -> bool {
+        self.clock += 1;
+        let page = block.page();
+        if let Some(t) = self.resident.get_mut(&page) {
+            *t = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.resident.len() >= self.capacity_pages {
+            // Evict the LRU page.
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(page, self.clock);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_encodes_into_24_bits() {
+        let e = CmtEntry {
+            compressed: true,
+            size_lines: 8,
+            n_lazy: 15,
+            method: 3,
+            bias: -128,
+            n_failed: 15,
+            n_skipped: 3,
+        };
+        let bits = e.encode();
+        assert!(bits < 1 << 24, "entry must fit 1+23 bits, got {bits:#x}");
+        assert_eq!(CmtEntry::decode(bits), e);
+    }
+
+    #[test]
+    fn encode_round_trips_edge_values() {
+        for compressed in [false, true] {
+            for size in 1..=8u8 {
+                for bias in [-128i8, -1, 0, 1, 127] {
+                    let e = CmtEntry {
+                        compressed,
+                        size_lines: if compressed { size } else { 0 },
+                        n_lazy: size % 8,
+                        method: size % 4,
+                        bias,
+                        n_failed: size,
+                        n_skipped: size % 4,
+                    };
+                    assert_eq!(CmtEntry::decode(e.encode()), e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_space_accounting() {
+        let e = CmtEntry { compressed: true, size_lines: 3, n_lazy: 5, ..Default::default() };
+        assert_eq!(e.lazy_space(), 8);
+        let full = CmtEntry { compressed: true, size_lines: 8, n_lazy: 8, ..Default::default() };
+        assert_eq!(full.lazy_space(), 0);
+        let uncomp = CmtEntry::default();
+        assert_eq!(uncomp.lazy_space(), 0);
+    }
+
+    #[test]
+    fn skip_policy_backs_off_with_failures() {
+        let mut e = CmtEntry::default();
+        // First failure -> skip 1 attempt.
+        e.record_attempt(false);
+        assert!(e.should_skip());
+        e.record_skip();
+        assert!(!e.should_skip());
+        // Second consecutive failure -> skip 2.
+        e.record_attempt(false);
+        assert_eq!(e.n_failed, 2);
+        assert!(e.should_skip());
+        e.record_skip();
+        assert!(e.should_skip());
+        e.record_skip();
+        assert!(!e.should_skip());
+        // Success clears the history.
+        e.record_attempt(true);
+        assert_eq!(e.n_failed, 0);
+        assert!(!e.should_skip());
+    }
+
+    #[test]
+    fn failures_saturate_at_15_and_skips_cap_at_3() {
+        let mut e = CmtEntry::default();
+        for _ in 0..40 {
+            e.record_attempt(false);
+        }
+        assert_eq!(e.n_failed, 15);
+        assert!(e.should_skip());
+        for _ in 0..3 {
+            e.record_skip();
+        }
+        // Even with 15 failures, at most 3 skips before retrying.
+        assert!(!e.should_skip());
+    }
+
+    #[test]
+    fn table_defaults_to_uncompressed() {
+        let t = CmtTable::default();
+        let e = t.get(BlockAddr(42));
+        assert!(!e.compressed);
+        assert_eq!(e.n_lazy, 0);
+    }
+
+    #[test]
+    fn cmt_cache_hits_after_touch() {
+        let mut c = CmtCache::new(2);
+        let b = BlockAddr(4); // page 1
+        assert!(!c.touch(b));
+        assert!(c.touch(b));
+        assert!(c.touch(BlockAddr(5))); // same page
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn cmt_cache_evicts_lru_page() {
+        let mut c = CmtCache::new(2);
+        let (p0, p1, p2) = (BlockAddr(0), BlockAddr(4), BlockAddr(8));
+        c.touch(p0);
+        c.touch(p1);
+        c.touch(p0); // p1 is now LRU
+        c.touch(p2); // evicts p1
+        assert!(c.touch(p0));
+        assert!(!c.touch(p1), "p1 must have been evicted");
+    }
+}

@@ -1,0 +1,738 @@
+//! The decoupled AVR Last-Level Cache (paper §3.4, Fig. 6).
+//!
+//! Following Seznec's Decoupled Sectored Cache, the tag array works at
+//! *memory-block* granularity (16 cachelines) while the data array and its
+//! back-pointer array (BPA) work at *cacheline* granularity. A single tag
+//! entry is shared by all of a block's resident lines: its uncompressed
+//! cachelines (UCL) and the sub-blocks of its compressed image (CMS).
+//!
+//! Indexing (Fig. 6): with `n` index bits, a block's tag and its CMS₀ live
+//! at set `block mod 2^n` (the *tag index*), CMSᵢ at the `i`-th subsequent
+//! set, and a UCL at set `line mod 2^n` (the *UCL index*). UCLs and CMSs of
+//! one block therefore map to different sets and do not reduce effective
+//! associativity.
+//!
+//! The simulator keeps data in the central backing store; entries here hold
+//! presence/dirtiness/recency plus the full back-pointer (the hardware
+//! stores only `tag-way` + 4-bit `CL-id`; the cost model in
+//! `avr-core::overhead` charges the paper's 18 bits per entry).
+
+use avr_types::{BlockAddr, CacheGeometry, LineAddr, LINES_PER_BLOCK};
+
+/// An entity pushed out of the LLC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evicted {
+    /// An uncompressed cacheline left the cache.
+    Ucl { line: LineAddr, dirty: bool },
+    /// The compressed image of `block` left the cache (evicting any CMS
+    /// evicts them all — partial compressed blocks are useless).
+    CmsBlock { block: BlockAddr, dirty: bool, size_lines: u8 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClKind {
+    Ucl { cl_id: u8 },
+    Cms { idx: u8 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BpaEntry {
+    valid: bool,
+    kind: ClKind,
+    /// Owning block (hardware: derived via tag-way + CL-id; kept whole here
+    /// for assertions and O(1) reverse lookups).
+    block: BlockAddr,
+    dirty: bool,
+    lru: u64,
+}
+
+const BPA_INVALID: BpaEntry = BpaEntry {
+    valid: false,
+    kind: ClKind::Ucl { cl_id: 0 },
+    block: BlockAddr(0),
+    dirty: false,
+    lru: 0,
+};
+
+#[derive(Clone, Copy, Debug)]
+struct TagEntry {
+    valid: bool,
+    block: BlockAddr,
+    /// Cachelines of the compressed image resident (0 = absent).
+    cms_count: u8,
+    /// Uncompressed cachelines of the block resident.
+    ucl_count: u8,
+    /// The compressed image differs from memory.
+    block_dirty: bool,
+    lru: u64,
+}
+
+const TAG_INVALID: TagEntry = TagEntry {
+    valid: false,
+    block: BlockAddr(0),
+    cms_count: 0,
+    ucl_count: 0,
+    block_dirty: false,
+    lru: 0,
+};
+
+/// LLC activity counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LlcStats {
+    pub ucl_hits: u64,
+    pub misses: u64,
+    pub tag_evictions: u64,
+}
+
+/// The decoupled AVR LLC.
+#[derive(Clone, Debug)]
+pub struct AvrLlc {
+    sets: usize,
+    ways: usize,
+    latency: u64,
+    tags: Vec<TagEntry>,
+    bpa: Vec<BpaEntry>,
+    clock: u64,
+    pub stats: LlcStats,
+}
+
+impl AvrLlc {
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        assert!(sets.is_power_of_two() && sets >= LINES_PER_BLOCK);
+        AvrLlc {
+            sets,
+            ways: geom.ways,
+            latency: geom.latency,
+            tags: vec![TAG_INVALID; sets * geom.ways],
+            bpa: vec![BPA_INVALID; sets * geom.ways],
+            clock: 0,
+            stats: LlcStats::default(),
+        }
+    }
+
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    #[inline]
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    #[inline]
+    fn tag_index(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn ucl_index(&self, line: LineAddr) -> usize {
+        (line.0 as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn cms_set(&self, block: BlockAddr, idx: u8) -> usize {
+        (self.tag_index(block) + idx as usize) & (self.sets - 1)
+    }
+
+    fn find_tag(&self, block: BlockAddr) -> Option<usize> {
+        let base = self.tag_index(block) * self.ways;
+        (base..base + self.ways).find(|&i| self.tags[i].valid && self.tags[i].block == block)
+    }
+
+    fn find_bpa(&self, set: usize, block: BlockAddr, kind: ClKind) -> Option<usize> {
+        let base = set * self.ways;
+        (base..base + self.ways)
+            .find(|&i| self.bpa[i].valid && self.bpa[i].block == block && self.bpa[i].kind == kind)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups
+    // ------------------------------------------------------------------
+
+    /// Non-destructive presence check for a UCL.
+    pub fn probe_ucl(&self, line: LineAddr) -> bool {
+        self.find_bpa(self.ucl_index(line), line.block(), ClKind::Ucl { cl_id: line.cl_offset() as u8 })
+            .is_some()
+    }
+
+    /// Presence check for the compressed image of `block`; returns its size.
+    pub fn probe_cms(&self, block: BlockAddr) -> Option<u8> {
+        let t = self.find_tag(block)?;
+        let c = self.tags[t].cms_count;
+        (c > 0).then_some(c)
+    }
+
+    /// UCL lookup (paper Fig. 6): on a hit the UCL's recency refreshes, the
+    /// block tag's LRU refreshes, and the block's CMS entries refresh too
+    /// ("the CMS LRU bits are updated when any UCL of the block is
+    /// accessed"). Counts hit/miss statistics.
+    pub fn access_ucl(&mut self, line: LineAddr, write: bool) -> bool {
+        let now = self.tick();
+        let block = line.block();
+        let kind = ClKind::Ucl { cl_id: line.cl_offset() as u8 };
+        match self.find_bpa(self.ucl_index(line), block, kind) {
+            Some(i) => {
+                self.bpa[i].lru = now;
+                if write {
+                    self.bpa[i].dirty = true;
+                }
+                if let Some(t) = self.find_tag(block) {
+                    self.tags[t].lru = now;
+                    let count = self.tags[t].cms_count;
+                    for idx in 0..count {
+                        let set = self.cms_set(block, idx);
+                        if let Some(c) = self.find_bpa(set, block, ClKind::Cms { idx }) {
+                            self.bpa[c].lru = now;
+                        }
+                    }
+                }
+                self.stats.ucl_hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Was the UCL dirty? (no LRU effect)
+    pub fn ucl_dirty(&self, line: LineAddr) -> Option<bool> {
+        self.find_bpa(self.ucl_index(line), line.block(), ClKind::Ucl { cl_id: line.cl_offset() as u8 })
+            .map(|i| self.bpa[i].dirty)
+    }
+
+    /// cl-ids of the block's resident UCLs.
+    pub fn ucls_of(&self, block: BlockAddr) -> Vec<u8> {
+        let mut out = Vec::new();
+        for cl in 0..LINES_PER_BLOCK as u8 {
+            let line = block.line(cl as usize);
+            if self.probe_ucl(line) {
+                out.push(cl);
+            }
+        }
+        out
+    }
+
+    /// cl-ids of the block's *dirty* resident UCLs.
+    pub fn dirty_ucls_of(&self, block: BlockAddr) -> Vec<u8> {
+        self.ucls_of(block)
+            .into_iter()
+            .filter(|&cl| self.ucl_dirty(block.line(cl as usize)) == Some(true))
+            .collect()
+    }
+
+    /// Mark all the block's UCLs clean (after their data was folded into a
+    /// recompression that reached memory).
+    pub fn clean_ucls_of(&mut self, block: BlockAddr) {
+        for cl in 0..LINES_PER_BLOCK as u8 {
+            let line = block.line(cl as usize);
+            let kind = ClKind::Ucl { cl_id: cl };
+            if let Some(i) = self.find_bpa(self.ucl_index(line), block, kind) {
+                self.bpa[i].dirty = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Ensure a tag entry exists for `block`, evicting a victim block
+    /// entirely if the tag set is full. Returns (tag slot, eviction events).
+    fn ensure_tag(&mut self, block: BlockAddr) -> (usize, Vec<Evicted>) {
+        let now = self.tick();
+        if let Some(i) = self.find_tag(block) {
+            return (i, Vec::new());
+        }
+        let base = self.tag_index(block) * self.ways;
+        // Free way?
+        if let Some(i) = (base..base + self.ways).find(|&i| !self.tags[i].valid) {
+            self.tags[i] = TagEntry { valid: true, block, lru: now, ..TAG_INVALID };
+            self.tags[i].valid = true;
+            return (i, Vec::new());
+        }
+        // Evict the LRU tag and everything it maps.
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| self.tags[i].lru)
+            .expect("nonzero ways");
+        let victim_block = self.tags[victim].block;
+        let evictions = self.evict_block(victim_block);
+        self.stats.tag_evictions += 1;
+        self.tags[victim] = TagEntry { valid: true, block, lru: now, ..TAG_INVALID };
+        self.tags[victim].valid = true;
+        (victim, evictions)
+    }
+
+    /// Remove every trace of `block` (tag + all UCLs + CMS image),
+    /// reporting what fell out.
+    pub fn evict_block(&mut self, block: BlockAddr) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        let Some(t) = self.find_tag(block) else {
+            return out;
+        };
+        let cms_count = self.tags[t].cms_count;
+        // UCLs first.
+        for cl in 0..LINES_PER_BLOCK as u8 {
+            let line = block.line(cl as usize);
+            let kind = ClKind::Ucl { cl_id: cl };
+            if let Some(i) = self.find_bpa(self.ucl_index(line), block, kind) {
+                out.push(Evicted::Ucl { line, dirty: self.bpa[i].dirty });
+                self.bpa[i] = BPA_INVALID;
+            }
+        }
+        // CMS image.
+        if cms_count > 0 {
+            for idx in 0..cms_count {
+                let set = self.cms_set(block, idx);
+                if let Some(i) = self.find_bpa(set, block, ClKind::Cms { idx }) {
+                    self.bpa[i] = BPA_INVALID;
+                }
+            }
+            out.push(Evicted::CmsBlock {
+                block,
+                dirty: self.tags[t].block_dirty,
+                size_lines: cms_count,
+            });
+        }
+        self.tags[t] = TAG_INVALID;
+        out
+    }
+
+    /// Pick a victim way in a BPA set (UCLs and CMSs compete equally by
+    /// LRU) and evict it. A CMS victim drags its whole compressed block out.
+    fn evict_for(&mut self, set: usize, out: &mut Vec<Evicted>) -> usize {
+        let base = set * self.ways;
+        if let Some(i) = (base..base + self.ways).find(|&i| !self.bpa[i].valid) {
+            return i;
+        }
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| self.bpa[i].lru)
+            .expect("nonzero ways");
+        let e = self.bpa[victim];
+        match e.kind {
+            ClKind::Ucl { cl_id } => {
+                out.push(Evicted::Ucl { line: e.block.line(cl_id as usize), dirty: e.dirty });
+                self.bpa[victim] = BPA_INVALID;
+                if let Some(t) = self.find_tag(e.block) {
+                    self.tags[t].ucl_count -= 1;
+                    if self.tags[t].ucl_count == 0 && self.tags[t].cms_count == 0 {
+                        self.tags[t] = TAG_INVALID;
+                    }
+                }
+            }
+            ClKind::Cms { .. } => {
+                // Evicting one CMS evicts the whole compressed image; the
+                // tag survives if it still maps UCLs (Fig. 8 / §3.4).
+                let block = e.block;
+                if let Some(t) = self.find_tag(block) {
+                    let count = self.tags[t].cms_count;
+                    for idx in 0..count {
+                        let s = self.cms_set(block, idx);
+                        if let Some(i) = self.find_bpa(s, block, ClKind::Cms { idx }) {
+                            self.bpa[i] = BPA_INVALID;
+                        }
+                    }
+                    out.push(Evicted::CmsBlock {
+                        block,
+                        dirty: self.tags[t].block_dirty,
+                        size_lines: count,
+                    });
+                    self.tags[t].cms_count = 0;
+                    self.tags[t].block_dirty = false;
+                    if self.tags[t].ucl_count == 0 {
+                        self.tags[t] = TAG_INVALID;
+                    }
+                } else {
+                    debug_assert!(false, "CMS entry without tag");
+                    self.bpa[victim] = BPA_INVALID;
+                }
+            }
+        }
+        debug_assert!(!self.bpa[victim].valid);
+        victim
+    }
+
+    /// Insert (or refresh) a UCL. Returns everything evicted to make room.
+    pub fn insert_ucl(&mut self, line: LineAddr, dirty: bool) -> Vec<Evicted> {
+        let block = line.block();
+        let cl_id = line.cl_offset() as u8;
+        let kind = ClKind::Ucl { cl_id };
+        let set = self.ucl_index(line);
+        let now = self.tick();
+
+        if let Some(i) = self.find_bpa(set, block, kind) {
+            self.bpa[i].lru = now;
+            self.bpa[i].dirty |= dirty;
+            if let Some(t) = self.find_tag(block) {
+                self.tags[t].lru = now;
+            }
+            return Vec::new();
+        }
+
+        let (_, mut evictions) = self.ensure_tag(block);
+        // The data-way eviction below may hit any entry — including this
+        // block's *own* CMS image (a UCL set can coincide with one of the
+        // block's CMS sets). Evicting that image with ucl_count still 0
+        // frees the tag we just installed, so re-ensure it afterwards.
+        let slot = self.evict_for(set, &mut evictions);
+        self.bpa[slot] = BpaEntry { valid: true, kind, block, dirty, lru: now };
+        let t = match self.find_tag(block) {
+            Some(t) => t,
+            None => {
+                let (t, evs) = self.ensure_tag(block);
+                evictions.extend(evs);
+                t
+            }
+        };
+        self.tags[t].ucl_count += 1;
+        self.tags[t].lru = now;
+        evictions
+    }
+
+    /// Drop a UCL (e.g. superseded), returning whether it was dirty.
+    pub fn invalidate_ucl(&mut self, line: LineAddr) -> Option<bool> {
+        let block = line.block();
+        let kind = ClKind::Ucl { cl_id: line.cl_offset() as u8 };
+        let i = self.find_bpa(self.ucl_index(line), block, kind)?;
+        let dirty = self.bpa[i].dirty;
+        self.bpa[i] = BPA_INVALID;
+        if let Some(t) = self.find_tag(block) {
+            self.tags[t].ucl_count -= 1;
+            if self.tags[t].ucl_count == 0 && self.tags[t].cms_count == 0 {
+                self.tags[t] = TAG_INVALID;
+            }
+        }
+        Some(dirty)
+    }
+
+    /// Install the compressed image of `block` (`size_lines` CMSs at
+    /// consecutive sets starting from the tag index). Replaces any previous
+    /// image. Returns eviction events for displaced entries.
+    pub fn insert_cms(&mut self, block: BlockAddr, size_lines: u8, dirty: bool) -> Vec<Evicted> {
+        assert!(size_lines >= 1 && size_lines as usize <= LINES_PER_BLOCK);
+        let mut evictions = Vec::new();
+        let (t, evs) = self.ensure_tag(block);
+        evictions.extend(evs);
+
+        // Drop a stale image (recompression may change the size).
+        let old = self.tags[t].cms_count;
+        for idx in 0..old {
+            let s = self.cms_set(block, idx);
+            if let Some(i) = self.find_bpa(s, block, ClKind::Cms { idx }) {
+                self.bpa[i] = BPA_INVALID;
+            }
+        }
+
+        let now = self.tick();
+        for idx in 0..size_lines {
+            let set = self.cms_set(block, idx);
+            let slot = self.evict_for(set, &mut evictions);
+            self.bpa[slot] =
+                BpaEntry { valid: true, kind: ClKind::Cms { idx }, block, dirty: false, lru: now };
+        }
+        // `evict_for` cannot drop a freshly-inserted CMS of this block
+        // (consecutive sets are distinct for size <= 16 <= sets), but it
+        // *can* evict the block's last UCL, freeing the tag while
+        // cms_count is still 0 — re-ensure it.
+        let t = match self.find_tag(block) {
+            Some(t) => t,
+            None => {
+                let (t, evs) = self.ensure_tag(block);
+                evictions.extend(evs);
+                t
+            }
+        };
+        self.tags[t].cms_count = size_lines;
+        self.tags[t].block_dirty = dirty;
+        // "The LRU of a block tag is updated ... when the block is
+        // recompressed."
+        self.tags[t].lru = now;
+        evictions
+    }
+
+    /// Remove the compressed image (e.g. after writing it back), keeping
+    /// UCLs and the tag if any remain. Returns (dirty, size).
+    pub fn remove_cms(&mut self, block: BlockAddr) -> Option<(bool, u8)> {
+        let t = self.find_tag(block)?;
+        let count = self.tags[t].cms_count;
+        if count == 0 {
+            return None;
+        }
+        for idx in 0..count {
+            let s = self.cms_set(block, idx);
+            if let Some(i) = self.find_bpa(s, block, ClKind::Cms { idx }) {
+                self.bpa[i] = BPA_INVALID;
+            }
+        }
+        let dirty = self.tags[t].block_dirty;
+        self.tags[t].cms_count = 0;
+        self.tags[t].block_dirty = false;
+        if self.tags[t].ucl_count == 0 {
+            self.tags[t] = TAG_INVALID;
+        }
+        Some((dirty, count))
+    }
+
+    /// Mark the resident compressed image dirty (it was updated on-chip).
+    pub fn mark_cms_dirty(&mut self, block: BlockAddr) {
+        if let Some(t) = self.find_tag(block) {
+            if self.tags[t].cms_count > 0 {
+                self.tags[t].block_dirty = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Fraction of data-array entries holding CMSs (the paper reports AVR
+    /// devotes 2–16 % of LLC capacity to compressed blocks).
+    pub fn cms_fraction(&self) -> f64 {
+        let cms = self.bpa.iter().filter(|e| e.valid && matches!(e.kind, ClKind::Cms { .. })).count();
+        cms as f64 / self.bpa.len() as f64
+    }
+
+    /// Number of valid data-array entries.
+    pub fn occupancy(&self) -> usize {
+        self.bpa.iter().filter(|e| e.valid).count()
+    }
+
+    /// Internal consistency check (tests / debug builds): every BPA entry's
+    /// block has a valid tag, and tag counts match the BPA contents.
+    pub fn check_invariants(&self) {
+        use std::collections::HashMap;
+        let mut ucls: HashMap<BlockAddr, u8> = HashMap::new();
+        let mut cmss: HashMap<BlockAddr, u8> = HashMap::new();
+        for e in self.bpa.iter().filter(|e| e.valid) {
+            match e.kind {
+                ClKind::Ucl { .. } => *ucls.entry(e.block).or_default() += 1,
+                ClKind::Cms { .. } => *cmss.entry(e.block).or_default() += 1,
+            }
+        }
+        for t in self.tags.iter().filter(|t| t.valid) {
+            assert_eq!(
+                t.ucl_count,
+                ucls.get(&t.block).copied().unwrap_or(0),
+                "ucl_count mismatch for {:?}",
+                t.block
+            );
+            assert_eq!(
+                t.cms_count,
+                cmss.get(&t.block).copied().unwrap_or(0),
+                "cms_count mismatch for {:?}",
+                t.block
+            );
+        }
+        for (b, _) in ucls.iter().chain(cmss.iter()) {
+            assert!(self.find_tag(*b).is_some(), "orphan BPA entries for {b:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_types::CacheGeometry;
+
+    /// 64 sets x 4 ways = 16 KB — small enough to force evictions.
+    fn llc() -> AvrLlc {
+        AvrLlc::new(CacheGeometry { capacity: 64 * 4 * 64, ways: 4, latency: 15 })
+    }
+
+    #[test]
+    fn ucl_miss_then_hit() {
+        let mut c = llc();
+        let line = BlockAddr(5).line(3);
+        assert!(!c.access_ucl(line, false));
+        let evs = c.insert_ucl(line, false);
+        assert!(evs.is_empty());
+        assert!(c.access_ucl(line, false));
+        assert!(c.probe_ucl(line));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ucl_and_cms_coexist_for_one_tag() {
+        let mut c = llc();
+        let b = BlockAddr(9);
+        c.insert_cms(b, 3, false);
+        c.insert_ucl(b.line(0), false);
+        c.insert_ucl(b.line(7), true);
+        assert_eq!(c.probe_cms(b), Some(3));
+        assert!(c.probe_ucl(b.line(0)));
+        assert_eq!(c.ucls_of(b), vec![0, 7]);
+        assert_eq!(c.dirty_ucls_of(b), vec![7]);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn cms_sets_are_consecutive_from_tag_index() {
+        let c = llc();
+        let b = BlockAddr(10);
+        assert_eq!(c.cms_set(b, 0), 10);
+        assert_eq!(c.cms_set(b, 5), 15);
+        // Wraps modulo set count.
+        let b2 = BlockAddr(63);
+        assert_eq!(c.cms_set(b2, 2), 1);
+    }
+
+    #[test]
+    fn evicting_one_cms_evicts_whole_image() {
+        let mut c = llc();
+        let b = BlockAddr(20);
+        c.insert_cms(b, 4, true);
+        // Fill set 21 (= CMS idx 1's set) with UCLs from other blocks whose
+        // lines index to set 21.
+        let mut evs = Vec::new();
+        for k in 0..4u64 {
+            // line addr ≡ 21 (mod 64): use blocks far apart.
+            let line = LineAddr(21 + 64 * (k + 1) * 16);
+            evs.extend(c.insert_ucl(line, false));
+        }
+        // One of those insertions must have displaced the CMS, dragging the
+        // whole compressed image out, dirty.
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                Evicted::CmsBlock { block, dirty: true, size_lines: 4 } if *block == b
+            )),
+            "{evs:?}"
+        );
+        assert_eq!(c.probe_cms(b), None);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn tag_survives_cms_eviction_if_ucls_remain() {
+        let mut c = llc();
+        let b = BlockAddr(30);
+        c.insert_cms(b, 2, false);
+        c.insert_ucl(b.line(4), true);
+        c.remove_cms(b);
+        assert_eq!(c.probe_cms(b), None);
+        assert!(c.probe_ucl(b.line(4)), "UCL must survive");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn tag_eviction_spills_every_line_of_victim_block() {
+        let mut c = llc();
+        // 4 ways of tags at tag set 0: blocks 0, 64, 128, 192 (mod 64 = 0).
+        for k in 0..4u64 {
+            let b = BlockAddr(64 * k);
+            c.insert_ucl(b.line(1), true);
+            c.insert_ucl(b.line(2), false);
+        }
+        // A fifth block at the same tag set forces a tag eviction; victim
+        // is block 0 (LRU).
+        let evs = c.insert_ucl(BlockAddr(256).line(1), false);
+        let dirty_ucls: Vec<_> = evs
+            .iter()
+            .filter(|e| matches!(e, Evicted::Ucl { dirty: true, .. }))
+            .collect();
+        assert_eq!(dirty_ucls.len(), 1, "block 0's dirty line 1 must spill: {evs:?}");
+        assert_eq!(evs.len(), 2, "both UCLs of the victim leave");
+        assert!(!c.probe_ucl(BlockAddr(0).line(1)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn recompression_replaces_image_and_updates_size() {
+        let mut c = llc();
+        let b = BlockAddr(40);
+        c.insert_cms(b, 6, false);
+        assert_eq!(c.probe_cms(b), Some(6));
+        let evs = c.insert_cms(b, 2, true);
+        assert!(evs.is_empty(), "shrinking in place evicts nothing: {evs:?}");
+        assert_eq!(c.probe_cms(b), Some(2));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn mark_cms_dirty_then_remove_reports_dirty() {
+        let mut c = llc();
+        let b = BlockAddr(50);
+        c.insert_cms(b, 3, false);
+        c.mark_cms_dirty(b);
+        assert_eq!(c.remove_cms(b), Some((true, 3)));
+        assert_eq!(c.remove_cms(b), None);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn invalidate_ucl_frees_tag_when_last() {
+        let mut c = llc();
+        let b = BlockAddr(11);
+        c.insert_ucl(b.line(3), true);
+        assert_eq!(c.invalidate_ucl(b.line(3)), Some(true));
+        assert_eq!(c.invalidate_ucl(b.line(3)), None);
+        // Tag must be gone: inserting a new block in the same tag set
+        // should not trigger a tag eviction.
+        let before = c.stats.tag_evictions;
+        for k in 1..=4u64 {
+            c.insert_ucl(BlockAddr(11 + 64 * k).line(0), false);
+        }
+        assert_eq!(c.stats.tag_evictions, before);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ucl_access_refreshes_block_cms_recency() {
+        let mut c = llc();
+        let b = BlockAddr(2);
+        c.insert_cms(b, 1, false); // CMS0 at set 2
+        c.insert_ucl(b.line(5), false);
+        // Age the CMS by inserting other UCLs into set 2.
+        for k in 1..=3u64 {
+            c.insert_ucl(LineAddr(2 + 16 * 64 * k), false);
+        }
+        // Touch the block's UCL: its CMS becomes MRU again.
+        c.access_ucl(b.line(5), false);
+        // Now overflow set 2: the victim must be one of the other UCLs,
+        // not the CMS.
+        let evs = c.insert_ucl(LineAddr(2 + 16 * 64 * 9), false);
+        assert!(
+            evs.iter().all(|e| matches!(e, Evicted::Ucl { .. })),
+            "CMS must have been protected by the UCL touch: {evs:?}"
+        );
+        assert_eq!(c.probe_cms(b), Some(1));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ucl_and_cms_of_one_block_map_to_distinct_roles() {
+        let mut c = llc();
+        let b = BlockAddr(0);
+        // cl 0's UCL set = 0 = CMS0's set; both can coexist in different
+        // ways of the same set.
+        c.insert_cms(b, 1, false);
+        c.insert_ucl(b.line(0), false);
+        assert!(c.probe_ucl(b.line(0)));
+        assert_eq!(c.probe_cms(b), Some(1));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = llc();
+        let l = BlockAddr(7).line(0);
+        c.access_ucl(l, false);
+        c.insert_ucl(l, false);
+        c.access_ucl(l, false);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.ucl_hits, 1);
+    }
+
+    #[test]
+    fn cms_fraction_reflects_occupancy() {
+        let mut c = llc();
+        assert_eq!(c.cms_fraction(), 0.0);
+        c.insert_cms(BlockAddr(1), 8, false);
+        let expect = 8.0 / (64.0 * 4.0);
+        assert!((c.cms_fraction() - expect).abs() < 1e-12);
+    }
+}

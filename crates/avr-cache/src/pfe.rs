@@ -1,0 +1,105 @@
+//! The prefetch engine (paper §3.3).
+//!
+//! "When a new compressed block arrives for decompression, a prefetching
+//! engine (PFE) is consulted to decide whether any of the remaining
+//! decompressed cachelines in DBUF should be written in the LLC before they
+//! are replaced by the new block. The PFE employs a simple threshold
+//! strategy, prefetching all lines from a block where at least half have
+//! been explicitly requested."
+
+use crate::dbuf::DbufEviction;
+use avr_types::LINES_PER_BLOCK;
+
+/// The threshold-based prefetch engine.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchEngine {
+    /// Fraction of lines that must have been requested (paper: 0.5).
+    threshold: f64,
+    pub consults: u64,
+    pub prefetches_issued: u64,
+    pub lines_prefetched: u64,
+}
+
+impl PrefetchEngine {
+    pub fn new(threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        PrefetchEngine { threshold, consults: 0, prefetches_issued: 0, lines_prefetched: 0 }
+    }
+
+    /// Decide which of the evicted DBUF block's lines to save into the LLC.
+    /// Returns cl-ids of the lines to insert — the lines *not* yet
+    /// requested (requested lines were already promoted on their hits).
+    pub fn decide(&mut self, ev: &DbufEviction) -> Vec<u8> {
+        self.consults += 1;
+        let requested = ev.requested_mask.count_ones() as usize;
+        if (requested as f64) < self.threshold * LINES_PER_BLOCK as f64 {
+            return Vec::new();
+        }
+        let to_save: Vec<u8> = (0..LINES_PER_BLOCK as u8)
+            .filter(|&cl| ev.requested_mask & (1 << cl) == 0)
+            .collect();
+        if !to_save.is_empty() {
+            self.prefetches_issued += 1;
+            self.lines_prefetched += to_save.len() as u64;
+        }
+        to_save
+    }
+}
+
+impl Default for PrefetchEngine {
+    fn default() -> Self {
+        PrefetchEngine::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_types::BlockAddr;
+
+    fn ev(mask: u16) -> DbufEviction {
+        DbufEviction { block: BlockAddr(1), requested_mask: mask }
+    }
+
+    #[test]
+    fn below_threshold_saves_nothing() {
+        let mut pfe = PrefetchEngine::default();
+        // 7 of 16 requested < half.
+        let lines = pfe.decide(&ev(0b0000_0000_0111_1111));
+        assert!(lines.is_empty());
+        assert_eq!(pfe.prefetches_issued, 0);
+        assert_eq!(pfe.consults, 1);
+    }
+
+    #[test]
+    fn at_threshold_saves_the_rest() {
+        let mut pfe = PrefetchEngine::default();
+        // Exactly 8 of 16 requested -> save the other 8.
+        let lines = pfe.decide(&ev(0b0000_0000_1111_1111));
+        assert_eq!(lines, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(pfe.lines_prefetched, 8);
+    }
+
+    #[test]
+    fn fully_requested_block_has_nothing_left_to_save() {
+        let mut pfe = PrefetchEngine::default();
+        let lines = pfe.decide(&ev(0xFFFF));
+        assert!(lines.is_empty());
+        assert_eq!(pfe.prefetches_issued, 0, "nothing issued when nothing to save");
+    }
+
+    #[test]
+    fn zero_threshold_always_prefetches() {
+        let mut pfe = PrefetchEngine::new(0.0);
+        let lines = pfe.decide(&ev(0));
+        assert_eq!(lines.len(), LINES_PER_BLOCK);
+    }
+
+    #[test]
+    fn unity_threshold_never_prefetches() {
+        let mut pfe = PrefetchEngine::new(1.0);
+        assert!(pfe.decide(&ev(0x7FFF)).is_empty());
+        // All requested: threshold met but nothing left.
+        assert!(pfe.decide(&ev(0xFFFF)).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! Conventional set-associative write-back cache (metadata only).
+//!
+//! Used for the private L1/L2 levels and for the baseline LLC. True-LRU
+//! replacement via per-set recency counters.
+
+use avr_types::{CacheGeometry, LineAddr};
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A line evicted to make room.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    pub line: LineAddr,
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+    valid: bool,
+}
+
+const INVALID: Way = Way { tag: 0, dirty: false, lru: 0, valid: false };
+
+/// The cache. Lines are identified by [`LineAddr`]; the set index is the low
+/// `log2(sets)` bits of the line address, the tag the remaining bits.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    latency: u64,
+    entries: Vec<Way>,
+    clock: u64,
+    pub stats: CacheStats,
+}
+
+impl SetAssocCache {
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        assert!(sets.is_power_of_two() && sets > 0);
+        SetAssocCache {
+            sets,
+            ways: geom.ways,
+            latency: geom.latency,
+            entries: vec![INVALID; sets * geom.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access latency in CPU cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.sets.trailing_zeros()
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Way] {
+        let start = set * self.ways;
+        &mut self.entries[start..start + self.ways]
+    }
+
+    /// Look up a line; on hit refresh its recency (and optionally mark it
+    /// dirty for a store). Updates hit/miss statistics.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag_of(line);
+        let set = self.set_of(line);
+        for w in self.set_slice(set) {
+            if w.valid && w.tag == tag {
+                w.lru = clock;
+                if write {
+                    w.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Is the line present? No LRU update, no statistics.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let tag = self.tag_of(line);
+        let start = self.set_of(line) * self.ways;
+        self.entries[start..start + self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Insert a line (after a miss), evicting the LRU victim if the set is
+    /// full. Re-inserting a present line just refreshes it.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag_of(line);
+        let set = self.set_of(line);
+        let sets = self.sets;
+        let ways = self.set_slice(set);
+
+        // Already present?
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = clock;
+            w.dirty |= dirty;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+            *w = Way { tag, dirty, lru: clock, valid: true };
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("non-zero associativity");
+        let evicted = Eviction {
+            line: LineAddr((victim.tag << sets.trailing_zeros()) | set as u64),
+            dirty: victim.dirty,
+        };
+        *victim = Way { tag, dirty, lru: clock, valid: true };
+        self.stats.evictions += 1;
+        if evicted.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(evicted)
+    }
+
+    /// Drop a line (back-invalidation), returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let tag = self.tag_of(line);
+        let set = self.set_of(line);
+        for w in self.set_slice(set) {
+            if w.valid && w.tag == tag {
+                let dirty = w.dirty;
+                *w = INVALID;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Iterate over all resident lines (diagnostics / tests).
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
+        let idx_bits = self.sets.trailing_zeros();
+        self.entries.iter().enumerate().filter(|(_, w)| w.valid).map(move |(i, w)| {
+            let set = (i / self.ways) as u64;
+            (LineAddr((w.tag << idx_bits) | set), w.dirty)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_types::CacheGeometry;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways.
+        SetAssocCache::new(CacheGeometry { capacity: 4 * 2 * 64, ways: 2, latency: 1 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let l = LineAddr(0x40);
+        assert!(!c.access(l, false));
+        c.insert(l, false);
+        assert!(c.access(l, false));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines in the same set (set 0): 0x0, 0x4, 0x8 (4 sets).
+        let (a, b, d) = (LineAddr(0x0), LineAddr(0x4), LineAddr(0x8));
+        assert!(c.insert(a, false).is_none());
+        assert!(c.insert(b, false).is_none());
+        // Touch a so b is LRU.
+        c.access(a, false);
+        let ev = c.insert(d, false).expect("eviction");
+        assert_eq!(ev.line, b);
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn dirty_propagates_through_eviction() {
+        let mut c = tiny();
+        let (a, b, d) = (LineAddr(0x0), LineAddr(0x4), LineAddr(0x8));
+        c.insert(a, false);
+        c.access(a, true); // store -> dirty
+        c.insert(b, false);
+        c.access(a, false); // keep a MRU
+        let ev = c.insert(d, false).unwrap();
+        assert_eq!(ev.line, b);
+        assert!(!ev.dirty);
+        c.access(d, false);
+        let ev2 = c.insert(LineAddr(0xC), false).unwrap();
+        assert_eq!(ev2.line, a);
+        assert!(ev2.dirty);
+        assert_eq!(c.stats.dirty_evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = tiny();
+        let a = LineAddr(0x0);
+        c.insert(a, false);
+        assert!(c.insert(a, true).is_none());
+        let resident: Vec<_> = c.resident_lines().collect();
+        assert_eq!(resident.len(), 1);
+        assert_eq!(resident[0], (a, true));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        let a = LineAddr(0x3);
+        c.insert(a, true);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert_eq!(c.invalidate(a), None);
+        assert!(!c.contains(a));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            assert!(c.insert(LineAddr(i), false).is_none());
+            assert!(c.insert(LineAddr(i + 4), false).is_none());
+        }
+        for i in 0..8u64 {
+            assert!(c.contains(LineAddr(i)));
+        }
+    }
+
+    #[test]
+    fn eviction_reconstructs_correct_address() {
+        let mut c = tiny();
+        let a = LineAddr(0x1234 << 2 | 0x1); // set 1, some tag
+        c.insert(a, false);
+        c.insert(LineAddr(0x5678 << 2 | 0x1), false);
+        let ev = c.insert(LineAddr(0x9abc << 2 | 0x1), false).unwrap();
+        assert_eq!(ev.line, a);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = SetAssocCache::new(CacheGeometry { capacity: 64 << 10, ways: 4, latency: 1 });
+        assert_eq!(c.sets, 256);
+        assert_eq!(c.latency(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Exponent biasing (paper §3.3, "Biasing & unbiasing").
+//!
+//! Before converting a floating-point block to fixed point, a per-block bias
+//! is added to every value's exponent so the block lands in the fixed format's
+//! representable range with minimal precision loss. Biasing is *skipped* when
+//! (a) the block already contains specials (NaN/Inf) or the bias would create
+//! them, or (b) the bias would over-/underflow any value's exponent.
+
+/// The biased target: the block's largest magnitude is mapped into
+/// [2^6, 2^7), leaving 1 bit of headroom below the Q8.23 limit of 2^8.
+pub const TARGET_MAX_EXP: i32 = 133; // biased-exponent field value: 2^(133-127)=2^6
+
+/// Outcome of bias selection for a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BiasDecision {
+    /// Apply this bias to every exponent (may be 0 if already in range).
+    Bias(i8),
+    /// Skip biasing (bias = 0) per the paper's rules; conversion proceeds
+    /// with saturation and the error check catches any damage.
+    Skip,
+}
+
+impl BiasDecision {
+    /// The bias to actually apply (0 when skipped).
+    pub fn value(self) -> i8 {
+        match self {
+            BiasDecision::Bias(b) => b,
+            BiasDecision::Skip => 0,
+        }
+    }
+}
+
+#[inline]
+fn exp_field(bits: u32) -> i32 {
+    ((bits >> 23) & 0xFF) as i32
+}
+
+/// Choose the block bias per the paper's rules.
+///
+/// Zeros and denormals carry no usable exponent and are ignored for the
+/// min/max scan (denormals quantize to zero in the fixed domain anyway).
+pub fn choose_bias(words: &[u32]) -> BiasDecision {
+    let mut e_max = i32::MIN;
+    let mut e_min = i32::MAX;
+    for &w in words {
+        let e = exp_field(w);
+        if e == 255 {
+            // NaN / Inf present: rule (a) — do not bias.
+            return BiasDecision::Skip;
+        }
+        if e == 0 {
+            continue; // zero or denormal
+        }
+        e_max = e_max.max(e);
+        e_min = e_min.min(e);
+    }
+    if e_max == i32::MIN {
+        // All-zero (or denormal) block: nothing to bias.
+        return BiasDecision::Bias(0);
+    }
+    let b = TARGET_MAX_EXP - e_max;
+    // Rule (b): the bias may not over- or underflow any value's exponent,
+    // and it must fit the CMT's 8-bit signed field.
+    if b < i8::MIN as i32 || b > i8::MAX as i32 {
+        return BiasDecision::Skip;
+    }
+    if e_min + b < 1 || e_max + b > 254 {
+        return BiasDecision::Skip;
+    }
+    BiasDecision::Bias(b as i8)
+}
+
+/// Add `bias` to the exponent field of an f32's bits.
+///
+/// Zeros pass through unchanged; the caller guarantees (via [`choose_bias`])
+/// that the result cannot overflow into specials. Out-of-range results clamp
+/// defensively (underflow → 0, overflow → max finite) so the simulator never
+/// manufactures NaNs.
+#[inline]
+pub fn apply_bias(bits: u32, bias: i8) -> u32 {
+    if bias == 0 {
+        return bits;
+    }
+    let e = exp_field(bits);
+    if e == 0 {
+        return bits & 0x8000_0000; // flush denormals, keep signed zero
+    }
+    let e2 = e + bias as i32;
+    let sign = bits & 0x8000_0000;
+    if e2 <= 0 {
+        return sign; // underflow to signed zero
+    }
+    if e2 >= 255 {
+        return sign | 0x7F7F_FFFF; // clamp to max finite
+    }
+    (bits & 0x807F_FFFF) | ((e2 as u32) << 23)
+}
+
+/// Subtract `bias` from the exponent field — the decompressor's 1-cycle
+/// unbias step.
+#[inline]
+pub fn remove_bias(bits: u32, bias: i8) -> u32 {
+    apply_bias(bits, bias.wrapping_neg())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bias_of(vals: &[f32]) -> BiasDecision {
+        let bits: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        choose_bias(&bits)
+    }
+
+    #[test]
+    fn in_range_block_gets_zero_ish_bias() {
+        // Values around 64..128 already sit at the target exponent.
+        let d = bias_of(&[100.0, 90.0, 70.0]);
+        assert_eq!(d, BiasDecision::Bias(0));
+    }
+
+    #[test]
+    fn large_values_bias_down() {
+        let d = bias_of(&[1.0e10, 2.0e10]);
+        let b = match d {
+            BiasDecision::Bias(b) => b,
+            _ => panic!("expected bias"),
+        };
+        assert!(b < 0);
+        // After biasing, the max lands in [64, 128).
+        let biased = f32::from_bits(apply_bias(2.0e10f32.to_bits(), b));
+        assert!((64.0..128.0).contains(&biased), "{biased}");
+    }
+
+    #[test]
+    fn small_values_bias_up() {
+        let d = bias_of(&[1.0e-12, 3.0e-12]);
+        let b = d.value();
+        assert!(b > 0);
+        let biased = f32::from_bits(apply_bias(3.0e-12f32.to_bits(), b));
+        assert!((64.0..128.0).contains(&biased), "{biased}");
+    }
+
+    #[test]
+    fn nan_or_inf_skips() {
+        assert_eq!(bias_of(&[1.0, f32::NAN]), BiasDecision::Skip);
+        assert_eq!(bias_of(&[1.0, f32::INFINITY]), BiasDecision::Skip);
+    }
+
+    #[test]
+    fn huge_dynamic_range_skips() {
+        // Range wider than the exponent can absorb after biasing. (1e-30 is
+        // still a *normal* f32; denormals are ignored by the scan.)
+        assert_eq!(bias_of(&[1.0e38, 1.0e-30]), BiasDecision::Skip);
+    }
+
+    #[test]
+    fn denormals_do_not_widen_the_range() {
+        // 1e-40 is denormal: it is ignored, so the block still biases.
+        assert!(matches!(bias_of(&[1.0e38, 1.0e-40]), BiasDecision::Bias(_)));
+    }
+
+    #[test]
+    fn all_zero_block_bias_zero() {
+        assert_eq!(bias_of(&[0.0, -0.0]), BiasDecision::Bias(0));
+    }
+
+    #[test]
+    fn bias_round_trips() {
+        for v in [1.5f32, -2.75e8, 3.1e-20, 64.0] {
+            let d = bias_of(&[v]);
+            let b = d.value();
+            let there = apply_bias(v.to_bits(), b);
+            let back = remove_bias(there, b);
+            assert_eq!(f32::from_bits(back), v);
+        }
+    }
+
+    #[test]
+    fn zero_passes_through() {
+        assert_eq!(apply_bias(0, 12), 0);
+        let neg_zero = (-0.0f32).to_bits();
+        assert_eq!(apply_bias(neg_zero, -30), neg_zero);
+    }
+
+    #[test]
+    fn denormals_flush_under_bias() {
+        let denorm = f32::from_bits(0x0000_0001);
+        let out = f32::from_bits(apply_bias(denorm.to_bits(), 5));
+        assert_eq!(out, 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The compressed memory-block format (paper §3.1, Fig. 2a).
+
+use avr_types::{DataType, CL_BYTES, VALUES_PER_BLOCK};
+
+/// Number of values in the block summary — one cacheline's worth.
+pub const SUMMARY_VALUES: usize = 16;
+/// Bytes of the outlier bitmap: one bit per 32-bit value = 256 bits = half
+/// a cacheline.
+pub const BITMAP_BYTES: usize = VALUES_PER_BLOCK / 8;
+
+/// Value placement considered before partitioning into sub-blocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Layout {
+    /// The block as a linear 1-D array (16 consecutive values per sub-block).
+    Linear1D,
+    /// The block as a 16×16 square (4×4 tiles).
+    Square2D,
+}
+
+/// The CMT `method` field: 2 bits encoding layout × datatype.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Method {
+    pub layout: Layout,
+    pub dtype: DataType,
+}
+
+impl Method {
+    /// Encode to the 2-bit CMT field.
+    pub fn encode(self) -> u8 {
+        let l = match self.layout {
+            Layout::Linear1D => 0,
+            Layout::Square2D => 1,
+        };
+        let d = match self.dtype {
+            DataType::F32 => 0,
+            DataType::Fixed32 => 2,
+        };
+        l | d
+    }
+
+    /// Decode from the 2-bit CMT field.
+    pub fn decode(bits: u8) -> Method {
+        Method {
+            layout: if bits & 1 == 0 { Layout::Linear1D } else { Layout::Square2D },
+            dtype: if bits & 2 == 0 { DataType::F32 } else { DataType::Fixed32 },
+        }
+    }
+}
+
+/// A compressed memory block: summary + outlier bitmap + packed outliers.
+///
+/// The summary is stored in the *fixed* domain together with the block bias,
+/// exactly as the hardware would lay it out in the first cacheline; the
+/// outliers are raw (exact) 32-bit words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompressedBlock {
+    pub method: Method,
+    /// Exponent bias applied during compression (0 for fixed-point data or
+    /// when biasing was skipped).
+    pub bias: i8,
+    /// The 16 sub-block averages, as stored i32 fixed-point words.
+    pub summary: [i32; SUMMARY_VALUES],
+    /// One bit per block value; set = value is an outlier.
+    pub bitmap: [u64; VALUES_PER_BLOCK / 64],
+    /// Exact raw words of the outliers, packed in ascending block order.
+    pub outliers: Vec<u32>,
+}
+
+impl CompressedBlock {
+    /// Number of outliers.
+    pub fn outlier_count(&self) -> usize {
+        self.bitmap.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Compressed size in bytes: summary line + (bitmap + outliers) when any
+    /// outliers exist.
+    pub fn size_bytes(&self) -> usize {
+        let n = self.outliers.len();
+        if n == 0 {
+            CL_BYTES
+        } else {
+            CL_BYTES + BITMAP_BYTES + 4 * n
+        }
+    }
+
+    /// Compressed size in cachelines (the CMT `size` field, 1..=8 when the
+    /// paper's cap holds).
+    pub fn size_lines(&self) -> usize {
+        self.size_bytes().div_ceil(CL_BYTES)
+    }
+
+    /// Is the `i`-th block value an outlier?
+    #[inline]
+    pub fn is_outlier(&self, i: usize) -> bool {
+        (self.bitmap[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Compression ratio vs. the 1 KB uncompressed block.
+    pub fn ratio(&self) -> f64 {
+        (VALUES_PER_BLOCK * 4) as f64 / self.size_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty(method: Method) -> CompressedBlock {
+        CompressedBlock {
+            method,
+            bias: 0,
+            summary: [0; SUMMARY_VALUES],
+            bitmap: [0; 4],
+            outliers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn method_field_round_trips() {
+        for layout in [Layout::Linear1D, Layout::Square2D] {
+            for dtype in [DataType::F32, DataType::Fixed32] {
+                let m = Method { layout, dtype };
+                assert_eq!(Method::decode(m.encode()), m);
+                assert!(m.encode() < 4, "must fit 2 bits");
+            }
+        }
+    }
+
+    #[test]
+    fn no_outliers_is_one_line_16_to_1() {
+        let cb = empty(Method { layout: Layout::Linear1D, dtype: DataType::F32 });
+        assert_eq!(cb.size_lines(), 1);
+        assert_eq!(cb.ratio(), 16.0);
+    }
+
+    #[test]
+    fn bitmap_costs_half_line_once_outliers_exist() {
+        let mut cb = empty(Method { layout: Layout::Linear1D, dtype: DataType::F32 });
+        cb.bitmap[0] = 1;
+        cb.outliers.push(42);
+        // 64 (summary) + 32 (bitmap) + 4 = 100 B -> 2 lines.
+        assert_eq!(cb.size_bytes(), 100);
+        assert_eq!(cb.size_lines(), 2);
+    }
+
+    #[test]
+    fn eight_outliers_still_two_lines() {
+        let mut cb = empty(Method { layout: Layout::Linear1D, dtype: DataType::F32 });
+        cb.bitmap[0] = 0xFF;
+        cb.outliers.extend(std::iter::repeat_n(7, 8));
+        // 64 + 32 + 32 = 128 B -> exactly 2 lines.
+        assert_eq!(cb.size_lines(), 2);
+        assert_eq!(cb.outlier_count(), 8);
+    }
+
+    #[test]
+    fn worst_case_104_outliers_is_eight_lines() {
+        let mut cb = empty(Method { layout: Layout::Linear1D, dtype: DataType::F32 });
+        let mut set = 0;
+        'outer: for w in 0..4 {
+            for b in 0..64 {
+                if set == 104 {
+                    break 'outer;
+                }
+                cb.bitmap[w] |= 1u64 << b;
+                set += 1;
+            }
+        }
+        cb.outliers.extend(std::iter::repeat_n(0, 104));
+        // 64 + 32 + 416 = 512 B -> 8 lines: the 2:1 worst case.
+        assert_eq!(cb.size_lines(), 8);
+        assert_eq!(cb.ratio(), 2.0);
+        // One more outlier would need a 9th line.
+        cb.outliers.push(0);
+        assert_eq!(cb.size_lines(), 9);
+    }
+
+    #[test]
+    fn is_outlier_indexes_across_words() {
+        let mut cb = empty(Method { layout: Layout::Square2D, dtype: DataType::F32 });
+        cb.bitmap[1] = 1 << 3; // block value 67
+        assert!(cb.is_outlier(67));
+        assert!(!cb.is_outlier(66));
+        assert!(!cb.is_outlier(3));
+    }
+}

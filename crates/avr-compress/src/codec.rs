@@ -1,0 +1,387 @@
+//! The full compression/decompression pipeline (paper Fig. 4).
+//!
+//! Compression: bias → float-to-fixed → downsample (both layout variants in
+//! parallel) → re-decompress → error check → outlier select/compact → pick
+//! the best variant → CBUF. Decompression: interpolate → fixed-to-float →
+//! unbias → scatter outliers → DBUF.
+
+use crate::bias::choose_bias;
+use crate::block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};
+use crate::convert::{from_fixed, to_fixed, Fixed};
+use crate::downsample::downsample;
+use crate::error::{check_value, ErrorCheck, Thresholds};
+use crate::interp::reconstruct_summary;
+use crate::latency::Latency;
+use crate::outlier::{build_bitmap, compact_outliers, scatter_outliers};
+use avr_types::{BlockData, DataType, VALUES_PER_BLOCK};
+
+/// Why a compression attempt was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CompressFailure {
+    /// Summary + bitmap + outliers would exceed the compressed-size cap.
+    TooManyOutliers { lines_needed: usize },
+    /// The average relative error of non-outliers exceeds T2.
+    AvgErrorTooHigh { avg_err: f64 },
+}
+
+/// A successful compression: the compressed block plus the value-feedback
+/// view (what any subsequent reader of the block will observe).
+#[derive(Clone, Debug)]
+pub struct CompressOutcome {
+    pub compressed: CompressedBlock,
+    /// `decompress(compressed)` — approximate values with exact outliers.
+    pub reconstructed: BlockData,
+    pub avg_err: f64,
+    pub outlier_count: usize,
+}
+
+struct Variant {
+    layout: Layout,
+    summary: [Fixed; SUMMARY_VALUES],
+    recon_words: [u32; VALUES_PER_BLOCK],
+    flags: [bool; VALUES_PER_BLOCK],
+    check: ErrorCheck,
+}
+
+fn try_variant(
+    layout: Layout,
+    words: &[u32; VALUES_PER_BLOCK],
+    fixed: &[Fixed; VALUES_PER_BLOCK],
+    dt: DataType,
+    bias: i8,
+    th: &Thresholds,
+) -> Variant {
+    let summary = downsample(layout, fixed);
+    let recon_fixed = reconstruct_summary(layout, &summary);
+    let mut recon_words = [0u32; VALUES_PER_BLOCK];
+    let mut flags = [false; VALUES_PER_BLOCK];
+    let mut check = ErrorCheck::default();
+    for i in 0..VALUES_PER_BLOCK {
+        recon_words[i] = from_fixed(recon_fixed[i], dt, bias);
+        let v = check_value(words[i], recon_words[i], dt, th);
+        flags[i] = v.outlier;
+        check.push(v);
+    }
+    Variant { layout, summary, recon_words, flags, check }
+}
+
+/// Compress one memory block, trying both layout variants and keeping the
+/// better one (fewer outliers, then lower average error — smaller compressed
+/// size wins, matching the hardware's "best compression" selection).
+pub fn compress(
+    block: &BlockData,
+    dt: DataType,
+    th: &Thresholds,
+    max_lines: usize,
+) -> Result<CompressOutcome, CompressFailure> {
+    let bias = match dt {
+        DataType::F32 => choose_bias(&block.words).value(),
+        DataType::Fixed32 => 0,
+    };
+    let mut fixed = [0i64; VALUES_PER_BLOCK];
+    for (f, &w) in fixed.iter_mut().zip(&block.words) {
+        *f = to_fixed(w, dt, bias);
+    }
+
+    let v1 = try_variant(Layout::Linear1D, &block.words, &fixed, dt, bias, th);
+    let v2 = try_variant(Layout::Square2D, &block.words, &fixed, dt, bias, th);
+    let best = {
+        let (o1, o2) = (v1.check.outliers(), v2.check.outliers());
+        if o1 < o2 || (o1 == o2 && v1.check.avg_err() <= v2.check.avg_err()) {
+            v1
+        } else {
+            v2
+        }
+    };
+
+    if !best.check.passes(th) {
+        return Err(CompressFailure::AvgErrorTooHigh { avg_err: best.check.avg_err() });
+    }
+
+    let bitmap = build_bitmap(&best.flags);
+    let outliers = compact_outliers(&block.words, &bitmap);
+    let mut summary = [0i32; SUMMARY_VALUES];
+    for (s, &v) in summary.iter_mut().zip(&best.summary) {
+        *s = v.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+    }
+    let compressed = CompressedBlock {
+        method: Method { layout: best.layout, dtype: dt },
+        bias,
+        summary,
+        bitmap,
+        outliers,
+    };
+    let lines = compressed.size_lines();
+    if lines > max_lines {
+        return Err(CompressFailure::TooManyOutliers { lines_needed: lines });
+    }
+
+    // Value feedback: non-outliers become their reconstruction, outliers
+    // stay exact.
+    let mut recon = BlockData { words: best.recon_words };
+    scatter_outliers(&mut recon.words, &compressed.bitmap, &compressed.outliers);
+    Ok(CompressOutcome {
+        avg_err: best.check.avg_err(),
+        outlier_count: compressed.outlier_count(),
+        compressed,
+        reconstructed: recon,
+    })
+}
+
+/// Decompress a compressed block back into 256 raw words.
+pub fn decompress(cb: &CompressedBlock) -> BlockData {
+    let mut summary = [0i64; SUMMARY_VALUES];
+    for (s, &v) in summary.iter_mut().zip(&cb.summary) {
+        *s = v as i64;
+    }
+    let recon_fixed = reconstruct_summary(cb.method.layout, &summary);
+    let mut words = [0u32; VALUES_PER_BLOCK];
+    for (w, &f) in words.iter_mut().zip(&recon_fixed) {
+        *w = from_fixed(f, cb.method.dtype, cb.bias);
+    }
+    scatter_outliers(&mut words, &cb.bitmap, &cb.outliers);
+    BlockData { words }
+}
+
+/// Convenience: the value-feedback transform `decompress ∘ compress`, or
+/// `None` if the block does not compress.
+pub fn reconstruct(
+    block: &BlockData,
+    dt: DataType,
+    th: &Thresholds,
+    max_lines: usize,
+) -> Option<BlockData> {
+    compress(block, dt, th, max_lines).ok().map(|o| o.reconstructed)
+}
+
+/// A reusable compressor front-end bundling thresholds, the latency model
+/// and attempt statistics — the "AVR layer" module of Fig. 1.
+#[derive(Clone, Debug)]
+pub struct Compressor {
+    pub thresholds: Thresholds,
+    pub latency: Latency,
+    pub max_lines: usize,
+    pub attempts: u64,
+    pub failures: u64,
+    pub blocks_compressed: u64,
+    pub compressed_lines_total: u64,
+}
+
+impl Compressor {
+    pub fn new(thresholds: Thresholds, max_lines: usize) -> Self {
+        Compressor {
+            thresholds,
+            latency: Latency::default(),
+            max_lines,
+            attempts: 0,
+            failures: 0,
+            blocks_compressed: 0,
+            compressed_lines_total: 0,
+        }
+    }
+
+    /// Attempt compression, updating statistics.
+    pub fn compress(
+        &mut self,
+        block: &BlockData,
+        dt: DataType,
+    ) -> Result<CompressOutcome, CompressFailure> {
+        self.attempts += 1;
+        match compress(block, dt, &self.thresholds, self.max_lines) {
+            Ok(o) => {
+                self.blocks_compressed += 1;
+                self.compressed_lines_total += o.compressed.size_lines() as u64;
+                Ok(o)
+            }
+            Err(e) => {
+                self.failures += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_types::VALUES_PER_LINE;
+
+    fn th() -> Thresholds {
+        Thresholds::paper_default()
+    }
+
+    fn f32_block(mut f: impl FnMut(usize) -> f32) -> BlockData {
+        let mut b = BlockData::default();
+        for (i, w) in b.words.iter_mut().enumerate() {
+            *w = f(i).to_bits();
+        }
+        b
+    }
+
+    #[test]
+    fn constant_block_compresses_16_to_1() {
+        let b = f32_block(|_| 42.5);
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert_eq!(o.outlier_count, 0);
+        assert_eq!(o.compressed.size_lines(), 1);
+        assert_eq!(o.compressed.ratio(), 16.0);
+        // Reconstruction of a constant is (nearly) exact.
+        for w in o.reconstructed.words {
+            let v = f32::from_bits(w);
+            assert!((v - 42.5).abs() / 42.5 < 0.001, "{v}");
+        }
+    }
+
+    #[test]
+    fn smooth_2d_field_compresses_well() {
+        // A smooth "temperature" field: the kind of data heat/lbm hold.
+        let b = f32_block(|i| {
+            let (r, c) = ((i / 16) as f32, (i % 16) as f32);
+            300.0 + 0.5 * r + 0.3 * c + 0.01 * r * c
+        });
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert!(o.compressed.size_lines() <= 2, "{} lines", o.compressed.size_lines());
+        assert_eq!(o.compressed.method.layout, Layout::Square2D);
+        assert!(o.avg_err <= 0.01);
+    }
+
+    #[test]
+    fn smooth_1d_ramp_prefers_linear_layout() {
+        let b = f32_block(|i| 1000.0 + i as f32 * 0.25);
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert_eq!(o.compressed.method.layout, Layout::Linear1D);
+        assert_eq!(o.outlier_count, 0);
+    }
+
+    #[test]
+    fn decompress_matches_reconstructed_view() {
+        // Gentle sinusoid: curvature low enough that downsampling error
+        // stays within T1 for most values.
+        let b = f32_block(|i| (i as f32 * 0.02).sin() * 50.0 + 120.0);
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert_eq!(decompress(&o.compressed), o.reconstructed);
+    }
+
+    #[test]
+    fn outliers_are_exact_in_reconstruction() {
+        // Smooth field with a few spikes: spikes must come back bit-exact.
+        let spike_at = [37usize, 120, 200];
+        let b = f32_block(|i| {
+            if spike_at.contains(&i) {
+                -9.75e6
+            } else {
+                64.0 + (i % 16) as f32 * 0.01
+            }
+        });
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert!(o.outlier_count >= spike_at.len());
+        for &i in &spike_at {
+            assert!(o.compressed.is_outlier(i));
+            assert_eq!(o.reconstructed.words[i], b.words[i], "spike {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn non_outliers_respect_t1() {
+        let b = f32_block(|i| ((i as f32) * 0.37).cos() * 10.0 + 80.0);
+        if let Ok(o) = compress(&b, DataType::F32, &th(), 8) {
+            for i in 0..VALUES_PER_BLOCK {
+                if !o.compressed.is_outlier(i) {
+                    let orig = f32::from_bits(b.words[i]) as f64;
+                    let rec = f32::from_bits(o.reconstructed.words[i]) as f64;
+                    if orig != 0.0 {
+                        let rel = ((rec - orig) / orig).abs();
+                        assert!(rel <= th().t1 + 1e-9, "value {i}: rel {rel}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_noise_fails_to_compress() {
+        // White noise has no inter-value similarity: nearly every value is
+        // an outlier, blowing the size cap.
+        let mut state = 0x1234_5678u32;
+        let b = f32_block(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state as f32 / u32::MAX as f32) * 2000.0 - 1000.0
+        });
+        let r = compress(&b, DataType::F32, &th(), 8);
+        assert!(matches!(r, Err(CompressFailure::TooManyOutliers { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn all_zero_block_is_one_line() {
+        let b = BlockData::default();
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert_eq!(o.compressed.size_lines(), 1);
+        assert_eq!(o.reconstructed, b);
+    }
+
+    #[test]
+    fn fixed_point_block_compresses() {
+        let mut b = BlockData::default();
+        for (i, w) in b.words.iter_mut().enumerate() {
+            // Smooth Q16.16 ramp around 100.0.
+            *w = ((100 << 16) + (i as i32) * 300) as u32;
+        }
+        let o = compress(&b, DataType::Fixed32, &th(), 8).unwrap();
+        assert_eq!(o.compressed.method.dtype, DataType::Fixed32);
+        assert!(o.compressed.size_lines() <= 2);
+        assert_eq!(decompress(&o.compressed), o.reconstructed);
+    }
+
+    #[test]
+    fn huge_values_bias_and_compress() {
+        let b = f32_block(|i| 3.0e18 + (i as f32) * 1.0e14);
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert_ne!(o.compressed.bias, 0);
+        assert!(o.outlier_count < 20, "{}", o.outlier_count);
+    }
+
+    #[test]
+    fn compressor_tracks_stats() {
+        let mut c = Compressor::new(th(), 8);
+        let smooth = f32_block(|i| 10.0 + i as f32 * 0.001);
+        let mut state = 7u32;
+        let noise = f32_block(|_| {
+            state = state.wrapping_mul(48271);
+            state as f32
+        });
+        c.compress(&smooth, DataType::F32).unwrap();
+        let _ = c.compress(&noise, DataType::F32);
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.blocks_compressed, 1);
+        assert_eq!(c.failures, 1);
+    }
+
+    #[test]
+    fn nan_values_become_outliers_and_stay_exact() {
+        let nan_at = 99usize;
+        let b = f32_block(|i| if i == nan_at { f32::NAN } else { 70.0 + (i % 7) as f32 * 0.01 });
+        let o = compress(&b, DataType::F32, &th(), 8).unwrap();
+        assert!(o.compressed.is_outlier(nan_at));
+        assert_eq!(o.reconstructed.words[nan_at], b.words[nan_at]);
+        // The NaN converts to fixed 0 and drags its sub-block average down,
+        // turning the whole neighbourhood into outliers — but the block must
+        // still fit the 8-line cap and every non-NaN value must survive.
+        assert!(o.compressed.size_lines() <= 8);
+        for (i, (&ow, &bw)) in o.reconstructed.words.iter().zip(&b.words).enumerate() {
+            if i != nan_at && o.compressed.is_outlier(i) {
+                assert_eq!(ow, bw);
+            }
+        }
+    }
+
+    #[test]
+    fn per_line_serialization_size_is_consistent() {
+        // size_lines x 64B always >= size_bytes, < size_bytes + 64.
+        let b = f32_block(|i| if i % 31 == 0 { 1.0e9 } else { 55.0 });
+        if let Ok(o) = compress(&b, DataType::F32, &th(), 8) {
+            let lines = o.compressed.size_lines() * VALUES_PER_LINE * 4;
+            assert!(lines >= o.compressed.size_bytes());
+            assert!(lines < o.compressed.size_bytes() + 64);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Float↔fixed conversion (paper §3.3, after Saldanha et al. \[35\]).
+//!
+//! The compressor's internal fixed format is Q8.23: a signed 32-bit integer
+//! with 23 fractional bits, representing |v| < 256. Exponent biasing maps a
+//! float block's largest magnitude into [64, 128), so biased floats always
+//! fit with two bits of headroom (averages can never exceed the max).
+//!
+//! For `DataType::Fixed32` application data (Q16.16), the raw words are
+//! *already* fixed point and are "compressed directly" (paper §3.3): the
+//! internal fixed domain is then the data's own Q16.16 format, with i64
+//! arithmetic keeping sub-block sums exact.
+
+use crate::bias::{apply_bias, remove_bias};
+use avr_types::DataType;
+
+/// Fractional bits of the internal fixed format.
+pub const FRAC_BITS: u32 = 23;
+/// Fixed-domain representation: i64 to keep sub-block sums exact; each value
+/// nonetheless fits in i32 as the hardware would hold it.
+pub type Fixed = i64;
+
+const FIXED_MAX: i64 = i32::MAX as i64;
+const FIXED_MIN: i64 = i32::MIN as i64;
+
+/// Convert one raw word to the internal fixed format (1 cycle in hardware).
+///
+/// NaN converts to 0 — it can never pass the error check, so it always
+/// becomes an outlier and the garbage summary contribution is benign but
+/// must be *finite*.
+#[inline]
+pub fn to_fixed(raw: u32, dt: DataType, bias: i8) -> Fixed {
+    match dt {
+        DataType::F32 => {
+            let f = f32::from_bits(apply_bias(raw, bias));
+            if !f.is_finite() {
+                return 0;
+            }
+            let scaled = (f as f64) * (1u64 << FRAC_BITS) as f64;
+            (scaled.round() as i64).clamp(FIXED_MIN, FIXED_MAX)
+        }
+        // Fixed-point data is compressed directly in its native format.
+        DataType::Fixed32 => raw as i32 as i64,
+    }
+}
+
+/// Convert one internal fixed value back to the raw word format (1 cycle),
+/// removing the bias for floats.
+#[inline]
+pub fn from_fixed(v: Fixed, dt: DataType, bias: i8) -> u32 {
+    let v = v.clamp(FIXED_MIN, FIXED_MAX);
+    match dt {
+        DataType::F32 => {
+            let f = (v as f64) / (1u64 << FRAC_BITS) as f64;
+            remove_bias((f as f32).to_bits(), bias)
+        }
+        DataType::Fixed32 => (v.clamp(i32::MIN as i64, i32::MAX as i64) as i32) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::choose_bias;
+
+    #[test]
+    fn f32_round_trip_at_target_range() {
+        // Values already in [64,128) need no bias and round-trip to ~2^-23.
+        for v in [64.0f32, 100.125, 127.996] {
+            let fx = to_fixed(v.to_bits(), DataType::F32, 0);
+            let back = f32::from_bits(from_fixed(fx, DataType::F32, 0));
+            assert!((back - v).abs() <= v.abs() * 2.0 / (1 << 23) as f32, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn f32_biased_round_trip() {
+        let vals = [3.2e9f32, 1.1e9, 2.9e9];
+        let bits: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        let b = choose_bias(&bits).value();
+        assert_ne!(b, 0);
+        for v in vals {
+            let fx = to_fixed(v.to_bits(), DataType::F32, b);
+            let back = f32::from_bits(from_fixed(fx, DataType::F32, b));
+            let rel = ((back - v) / v).abs();
+            assert!(rel < 1e-5, "{v} -> {back} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn unbiased_out_of_range_saturates() {
+        // Without bias, 1e9 >> 256 saturates the fixed format...
+        let fx = to_fixed(1.0e9f32.to_bits(), DataType::F32, 0);
+        assert_eq!(fx, FIXED_MAX);
+        // ...and decodes to something near 256, i.e. a huge error the
+        // error-check stage will flag.
+        let back = f32::from_bits(from_fixed(fx, DataType::F32, 0));
+        assert!((255.0..=256.0).contains(&back));
+    }
+
+    #[test]
+    fn nan_becomes_zero_fixed() {
+        assert_eq!(to_fixed(f32::NAN.to_bits(), DataType::F32, 0), 0);
+    }
+
+    #[test]
+    fn negative_values() {
+        let v = -77.5f32;
+        let fx = to_fixed(v.to_bits(), DataType::F32, 0);
+        assert!(fx < 0);
+        let back = f32::from_bits(from_fixed(fx, DataType::F32, 0));
+        assert!((back - v).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixed32_round_trip_exact() {
+        // Native-format fixed data round-trips bit-exactly.
+        for raw in [0i32, 1, -1, 65536, -65536, i32::MAX, i32::MIN, (1000 << 16) + 42] {
+            let fx = to_fixed(raw as u32, DataType::Fixed32, 0);
+            assert_eq!(from_fixed(fx, DataType::Fixed32, 0), raw as u32);
+        }
+    }
+
+    #[test]
+    fn fixed32_out_of_range_internal_saturates_on_writeout() {
+        // Interpolation intermediates can exceed i32; write-out clamps.
+        assert_eq!(from_fixed(i32::MAX as i64 + 5, DataType::Fixed32, 0), i32::MAX as u32);
+        assert_eq!(from_fixed(i32::MIN as i64 - 5, DataType::Fixed32, 0), i32::MIN as u32);
+    }
+}

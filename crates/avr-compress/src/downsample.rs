@@ -1,0 +1,108 @@
+//! Downsampling compressor (paper §3.3, "Compression"; Fig. 5).
+//!
+//! The block's 256 values are partitioned into sixteen 16-value sub-blocks
+//! and each sub-block is replaced by its average, yielding the 16-value
+//! summary that fits one cacheline (16:1). Two layout variants are computed
+//! in parallel by the hardware and we model both:
+//!
+//! * **1-D**: the block is a linear array; sub-block `i` covers values
+//!   `[16i, 16i+16)`.
+//! * **2-D**: the block is a 16×16 row-major square; sub-blocks are 4×4
+//!   tiles, tile `(tr, tc)` covering rows `[4tr, 4tr+4)` × cols `[4tc, 4tc+4)`.
+
+use crate::block::{Layout, SUMMARY_VALUES};
+use crate::convert::Fixed;
+use avr_types::VALUES_PER_BLOCK;
+
+/// Side of the 2-D block view.
+pub const GRID: usize = 16;
+/// Side of a 2-D sub-block tile.
+pub const TILE: usize = 4;
+/// Values per sub-block (both layouts).
+pub const SUB_BLOCK: usize = 16;
+
+/// Map a value index to its sub-block for the given layout.
+#[inline]
+pub fn sub_block_of(layout: Layout, idx: usize) -> usize {
+    debug_assert!(idx < VALUES_PER_BLOCK);
+    match layout {
+        Layout::Linear1D => idx / SUB_BLOCK,
+        Layout::Square2D => {
+            let (r, c) = (idx / GRID, idx % GRID);
+            (r / TILE) * (GRID / TILE) + c / TILE
+        }
+    }
+}
+
+/// Average each sub-block, rounding to nearest (ties away from zero), as the
+/// fixed-point averaging tree would.
+pub fn downsample(layout: Layout, fixed: &[Fixed; VALUES_PER_BLOCK]) -> [Fixed; SUMMARY_VALUES] {
+    let mut sums = [0i64; SUMMARY_VALUES];
+    for (idx, &v) in fixed.iter().enumerate() {
+        sums[sub_block_of(layout, idx)] += v;
+    }
+    let mut out = [0i64; SUMMARY_VALUES];
+    for (o, s) in out.iter_mut().zip(&sums) {
+        // Round-to-nearest divide by 16.
+        let half = if *s >= 0 { SUB_BLOCK as i64 / 2 } else { -(SUB_BLOCK as i64) / 2 };
+        *o = (s + half) / SUB_BLOCK as i64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_partition_is_contiguous() {
+        for i in 0..VALUES_PER_BLOCK {
+            assert_eq!(sub_block_of(Layout::Linear1D, i), i / 16);
+        }
+    }
+
+    #[test]
+    fn square_partition_is_4x4_tiles() {
+        // Value at row 5, col 9 -> tile row 1, tile col 2 -> tile 6.
+        assert_eq!(sub_block_of(Layout::Square2D, 5 * 16 + 9), 6);
+        // Each tile has exactly 16 members.
+        let mut counts = [0usize; SUMMARY_VALUES];
+        for i in 0..VALUES_PER_BLOCK {
+            counts[sub_block_of(Layout::Square2D, i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 16));
+    }
+
+    #[test]
+    fn constant_block_averages_exactly() {
+        let fixed = [12345i64; VALUES_PER_BLOCK];
+        for layout in [Layout::Linear1D, Layout::Square2D] {
+            let s = downsample(layout, &fixed);
+            assert!(s.iter().all(|&v| v == 12345));
+        }
+    }
+
+    #[test]
+    fn linear_ramp_averages_midpoints() {
+        let mut fixed = [0i64; VALUES_PER_BLOCK];
+        for (i, v) in fixed.iter_mut().enumerate() {
+            *v = (i as i64) * 32;
+        }
+        let s = downsample(Layout::Linear1D, &fixed);
+        // Sub-block i covers 16i..16i+16, mean = 32*(16i + 7.5) = 512 i + 240.
+        for (i, &v) in s.iter().enumerate() {
+            assert_eq!(v, 512 * i as i64 + 240);
+        }
+    }
+
+    #[test]
+    fn negative_rounding_is_symmetric() {
+        let pos = [7i64; VALUES_PER_BLOCK];
+        let neg = [-7i64; VALUES_PER_BLOCK];
+        let sp = downsample(Layout::Linear1D, &pos);
+        let sn = downsample(Layout::Linear1D, &neg);
+        for (a, b) in sp.iter().zip(&sn) {
+            assert_eq!(*a, -*b);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Approximate reconstruction by interpolation (paper §3.3, Fig. 5).
+//!
+//! "For decompression, the average values are distributed evenly and
+//! bi-linear interpolation is applied to reconstruct the approximate values
+//! in-between." Each sub-block average is anchored at the sub-block's
+//! *center*; values between anchors interpolate linearly (1-D layout) or
+//! bilinearly (2-D layout), and values outside the outermost anchors clamp
+//! to the nearest anchor (flat extrapolation).
+//!
+//! All arithmetic is integer fixed-point, exactly as the hardware pipeline
+//! would compute it. Coordinates are scaled by 2 so the half-integer anchor
+//! centers stay integral.
+
+use crate::block::{Layout, SUMMARY_VALUES};
+use crate::convert::Fixed;
+use crate::downsample::{GRID, SUB_BLOCK, TILE};
+use avr_types::VALUES_PER_BLOCK;
+
+/// 1-D anchor of sub-block `i`, in x2 coordinates: 2*(16i + 7.5).
+#[inline]
+fn anchor_1d(i: usize) -> i64 {
+    (2 * SUB_BLOCK * i + SUB_BLOCK - 1) as i64
+}
+
+/// 2-D anchor of tile index `t` along one axis, in x2 coordinates:
+/// 2*(4t + 1.5).
+#[inline]
+fn anchor_2d(t: usize) -> i64 {
+    (2 * TILE * t + TILE - 1) as i64
+}
+
+/// Locate `pos` (x2 coordinates) between anchors spaced `step` apart:
+/// returns (left anchor index, weight toward the right anchor in [0, step)).
+#[inline]
+fn locate(pos: i64, first_anchor: i64, step: i64, last_idx: usize) -> (usize, i64) {
+    if pos <= first_anchor {
+        return (0, 0);
+    }
+    let span = pos - first_anchor;
+    let idx = (span / step) as usize;
+    if idx >= last_idx {
+        return (last_idx, 0);
+    }
+    (idx, span % step)
+}
+
+/// Linear interpolation with round-to-nearest.
+#[inline]
+fn lerp(a: i64, b: i64, w: i64, step: i64) -> i64 {
+    let num = a * (step - w) + b * w;
+    // round-to-nearest for possibly-negative numerators
+    if num >= 0 {
+        (num + step / 2) / step
+    } else {
+        (num - step / 2) / step
+    }
+}
+
+/// Reconstruct the full 256-value block from its 16-value summary.
+pub fn reconstruct_summary(
+    layout: Layout,
+    summary: &[Fixed; SUMMARY_VALUES],
+) -> [Fixed; VALUES_PER_BLOCK] {
+    let mut out = [0i64; VALUES_PER_BLOCK];
+    match layout {
+        Layout::Linear1D => {
+            let step = 2 * SUB_BLOCK as i64;
+            for (x, o) in out.iter_mut().enumerate() {
+                let (i, w) = locate(2 * x as i64, anchor_1d(0), step, SUMMARY_VALUES - 1);
+                *o = if w == 0 { summary[i] } else { lerp(summary[i], summary[i + 1], w, step) };
+            }
+        }
+        Layout::Square2D => {
+            let tiles = GRID / TILE; // 4x4 grid of tiles
+            let step = 2 * TILE as i64;
+            for r in 0..GRID {
+                let (tr, wr) = locate(2 * r as i64, anchor_2d(0), step, tiles - 1);
+                for c in 0..GRID {
+                    let (tc, wc) = locate(2 * c as i64, anchor_2d(0), step, tiles - 1);
+                    let s = |a: usize, b: usize| summary[a * tiles + b];
+                    // Interpolate along columns first, then rows.
+                    let top = if wc == 0 {
+                        s(tr, tc)
+                    } else {
+                        lerp(s(tr, tc), s(tr, tc + 1), wc, step)
+                    };
+                    let v = if wr == 0 {
+                        top
+                    } else {
+                        let bot = if wc == 0 {
+                            s(tr + 1, tc)
+                        } else {
+                            lerp(s(tr + 1, tc), s(tr + 1, tc + 1), wc, step)
+                        };
+                        lerp(top, bot, wr, step)
+                    };
+                    out[r * GRID + c] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::downsample::downsample;
+
+    #[test]
+    fn constant_summary_reconstructs_constant() {
+        let summary = [999i64; SUMMARY_VALUES];
+        for layout in [Layout::Linear1D, Layout::Square2D] {
+            let r = reconstruct_summary(layout, &summary);
+            assert!(r.iter().all(|&v| v == 999));
+        }
+    }
+
+    #[test]
+    fn linear_ramp_reconstructs_nearly_exactly() {
+        // A perfectly linear signal is reproduced exactly by linear
+        // interpolation between sub-block means (up to edge clamping).
+        let mut fixed = [0i64; VALUES_PER_BLOCK];
+        for (i, v) in fixed.iter_mut().enumerate() {
+            *v = 1000 + (i as i64) * 64;
+        }
+        let s = downsample(Layout::Linear1D, &fixed);
+        let r = reconstruct_summary(Layout::Linear1D, &s);
+        for (i, (&orig, &rec)) in fixed.iter().zip(&r).enumerate() {
+            // Interior: exact (the mean sits at the segment midpoint).
+            // Edges (first/last 8 values): clamped flat, bounded error.
+            if (8..VALUES_PER_BLOCK - 8).contains(&i) {
+                assert!((orig - rec).abs() <= 32, "i={i} {orig} vs {rec}");
+            } else {
+                assert!((orig - rec).abs() <= 64 * 8, "edge i={i} {orig} vs {rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn planar_2d_field_reconstructs_interior_exactly() {
+        // f(r,c) = a*r + b*c + k is affine; bilinear interpolation between
+        // tile means reproduces it exactly away from the clamped border.
+        let (a, b, k) = (48i64, -32i64, 5_000i64);
+        let mut fixed = [0i64; VALUES_PER_BLOCK];
+        for r in 0..GRID {
+            for c in 0..GRID {
+                fixed[r * GRID + c] = a * r as i64 + b * c as i64 + k;
+            }
+        }
+        let s = downsample(Layout::Square2D, &fixed);
+        let rec = reconstruct_summary(Layout::Square2D, &s);
+        for r in 2..GRID - 2 {
+            for c in 2..GRID - 2 {
+                let i = r * GRID + c;
+                assert!(
+                    (fixed[i] - rec[i]).abs() <= 8,
+                    "({r},{c}): {} vs {}",
+                    fixed[i],
+                    rec[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edges_clamp_to_nearest_anchor() {
+        let mut summary = [0i64; SUMMARY_VALUES];
+        summary[0] = 500;
+        summary[SUMMARY_VALUES - 1] = -500;
+        let r = reconstruct_summary(Layout::Linear1D, &summary);
+        // Positions 0..=7 sit at/before the first anchor.
+        for &v in &r[0..8] {
+            assert_eq!(v, 500);
+        }
+        // Positions 248..=255 sit at/after the last anchor.
+        for &v in &r[248..256] {
+            assert_eq!(v, -500);
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_within_summary_bounds() {
+        // Convexity: every reconstructed value lies within [min, max] of the
+        // summary for both layouts.
+        let mut summary = [0i64; SUMMARY_VALUES];
+        for (i, s) in summary.iter_mut().enumerate() {
+            *s = ((i as i64 * 7919) % 1000) - 500;
+        }
+        let (lo, hi) = (*summary.iter().min().unwrap(), *summary.iter().max().unwrap());
+        for layout in [Layout::Linear1D, Layout::Square2D] {
+            for v in reconstruct_summary(layout, &summary) {
+                assert!(v >= lo - 1 && v <= hi + 1, "{v} outside [{lo},{hi}]");
+            }
+        }
+    }
+}

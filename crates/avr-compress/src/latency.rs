@@ -1,0 +1,81 @@
+//! Pipeline latency model.
+//!
+//! The paper implemented the compressor/decompressor in RTL and synthesized
+//! it (Synopsys, 32 nm) to obtain cycle counts, which its simulator then
+//! consumed. We consume the same published numbers (§3.3):
+//!
+//! | stage                          | cycles |
+//! |--------------------------------|--------|
+//! | biasing                        | 4      |
+//! | float→fixed / fixed→float      | 1 each |
+//! | downsampling compression       | 15     |
+//! | interpolation decompression    | 10     |
+//! | unbias                         | 1      |
+//! | error check (comparators)      | 1      |
+//! | outlier select + compact       | 16     |
+//! | avg-error computation          | (overlapped with select) |
+//! | **total compression**          | **49** |
+//! | **total decompression**        | **12** |
+
+/// Cycle costs of the AVR compressor/decompressor module, in CPU cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latency {
+    pub bias: u64,
+    pub float_to_fixed: u64,
+    pub downsample: u64,
+    pub interpolate: u64,
+    pub fixed_to_float: u64,
+    pub unbias: u64,
+    pub error_check: u64,
+    pub outlier_select: u64,
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency {
+            bias: 4,
+            float_to_fixed: 1,
+            downsample: 15,
+            interpolate: 10,
+            fixed_to_float: 1,
+            unbias: 1,
+            error_check: 1,
+            outlier_select: 16,
+        }
+    }
+}
+
+impl Latency {
+    /// Total block-compression latency. The compressor must decompress its
+    /// own output to find the outliers (Fig. 4), so the check path is on the
+    /// critical path: bias(4) + f2x(1) + downsample(15) + interpolate(10) +
+    /// x2f(1) + unbias(1) + check(1) + select/compact(16) = 49.
+    pub fn compress_total(&self) -> u64 {
+        self.bias
+            + self.float_to_fixed
+            + self.downsample
+            + self.interpolate
+            + self.fixed_to_float
+            + self.unbias
+            + self.error_check
+            + self.outlier_select
+    }
+
+    /// Total block-decompression latency: interpolate(10) + x2f(1) +
+    /// unbias(1) = 12.
+    pub fn decompress_total(&self) -> u64 {
+        self.interpolate + self.fixed_to_float + self.unbias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_totals() {
+        let l = Latency::default();
+        assert_eq!(l.compress_total(), 49);
+        assert_eq!(l.decompress_total(), 12);
+    }
+}

@@ -1,0 +1,32 @@
+//! The AVR lossy codec (paper §3.3, Fig. 4–5).
+//!
+//! A 1 KB memory block (256 × 32-bit values) is *summarized* by downsampling
+//! 16:1: the block is partitioned into sixteen 16-value sub-blocks (either a
+//! linear 1-D layout or a 16×16 2-D layout split into 4×4 tiles) and each
+//! sub-block is replaced by its average. Reconstruction interpolates between
+//! the averages (linear / bilinear). Values whose reconstruction error exceeds
+//! the per-value threshold T1 are kept exact as *outliers*, located by a
+//! 256-bit bitmap. The whole pipeline runs in fixed point; floating-point
+//! blocks are exponent-*biased* and converted first.
+//!
+//! The compressed layout (paper Fig. 2a):
+//! - line 0: the 16-value summary,
+//! - line 1 (first half): the outlier bitmap — present only when outliers exist,
+//! - line 1 (second half) onward: the outliers, packed in block order,
+//! - remaining lines: free space for lazily evicted uncompressed lines.
+
+pub mod bias;
+pub mod block;
+pub mod codec;
+pub mod convert;
+pub mod downsample;
+pub mod error;
+pub mod interp;
+pub mod latency;
+pub mod outlier;
+
+pub use bias::choose_bias;
+pub use block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};
+pub use codec::{compress, decompress, reconstruct, CompressFailure, CompressOutcome, Compressor};
+pub use error::{ErrorCheck, Thresholds};
+pub use latency::Latency;

@@ -1,0 +1,112 @@
+//! Outlier bitmap construction and compaction (paper §3.3).
+//!
+//! The error-check comparators produce one outlier bit per value in a single
+//! cycle; a 16-cycle pass (one per uncompressed cacheline) then selects and
+//! compacts the outliers into the compressed block, in ascending block order.
+
+use avr_types::VALUES_PER_BLOCK;
+
+/// Bitmap words covering one block (256 bits).
+pub const BITMAP_WORDS: usize = VALUES_PER_BLOCK / 64;
+
+/// Build the bitmap from per-value outlier flags.
+pub fn build_bitmap(flags: &[bool; VALUES_PER_BLOCK]) -> [u64; BITMAP_WORDS] {
+    let mut bm = [0u64; BITMAP_WORDS];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            bm[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    bm
+}
+
+/// Select and pack the outlier words in ascending block order.
+pub fn compact_outliers(words: &[u32; VALUES_PER_BLOCK], bitmap: &[u64; BITMAP_WORDS]) -> Vec<u32> {
+    let count: usize = bitmap.iter().map(|w| w.count_ones() as usize).sum();
+    let mut out = Vec::with_capacity(count);
+    for (i, &w) in words.iter().enumerate() {
+        if (bitmap[i / 64] >> (i % 64)) & 1 == 1 {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Scatter packed outliers back over a reconstructed block (decompressor
+/// side: "the outliers are placed according to their bitmap on the buffer").
+pub fn scatter_outliers(
+    recon: &mut [u32; VALUES_PER_BLOCK],
+    bitmap: &[u64; BITMAP_WORDS],
+    outliers: &[u32],
+) {
+    let mut next = 0usize;
+    for (i, slot) in recon.iter_mut().enumerate() {
+        if (bitmap[i / 64] >> (i % 64)) & 1 == 1 {
+            *slot = outliers[next];
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, outliers.len(), "bitmap popcount must equal outlier count");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_popcount_matches_flags() {
+        let mut flags = [false; VALUES_PER_BLOCK];
+        for i in (0..VALUES_PER_BLOCK).step_by(17) {
+            flags[i] = true;
+        }
+        let bm = build_bitmap(&flags);
+        let pop: usize = bm.iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(pop, flags.iter().filter(|&&f| f).count());
+    }
+
+    #[test]
+    fn compact_then_scatter_round_trips() {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = i as u32 * 3 + 1;
+        }
+        let mut flags = [false; VALUES_PER_BLOCK];
+        for i in [0, 5, 63, 64, 128, 255] {
+            flags[i] = true;
+        }
+        let bm = build_bitmap(&flags);
+        let packed = compact_outliers(&words, &bm);
+        assert_eq!(packed.len(), 6);
+
+        let mut recon = [0u32; VALUES_PER_BLOCK];
+        scatter_outliers(&mut recon, &bm, &packed);
+        for i in 0..VALUES_PER_BLOCK {
+            if flags[i] {
+                assert_eq!(recon[i], words[i]);
+            } else {
+                assert_eq!(recon[i], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn packing_preserves_block_order() {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = i as u32;
+        }
+        let mut flags = [false; VALUES_PER_BLOCK];
+        flags[200] = true;
+        flags[10] = true;
+        flags[77] = true;
+        let bm = build_bitmap(&flags);
+        assert_eq!(compact_outliers(&words, &bm), vec![10, 77, 200]);
+    }
+
+    #[test]
+    fn empty_bitmap_packs_nothing() {
+        let words = [9u32; VALUES_PER_BLOCK];
+        let bm = [0u64; BITMAP_WORDS];
+        assert!(compact_outliers(&words, &bm).is_empty());
+    }
+}

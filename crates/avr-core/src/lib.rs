@@ -1,0 +1,25 @@
+//! The AVR architecture (paper §3) assembled into runnable full systems,
+//! plus the four comparison designs of §4.1.
+//!
+//! The crate's central type is [`System`]: an execution-driven simulator of
+//! one core (or one SPMD shard of a CMP) with an L1/L2/LLC hierarchy, a
+//! DDR4 main memory, and — depending on [`avr_types::DesignKind`] — the AVR
+//! compressor/decompressor layer, CMT, DBUF and prefetch engine between the
+//! LLC and the memory controller (Fig. 1).
+//!
+//! Workloads drive a system through the [`Vm`] trait (reads, writes,
+//! compute) and the system produces a [`avr_sim::RunMetrics`] with every
+//! statistic the paper's tables and figures need.
+
+pub mod avr_ops;
+pub mod multicore;
+pub mod overhead;
+pub mod system;
+pub mod vm_api;
+
+pub use multicore::{run_multicore, MulticoreRun, ShardedWorkload};
+pub use overhead::OverheadReport;
+pub use system::System;
+pub use vm_api::{ExactVm, Vm};
+
+pub use avr_types::{DesignKind, SystemConfig};

@@ -1,0 +1,117 @@
+//! The workload-facing virtual-machine interface.
+//!
+//! Workloads are ordinary Rust programs written against `&mut dyn Vm`: they
+//! allocate regions (optionally approximable), load/store 32-bit values and
+//! report their non-memory instruction counts. The same workload source
+//! runs on the timed [`crate::System`] (any design) and on [`ExactVm`] (a
+//! functional, loss-free executor used as the golden reference for output-
+//! error measurement, Table 3).
+
+use avr_sim::vm::{AddressSpace, PhysMem, Region};
+use avr_types::{DataType, PhysAddr};
+
+/// What a workload needs from the machine.
+pub trait Vm {
+    /// Allocate precise (non-approximable) memory.
+    fn malloc(&mut self, len_bytes: usize) -> Region;
+
+    /// Allocate approximable memory of the given datatype (the paper's
+    /// annotated-malloc wrapper, §3.1/§4.1).
+    fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region;
+
+    /// Timed 32-bit load.
+    fn read_u32(&mut self, addr: PhysAddr) -> u32;
+
+    /// Timed 32-bit store.
+    fn write_u32(&mut self, addr: PhysAddr, val: u32);
+
+    /// Account `n` non-memory instructions (ALU/FP work between accesses).
+    fn compute(&mut self, n: u64);
+
+    /// Convenience: f32 load.
+    fn read_f32(&mut self, addr: PhysAddr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Convenience: f32 store.
+    fn write_f32(&mut self, addr: PhysAddr, val: f32) {
+        self.write_u32(addr, val.to_bits());
+    }
+}
+
+/// Functional executor: exact values, no timing. The golden reference.
+#[derive(Default)]
+pub struct ExactVm {
+    pub mem: PhysMem,
+    pub space: AddressSpace,
+    pub instructions: u64,
+}
+
+impl ExactVm {
+    pub fn new() -> Self {
+        ExactVm::default()
+    }
+}
+
+impl Vm for ExactVm {
+    fn malloc(&mut self, len_bytes: usize) -> Region {
+        self.space.malloc(len_bytes)
+    }
+
+    fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
+        // The golden run ignores approximability but keeps the layout
+        // identical so addresses line up between runs.
+        self.space.approx_malloc(len_bytes, dt)
+    }
+
+    fn read_u32(&mut self, addr: PhysAddr) -> u32 {
+        self.instructions += 1;
+        self.mem.read_u32(addr)
+    }
+
+    fn write_u32(&mut self, addr: PhysAddr, val: u32) {
+        self.instructions += 1;
+        self.mem.write_u32(addr, val);
+    }
+
+    fn compute(&mut self, n: u64) {
+        self.instructions += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_vm_reads_what_it_wrote() {
+        let mut vm = ExactVm::new();
+        let r = vm.approx_malloc(4096, DataType::F32);
+        vm.write_f32(r.base, 1.5);
+        vm.write_f32(PhysAddr(r.base.0 + 4), -2.5);
+        assert_eq!(vm.read_f32(r.base), 1.5);
+        assert_eq!(vm.read_f32(PhysAddr(r.base.0 + 4)), -2.5);
+        assert_eq!(vm.instructions, 4);
+    }
+
+    #[test]
+    fn layout_matches_between_allocators() {
+        // Identical allocation sequences produce identical addresses, so
+        // the exact run and the timed run can be compared element-wise.
+        let mut a = ExactVm::new();
+        let mut b = ExactVm::new();
+        let r1 = a.malloc(100);
+        let r2 = b.malloc(100);
+        assert_eq!(r1.base, r2.base);
+        let r3 = a.approx_malloc(8192, DataType::F32);
+        let r4 = b.approx_malloc(8192, DataType::F32);
+        assert_eq!(r3.base, r4.base);
+    }
+
+    #[test]
+    fn compute_counts_instructions() {
+        let mut vm = ExactVm::new();
+        vm.compute(500);
+        assert_eq!(vm.instructions, 500);
+    }
+}

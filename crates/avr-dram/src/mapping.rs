@@ -1,0 +1,106 @@
+//! Physical-address → (channel, bank, row, column) mapping.
+//!
+//! Layout (from cacheline-address LSB upward):
+//! `[channel][column][bank][row]` — consecutive cachelines alternate
+//! channels for bandwidth, runs of lines within a channel stay in one row
+//! for locality, and row bits live on top so large strides spread across
+//! rows.
+
+use avr_types::{DramParams, LineAddr, CL_BYTES};
+
+/// Decoded DRAM coordinates of one cacheline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Location {
+    pub channel: usize,
+    pub bank: usize,
+    pub row: u64,
+    pub col: u64,
+}
+
+/// Bit-slicing mapping derived from [`DramParams`].
+#[derive(Clone, Debug)]
+pub struct AddressMapping {
+    ch_bits: u32,
+    col_bits: u32,
+    bank_bits: u32,
+    row_mask: u64,
+}
+
+impl AddressMapping {
+    pub fn new(p: &DramParams) -> Self {
+        assert!(p.channels.is_power_of_two(), "channel count must be a power of two");
+        assert!(p.banks_per_channel.is_power_of_two(), "bank count must be a power of two");
+        let lines_per_row = p.row_bytes / CL_BYTES;
+        assert!(lines_per_row.is_power_of_two() && lines_per_row > 0);
+        AddressMapping {
+            ch_bits: p.channels.trailing_zeros(),
+            col_bits: lines_per_row.trailing_zeros(),
+            bank_bits: p.banks_per_channel.trailing_zeros(),
+            row_mask: (p.rows_per_bank as u64) - 1,
+        }
+    }
+
+    #[inline]
+    pub fn locate(&self, line: LineAddr) -> Location {
+        let mut a = line.0;
+        let channel = (a & ((1 << self.ch_bits) - 1)) as usize;
+        a >>= self.ch_bits;
+        let col = a & ((1 << self.col_bits) - 1);
+        a >>= self.col_bits;
+        let bank = (a & ((1 << self.bank_bits) - 1)) as usize;
+        a >>= self.bank_bits;
+        let row = a & self.row_mask;
+        Location { channel, bank, row, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(&DramParams::default())
+    }
+
+    #[test]
+    fn consecutive_lines_alternate_channels() {
+        let m = mapping();
+        let a = m.locate(LineAddr(0));
+        let b = m.locate(LineAddr(1));
+        assert_ne!(a.channel, b.channel);
+    }
+
+    #[test]
+    fn lines_within_channel_share_row() {
+        let m = mapping();
+        // Lines 0, 2, 4, ... land on channel 0; the first 32 of them share
+        // a row (row_bytes = 2048 -> 32 lines/row).
+        let first = m.locate(LineAddr(0));
+        for i in 1..32u64 {
+            let loc = m.locate(LineAddr(2 * i));
+            assert_eq!(loc.channel, first.channel);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.row, first.row);
+        }
+        // The 33rd crosses into the next bank (or row).
+        let beyond = m.locate(LineAddr(64));
+        assert!(beyond.bank != first.bank || beyond.row != first.row);
+    }
+
+    #[test]
+    fn mapping_is_injective_on_a_window() {
+        let m = mapping();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8192u64 {
+            let l = m.locate(LineAddr(i));
+            assert!(seen.insert((l.channel, l.bank, l.row, l.col)), "collision at line {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let p = DramParams { channels: 3, ..Default::default() };
+        let r = std::panic::catch_unwind(|| AddressMapping::new(&p));
+        assert!(r.is_err());
+    }
+}

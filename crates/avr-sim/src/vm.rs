@@ -1,0 +1,295 @@
+//! Backing-store physical memory and the approximable address space.
+//!
+//! The paper's simulator "not only emulate\[s\] the memory accesses but ...
+//! actually update\[s\] the values of the memory contents" so approximation
+//! error propagates into the application. We do the same: `PhysMem` is the
+//! single authoritative value store; caches track presence only, and lossy
+//! events (compression, truncation, dedup) rewrite `PhysMem` at the
+//! architecturally correct moment.
+//!
+//! `AddressSpace` is the `malloc`-wrapper of §4.1: page-aligned bump
+//! allocation with regions optionally registered as approximable (the OS
+//! page-table/TLB approx bit of §3.1).
+
+use avr_types::{BlockData, CacheLine, DataType, LineAddr, PhysAddr, CL_BYTES, VALUES_PER_LINE};
+use avr_types::addr::{BLOCK_BYTES, PAGE_BYTES};
+use avr_types::BlockAddr;
+
+/// Flat word-granularity physical memory, grown on demand.
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    words: Vec<u32>,
+}
+
+impl PhysMem {
+    pub fn new() -> Self {
+        PhysMem::default()
+    }
+
+    #[inline]
+    fn word_index(addr: PhysAddr) -> usize {
+        debug_assert_eq!(addr.0 % 4, 0, "accesses are 4-byte aligned ({addr:?})");
+        (addr.0 / 4) as usize
+    }
+
+    fn ensure(&mut self, word_idx: usize) {
+        if word_idx >= self.words.len() {
+            self.words.resize((word_idx + 1).next_power_of_two(), 0);
+        }
+    }
+
+    /// Read one 32-bit word.
+    #[inline]
+    pub fn read_u32(&self, addr: PhysAddr) -> u32 {
+        let i = Self::word_index(addr);
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Write one 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: PhysAddr, val: u32) {
+        let i = Self::word_index(addr);
+        self.ensure(i);
+        self.words[i] = val;
+    }
+
+    /// Read a whole cacheline.
+    pub fn read_line(&self, line: LineAddr) -> CacheLine {
+        let base = Self::word_index(line.base());
+        let mut out = CacheLine::ZERO;
+        for (k, w) in out.words.iter_mut().enumerate() {
+            *w = self.words.get(base + k).copied().unwrap_or(0);
+        }
+        out
+    }
+
+    /// Write a whole cacheline.
+    pub fn write_line(&mut self, line: LineAddr, data: &CacheLine) {
+        let base = Self::word_index(line.base());
+        self.ensure(base + VALUES_PER_LINE - 1);
+        self.words[base..base + VALUES_PER_LINE].copy_from_slice(&data.words);
+    }
+
+    /// Read a whole 1 KB memory block.
+    pub fn read_block(&self, block: BlockAddr) -> BlockData {
+        let base = Self::word_index(block.base());
+        let mut out = BlockData::default();
+        for (k, w) in out.words.iter_mut().enumerate() {
+            *w = self.words.get(base + k).copied().unwrap_or(0);
+        }
+        out
+    }
+
+    /// Write a whole 1 KB memory block.
+    pub fn write_block(&mut self, block: BlockAddr, data: &BlockData) {
+        let base = Self::word_index(block.base());
+        self.ensure(base + data.words.len() - 1);
+        self.words[base..base + data.words.len()].copy_from_slice(&data.words);
+    }
+
+    /// Allocated capacity in bytes (diagnostics).
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+/// One registered allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub base: PhysAddr,
+    pub len_bytes: usize,
+    /// `Some(dt)` when the region is approximable.
+    pub approx: Option<DataType>,
+}
+
+impl Region {
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        let a = line.base().0;
+        a >= self.base.0 && a < self.base.0 + self.len_bytes as u64
+    }
+
+    pub fn end(&self) -> PhysAddr {
+        PhysAddr(self.base.0 + self.len_bytes as u64)
+    }
+}
+
+/// Page-aligned bump allocator + approximable-region registry.
+///
+/// The first page is left unmapped so address 0 stays invalid.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    next: u64,
+    regions: Vec<Region>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace { next: PAGE_BYTES as u64, regions: Vec::new() }
+    }
+}
+
+impl AddressSpace {
+    pub fn new() -> Self {
+        AddressSpace::default()
+    }
+
+    fn alloc_inner(&mut self, len_bytes: usize, approx: Option<DataType>) -> Region {
+        assert!(len_bytes > 0);
+        let base = PhysAddr(self.next);
+        let pages = len_bytes.div_ceil(PAGE_BYTES);
+        self.next += (pages * PAGE_BYTES) as u64;
+        let r = Region { base, len_bytes, approx };
+        self.regions.push(r);
+        r
+    }
+
+    /// Plain allocation (precise data).
+    pub fn malloc(&mut self, len_bytes: usize) -> Region {
+        self.alloc_inner(len_bytes, None)
+    }
+
+    /// The paper's wrapper: page-aligned allocation registered approximable
+    /// with its datatype.
+    pub fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
+        self.alloc_inner(len_bytes, Some(dt))
+    }
+
+    /// Is this line approximable, and if so with which datatype? (The
+    /// TLB/page-table approx bit of §3.1.)
+    pub fn approx_of_line(&self, line: LineAddr) -> Option<DataType> {
+        self.regions
+            .iter()
+            .find(|r| r.approx.is_some() && r.contains_line(line))
+            .and_then(|r| r.approx)
+    }
+
+    /// All registered regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total allocated bytes, and the approximable subset: the inputs to
+    /// the Table 4 footprint computation.
+    pub fn footprint(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut approx = 0u64;
+        for r in &self.regions {
+            total += r.len_bytes as u64;
+            if r.approx.is_some() {
+                approx += r.len_bytes as u64;
+            }
+        }
+        (total, approx)
+    }
+
+    /// Iterate the approximable blocks of every approx region (Table 4
+    /// compression-ratio sweeps).
+    pub fn approx_blocks(&self) -> impl Iterator<Item = (BlockAddr, DataType)> + '_ {
+        self.regions.iter().filter(|r| r.approx.is_some()).flat_map(|r| {
+            let dt = r.approx.unwrap();
+            let first = r.base.block().0;
+            let last = (r.base.0 + r.len_bytes as u64 - 1) >> 10;
+            (first..=last).map(move |b| (BlockAddr(b), dt))
+        })
+    }
+}
+
+/// Bytes per block re-exported for footprint math.
+pub const BYTES_PER_BLOCK: usize = BLOCK_BYTES;
+/// Cacheline size re-exported.
+pub const BYTES_PER_LINE: usize = CL_BYTES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        let mut m = PhysMem::new();
+        m.write_u32(PhysAddr(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(PhysAddr(0x1000)), 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(PhysAddr(0x1004)), 0);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let mut m = PhysMem::new();
+        let mut cl = CacheLine::ZERO;
+        for (i, w) in cl.words.iter_mut().enumerate() {
+            *w = i as u32 + 7;
+        }
+        let line = LineAddr(0x99);
+        m.write_line(line, &cl);
+        assert_eq!(m.read_line(line), cl);
+        // Word view agrees with line view.
+        assert_eq!(m.read_u32(PhysAddr(line.base().0 + 8)), 9);
+    }
+
+    #[test]
+    fn block_round_trip_and_line_consistency() {
+        let mut m = PhysMem::new();
+        let mut b = BlockData::default();
+        for (i, w) in b.words.iter_mut().enumerate() {
+            *w = (i * 3) as u32;
+        }
+        let block = BlockAddr(0x12);
+        m.write_block(block, &b);
+        assert_eq!(m.read_block(block), b);
+        for i in 0..16 {
+            assert_eq!(m.read_line(block.line(i)), b.line(i));
+        }
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = PhysMem::new();
+        assert_eq!(m.read_u32(PhysAddr(1 << 30)), 0);
+        assert_eq!(m.read_block(BlockAddr(1 << 20)), BlockData::default());
+    }
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut a = AddressSpace::new();
+        let r1 = a.malloc(100);
+        let r2 = a.approx_malloc(5000, DataType::F32);
+        let r3 = a.malloc(1);
+        assert_eq!(r1.base.0 % PAGE_BYTES as u64, 0);
+        assert_eq!(r2.base.0 % PAGE_BYTES as u64, 0);
+        assert!(r2.base.0 >= r1.base.0 + PAGE_BYTES as u64);
+        assert!(r3.base.0 >= r2.base.0 + 2 * PAGE_BYTES as u64, "5000 B spans 2 pages");
+        assert!(r1.base.0 > 0, "page 0 unmapped");
+    }
+
+    #[test]
+    fn approx_bit_follows_regions() {
+        let mut a = AddressSpace::new();
+        let precise = a.malloc(4096);
+        let approx = a.approx_malloc(4096, DataType::F32);
+        assert_eq!(a.approx_of_line(precise.base.line()), None);
+        assert_eq!(a.approx_of_line(approx.base.line()), Some(DataType::F32));
+        // A line past the approx region's end is not approximable.
+        let past = LineAddr(approx.end().line().0);
+        assert_eq!(a.approx_of_line(past), None);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mut a = AddressSpace::new();
+        a.malloc(8192);
+        a.approx_malloc(4096, DataType::F32);
+        a.approx_malloc(2048, DataType::Fixed32);
+        let (total, approx) = a.footprint();
+        assert_eq!(total, 8192 + 4096 + 2048);
+        assert_eq!(approx, 4096 + 2048);
+    }
+
+    #[test]
+    fn approx_blocks_enumerates_all_blocks() {
+        let mut a = AddressSpace::new();
+        let r = a.approx_malloc(4096, DataType::F32); // exactly 4 blocks
+        let blocks: Vec<_> = a.approx_blocks().collect();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].0, r.base.block());
+        assert!(blocks.iter().all(|(_, dt)| *dt == DataType::F32));
+    }
+}

@@ -1,0 +1,184 @@
+//! Physical-address arithmetic.
+//!
+//! The paper's address breakdown (Fig. 6): 6 bits of byte offset, then a 4-bit
+//! cacheline offset within the 16-line memory block, then the LLC index bits,
+//! then the block tag. These helpers are the single source of truth for that
+//! split; the caches and the VM both use them.
+
+/// Bytes per cacheline — the granularity of accessing main memory.
+pub const CL_BYTES: usize = 64;
+/// log2 of [`CL_BYTES`].
+pub const BYTE_OFFSET_BITS: u32 = 6;
+/// Cachelines per AVR memory block (a quarter of a 4 KB page).
+pub const LINES_PER_BLOCK: usize = 16;
+/// log2 of [`LINES_PER_BLOCK`]: the cacheline-offset field width.
+pub const CL_OFFSET_BITS: u32 = 4;
+/// Bytes per AVR memory block.
+pub const BLOCK_BYTES: usize = CL_BYTES * LINES_PER_BLOCK;
+/// Bytes per page.
+pub const PAGE_BYTES: usize = 4096;
+/// AVR memory blocks per page.
+pub const BLOCKS_PER_PAGE: usize = PAGE_BYTES / BLOCK_BYTES;
+
+/// A byte-granularity physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A cacheline-granularity address (the physical address shifted right by 6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+/// A memory-block-granularity address (the physical address shifted right by 10).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl PhysAddr {
+    /// The containing cacheline.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> BYTE_OFFSET_BITS)
+    }
+
+    /// The containing AVR memory block.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> (BYTE_OFFSET_BITS + CL_OFFSET_BITS))
+    }
+
+    /// Byte offset within the cacheline.
+    #[inline]
+    pub fn byte_offset(self) -> usize {
+        (self.0 & (CL_BYTES as u64 - 1)) as usize
+    }
+
+    /// Page number (4 KB pages).
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 >> 12
+    }
+}
+
+impl LineAddr {
+    /// Full byte address of the first byte of this line.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << BYTE_OFFSET_BITS)
+    }
+
+    /// The containing memory block.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> CL_OFFSET_BITS)
+    }
+
+    /// The 4-bit cacheline offset within the memory block — the paper's
+    /// "tag suffix" / `CL-id` for uncompressed cachelines.
+    #[inline]
+    pub fn cl_offset(self) -> usize {
+        (self.0 & (LINES_PER_BLOCK as u64 - 1)) as usize
+    }
+
+    /// Page number (4 KB pages).
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 >> (12 - BYTE_OFFSET_BITS)
+    }
+}
+
+impl BlockAddr {
+    /// Byte address of the first byte of this block.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << (BYTE_OFFSET_BITS + CL_OFFSET_BITS))
+    }
+
+    /// The `i`-th cacheline of this block.
+    #[inline]
+    pub fn line(self, i: usize) -> LineAddr {
+        debug_assert!(i < LINES_PER_BLOCK);
+        LineAddr((self.0 << CL_OFFSET_BITS) | i as u64)
+    }
+
+    /// Page number (4 KB pages).
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 >> 2
+    }
+
+    /// Index of this block within its page (0..4).
+    #[inline]
+    pub fn index_in_page(self) -> usize {
+        (self.0 & 3) as usize
+    }
+}
+
+impl core::fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PA({:#x})", self.0)
+    }
+}
+impl core::fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CL({:#x})", self.0)
+    }
+}
+impl core::fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BLK({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_breakdown() {
+        // Fig. 6: UCL address 0xA4B2 (line-granular in the figure). We encode
+        // the same relationship: line 0xA4B2 belongs to block 0xA4B and has
+        // cl offset 0x2.
+        let ucl = LineAddr(0xA4B2);
+        assert_eq!(ucl.block(), BlockAddr(0xA4B));
+        assert_eq!(ucl.cl_offset(), 0x2);
+        assert_eq!(ucl.block().line(2), ucl);
+    }
+
+    #[test]
+    fn byte_to_line_to_block_round_trip() {
+        let pa = PhysAddr(0x1234_5678);
+        assert_eq!(pa.line().base().0, pa.0 & !0x3F);
+        assert_eq!(pa.block().base().0, pa.0 & !0x3FF);
+        assert_eq!(pa.line().block(), pa.block());
+    }
+
+    #[test]
+    fn blocks_per_page_is_four() {
+        assert_eq!(BLOCKS_PER_PAGE, 4);
+        let pa = PhysAddr(4096 * 7 + 1024 * 3);
+        assert_eq!(pa.block().index_in_page(), 3);
+        assert_eq!(pa.block().page(), 7);
+        assert_eq!(pa.page(), 7);
+    }
+
+    #[test]
+    fn line_page_consistent_with_byte_page() {
+        for raw in [0u64, 63, 64, 4095, 4096, 1 << 30] {
+            let pa = PhysAddr(raw);
+            assert_eq!(pa.line().page(), pa.page());
+        }
+    }
+
+    #[test]
+    fn block_line_enumeration_covers_block() {
+        let b = BlockAddr(0x77);
+        let lines: Vec<_> = (0..LINES_PER_BLOCK).map(|i| b.line(i)).collect();
+        for (i, l) in lines.iter().enumerate() {
+            assert_eq!(l.cl_offset(), i);
+            assert_eq!(l.block(), b);
+        }
+        // Lines are consecutive.
+        for w in lines.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A 1 KB AVR memory block: 16 cachelines / 256 values.
+
+use crate::line::CacheLine;
+use crate::value::{DataType, VALUES_PER_BLOCK, VALUES_PER_LINE};
+use crate::LINES_PER_BLOCK;
+
+/// The uncompressed contents of one AVR memory block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockData {
+    pub words: [u32; VALUES_PER_BLOCK],
+}
+
+impl Default for BlockData {
+    fn default() -> Self {
+        BlockData { words: [0; VALUES_PER_BLOCK] }
+    }
+}
+
+impl BlockData {
+    /// Assemble a block from its 16 cachelines.
+    pub fn from_lines(lines: &[CacheLine; LINES_PER_BLOCK]) -> Self {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, line) in lines.iter().enumerate() {
+            words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE].copy_from_slice(&line.words);
+        }
+        BlockData { words }
+    }
+
+    /// Split the block back into its 16 cachelines.
+    pub fn to_lines(&self) -> [CacheLine; LINES_PER_BLOCK] {
+        let mut out = [CacheLine::ZERO; LINES_PER_BLOCK];
+        for (i, line) in out.iter_mut().enumerate() {
+            line.words
+                .copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
+        }
+        out
+    }
+
+    /// The `i`-th cacheline of the block.
+    pub fn line(&self, i: usize) -> CacheLine {
+        let mut l = CacheLine::ZERO;
+        l.words
+            .copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
+        l
+    }
+
+    /// Overwrite the `i`-th cacheline of the block.
+    pub fn set_line(&mut self, i: usize, line: &CacheLine) {
+        self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE].copy_from_slice(&line.words);
+    }
+
+    /// Decode all values through `dt` into `f64`s (for error measurement).
+    pub fn decode(&self, dt: DataType) -> Vec<f64> {
+        self.words.iter().map(|&w| dt.decode(w)).collect()
+    }
+
+    /// Build a block by encoding `f64` values through `dt`.
+    pub fn encode(vals: &[f64], dt: DataType) -> Self {
+        assert_eq!(vals.len(), VALUES_PER_BLOCK);
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (w, v) in words.iter_mut().zip(vals) {
+            *w = dt.encode(*v);
+        }
+        BlockData { words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> BlockData {
+        let mut b = BlockData::default();
+        for (i, w) in b.words.iter_mut().enumerate() {
+            *w = (i as f32 * 0.5).to_bits();
+        }
+        b
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let b = ramp();
+        let lines = b.to_lines();
+        assert_eq!(BlockData::from_lines(&lines), b);
+    }
+
+    #[test]
+    fn set_line_replaces_exactly_sixteen_words() {
+        let mut b = ramp();
+        let orig = b.clone();
+        let new_line = CacheLine { words: [0xDEAD_BEEF; VALUES_PER_LINE] };
+        b.set_line(7, &new_line);
+        for i in 0..VALUES_PER_BLOCK {
+            if (112..128).contains(&i) {
+                assert_eq!(b.words[i], 0xDEAD_BEEF);
+            } else {
+                assert_eq!(b.words[i], orig.words[i]);
+            }
+        }
+        assert_eq!(b.line(7), new_line);
+    }
+
+    #[test]
+    fn encode_decode_f32() {
+        let vals: Vec<f64> = (0..VALUES_PER_BLOCK).map(|i| i as f64 * 0.25).collect();
+        let b = BlockData::encode(&vals, DataType::F32);
+        let back = b.decode(DataType::F32);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(*a as f32, *b as f32);
+        }
+    }
+}

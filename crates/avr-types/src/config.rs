@@ -1,0 +1,269 @@
+//! System configuration — Table 1 of the paper, plus AVR knobs.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in CPU cycles.
+    pub latency: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets (capacity / 64 B / ways).
+    pub fn sets(&self) -> usize {
+        self.capacity / crate::addr::CL_BYTES / self.ways
+    }
+
+    /// log2(sets) — the number of index bits `n` in the paper's Fig. 6.
+    pub fn index_bits(&self) -> u32 {
+        let s = self.sets();
+        assert!(s.is_power_of_two(), "set count must be a power of two, got {s}");
+        s.trailing_zeros()
+    }
+}
+
+/// DRAM timing/geometry parameters (DDR4-1600-class defaults).
+///
+/// All timings are expressed in *memory-clock* cycles; `cpu_cycles_per_mem_clk`
+/// converts to CPU cycles (3.2 GHz CPU / 800 MHz DDR4-1600 clock = 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramParams {
+    pub channels: usize,
+    pub banks_per_channel: usize,
+    pub rows_per_bank: usize,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: usize,
+    /// CAS latency.
+    pub cl: u64,
+    /// RAS-to-CAS delay.
+    pub trcd: u64,
+    /// Row precharge.
+    pub trp: u64,
+    /// Minimum row-open time.
+    pub tras: u64,
+    /// Data burst duration for one 64 B line (BL8 on a 64-bit bus = 4 clocks).
+    pub burst: u64,
+    /// Refresh interval (0 disables refresh modelling).
+    pub trefi: u64,
+    /// Refresh duration.
+    pub trfc: u64,
+    /// CPU cycles per memory clock.
+    pub cpu_cycles_per_mem_clk: u64,
+}
+
+impl Default for DramParams {
+    fn default() -> Self {
+        // DDR4-1600: tCK = 1.25 ns, CL=tRCD=tRP=11, tRAS=28, tREFI=7.8 us,
+        // tRFC=280 ns. CPU at 3.2 GHz -> 4 CPU cycles per memory clock.
+        DramParams {
+            channels: 2,
+            banks_per_channel: 16,
+            rows_per_bank: 1 << 15,
+            row_bytes: 2048,
+            cl: 11,
+            trcd: 11,
+            trp: 11,
+            tras: 28,
+            burst: 4,
+            trefi: 6240,
+            trfc: 224,
+            cpu_cycles_per_mem_clk: 4,
+        }
+    }
+}
+
+/// AVR-specific architectural knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvrParams {
+    /// Per-value relative error threshold T1 (fraction, e.g. 0.02 = 2 %).
+    pub t1: f64,
+    /// Block-average relative error threshold T2; the paper uses T1 = 2*T2.
+    pub t2: f64,
+    /// PFE threshold: prefetch remaining DBUF lines into the LLC when at
+    /// least this fraction of the block's lines were explicitly requested.
+    pub pfe_threshold: f64,
+    /// On-chip CMT cache capacity in pages (misses cost metadata traffic).
+    pub cmt_cache_pages: usize,
+    /// Maximum compressed size in cachelines (paper: 8, i.e. 2:1 worst case).
+    pub max_compressed_lines: usize,
+    /// Ablation: park dirty lines in the block's free space (§3.1 lazy
+    /// evictions) instead of recompacting immediately.
+    pub enable_lazy: bool,
+    /// Ablation: keep the decompressed block in the DBUF and serve
+    /// subsequent requests from it (§3.3).
+    pub enable_dbuf: bool,
+    /// Ablation: back off from recompressing blocks that keep failing
+    /// (§3.2 #failed/#skipped history).
+    pub enable_skip_history: bool,
+    /// Ablation: co-locate compressed blocks in the LLC alongside
+    /// uncompressed lines (§3.4) rather than keeping them memory-only.
+    pub store_cms_in_llc: bool,
+}
+
+impl Default for AvrParams {
+    fn default() -> Self {
+        AvrParams {
+            t1: 0.02,
+            t2: 0.01,
+            pfe_threshold: 0.5,
+            cmt_cache_pages: 1024,
+            max_compressed_lines: 8,
+            enable_lazy: true,
+            enable_dbuf: true,
+            enable_skip_history: true,
+            store_cms_in_llc: true,
+        }
+    }
+}
+
+/// Which of the five evaluated designs a `System` implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Unmodified system, no compression.
+    Baseline,
+    /// AVR hardware present but no data marked approximable.
+    ZeroAvr,
+    /// fp32 -> fp16 truncation of approximable data (2:1).
+    Truncate,
+    /// Doppelganger-style approximate-dedup LLC (4x tags).
+    Doppelganger,
+    /// The full AVR architecture.
+    Avr,
+}
+
+impl DesignKind {
+    pub const ALL: [DesignKind; 5] = [
+        DesignKind::Baseline,
+        DesignKind::Doppelganger,
+        DesignKind::Truncate,
+        DesignKind::ZeroAvr,
+        DesignKind::Avr,
+    ];
+
+    /// Label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::Baseline => "baseline",
+            DesignKind::ZeroAvr => "ZeroAVR",
+            DesignKind::Truncate => "truncate",
+            DesignKind::Doppelganger => "dganger",
+            DesignKind::Avr => "AVR",
+        }
+    }
+}
+
+/// Full system configuration (Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Core clock in Hz (3.2 GHz).
+    pub clock_hz: f64,
+    /// Issue/commit width.
+    pub issue_width: u64,
+    /// Reorder-buffer size (bounds miss overlap in the interval model).
+    pub rob_size: u64,
+    /// Miss-status registers per core (caps memory-level parallelism).
+    pub mshrs: u64,
+    pub l1: CacheGeometry,
+    pub l2: CacheGeometry,
+    pub llc: CacheGeometry,
+    pub dram: DramParams,
+    pub avr: AvrParams,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cores: 8,
+            clock_hz: 3.2e9,
+            issue_width: 4,
+            rob_size: 224,
+            mshrs: 8,
+            l1: CacheGeometry { capacity: 64 << 10, ways: 4, latency: 1 },
+            l2: CacheGeometry { capacity: 256 << 10, ways: 8, latency: 8 },
+            llc: CacheGeometry { capacity: 8 << 20, ways: 16, latency: 15 },
+            dram: DramParams::default(),
+            avr: AvrParams::default(),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Table 1 verbatim.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// One core with its per-core share of the shared LLC (8 MB / 8 cores),
+    /// preserving the footprint:capacity ratios that drive the paper's
+    /// results while keeping simulations laptop-fast. Used by the figure
+    /// benches; see DESIGN.md §3.
+    #[allow(clippy::field_reassign_with_default)] // builder-style tweaks read clearer
+    pub fn per_core_scaled() -> Self {
+        let mut c = Self::default();
+        c.cores = 1;
+        c.llc = CacheGeometry { capacity: 1 << 20, ways: 16, latency: 15 };
+        // One core also only gets its share of the memory system: one
+        // channel at half the per-channel burst rate approximates 1/4 of
+        // the 2-channel DDR4-1600 system (8 cores competing for 2
+        // channels). Latency parameters are unchanged.
+        c.dram.channels = 1;
+        c.dram.burst = 8;
+        c
+    }
+
+    /// A tiny configuration for unit/integration tests.
+    #[allow(clippy::field_reassign_with_default)]
+    pub fn tiny() -> Self {
+        let mut c = Self::default();
+        c.cores = 1;
+        c.l1 = CacheGeometry { capacity: 4 << 10, ways: 4, latency: 1 };
+        c.l2 = CacheGeometry { capacity: 16 << 10, ways: 8, latency: 8 };
+        c.llc = CacheGeometry { capacity: 64 << 10, ways: 16, latency: 15 };
+        c.avr.cmt_cache_pages = 64;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l1.sets(), 256);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.llc.sets(), 8192);
+        assert_eq!(c.llc.index_bits(), 13);
+    }
+
+    #[test]
+    fn scaled_keeps_ratio() {
+        let paper = SystemConfig::paper();
+        let scaled = SystemConfig::per_core_scaled();
+        let per_core_share = paper.llc.capacity / paper.cores;
+        assert_eq!(scaled.llc.capacity, per_core_share);
+        assert_eq!(scaled.cores, 1);
+    }
+
+    #[test]
+    fn design_labels_match_paper() {
+        assert_eq!(DesignKind::Avr.label(), "AVR");
+        assert_eq!(DesignKind::Doppelganger.label(), "dganger");
+        assert_eq!(DesignKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn dram_defaults_are_ddr4_1600_class() {
+        let d = DramParams::default();
+        assert_eq!(d.channels, 2);
+        assert_eq!(d.cpu_cycles_per_mem_clk, 4);
+        assert!(d.tras >= d.trcd + d.burst);
+    }
+}

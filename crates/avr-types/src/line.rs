@@ -1,0 +1,67 @@
+//! A 64-byte cacheline viewed as sixteen 32-bit values.
+
+use crate::value::VALUES_PER_LINE;
+
+/// One cacheline of data, stored as raw 32-bit words.
+///
+/// The simulator's authoritative data lives in the backing store
+/// (`avr-sim::vm::PhysMem`); `CacheLine` is the unit moved through the codec
+/// and the block buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheLine {
+    pub words: [u32; VALUES_PER_LINE],
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine { words: [0; VALUES_PER_LINE] }
+    }
+}
+
+impl CacheLine {
+    /// A zero-filled line.
+    pub const ZERO: CacheLine = CacheLine { words: [0; VALUES_PER_LINE] };
+
+    /// Build from f32 values (bit-preserving).
+    pub fn from_f32(vals: &[f32; VALUES_PER_LINE]) -> Self {
+        let mut words = [0u32; VALUES_PER_LINE];
+        for (w, v) in words.iter_mut().zip(vals) {
+            *w = v.to_bits();
+        }
+        CacheLine { words }
+    }
+
+    /// View as f32 values (bit-preserving).
+    pub fn to_f32(&self) -> [f32; VALUES_PER_LINE] {
+        let mut out = [0f32; VALUES_PER_LINE];
+        for (o, w) in out.iter_mut().zip(&self.words) {
+            *o = f32::from_bits(*w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip_preserves_bits() {
+        let mut vals = [0f32; VALUES_PER_LINE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as f32).sin() * 1e3;
+        }
+        let line = CacheLine::from_f32(&vals);
+        assert_eq!(line.to_f32(), vals);
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let mut vals = [0f32; VALUES_PER_LINE];
+        vals[3] = f32::NAN;
+        let line = CacheLine::from_f32(&vals);
+        assert!(line.to_f32()[3].is_nan());
+        // exact NaN payload preserved
+        assert_eq!(line.words[3], f32::NAN.to_bits());
+    }
+}

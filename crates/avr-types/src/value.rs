@@ -1,0 +1,83 @@
+//! Value representations handled by the AVR codec.
+//!
+//! The paper's implementation supports standard 32-bit floating point and
+//! fixed point. The `method` field of a CMT entry (2 bits) encodes the
+//! datatype together with the downsampling layout; see `avr-compress`.
+
+use crate::addr::{BLOCK_BYTES, CL_BYTES};
+
+/// 32-bit values per cacheline.
+pub const VALUES_PER_LINE: usize = CL_BYTES / 4;
+/// 32-bit values per memory block (16 lines x 16 values).
+pub const VALUES_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// Datatype of the values in an approximable region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum DataType {
+    /// IEEE-754 binary32.
+    #[default]
+    F32,
+    /// 32-bit fixed point (Q16.16 by convention in this implementation).
+    Fixed32,
+}
+
+impl DataType {
+    /// Decode a raw `u32` as this datatype, into an `f64` for error math.
+    #[inline]
+    pub fn decode(self, raw: u32) -> f64 {
+        match self {
+            DataType::F32 => f32::from_bits(raw) as f64,
+            DataType::Fixed32 => (raw as i32) as f64 / 65536.0,
+        }
+    }
+
+    /// Encode an `f64` into this datatype's raw representation (saturating
+    /// for fixed point).
+    #[inline]
+    pub fn encode(self, v: f64) -> u32 {
+        match self {
+            DataType::F32 => (v as f32).to_bits(),
+            DataType::Fixed32 => {
+                let scaled = (v * 65536.0).round();
+                let clamped = scaled.clamp(i32::MIN as f64, i32::MAX as f64);
+                (clamped as i32) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(VALUES_PER_LINE, 16);
+        assert_eq!(VALUES_PER_BLOCK, 256);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        for v in [0.0, 1.5, -3.25e7, f32::MIN_POSITIVE as f64] {
+            let raw = DataType::F32.encode(v);
+            assert_eq!(DataType::F32.decode(raw), v as f32 as f64);
+        }
+    }
+
+    #[test]
+    fn fixed_round_trip_within_half_ulp() {
+        for v in [0.0, 1.0, -1.0, 123.456, -32767.9] {
+            let raw = DataType::Fixed32.encode(v);
+            let back = DataType::Fixed32.decode(raw);
+            assert!((back - v).abs() <= 0.5 / 65536.0 + 1e-12, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn fixed_saturates() {
+        let hi = DataType::Fixed32.encode(1e12);
+        assert_eq!(hi, i32::MAX as u32);
+        let lo = DataType::Fixed32.encode(-1e12);
+        assert_eq!(lo, i32::MIN as u32);
+    }
+}

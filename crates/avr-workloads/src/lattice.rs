@@ -1,0 +1,244 @@
+//! `lattice` — 2-D lattice-Boltzmann (D2Q9, Ansumali'03) simulating air
+//! flow over a solid object; the paper's input is a car silhouette, which
+//! we rasterize procedurally. Approximable data: the particle distribution
+//! functions ("P and M"); output: velocity and pressure fields.
+#![allow(clippy::needless_range_loop)] // parallel gather/scatter arrays read clearer indexed
+
+use crate::runner::{BenchScale, Workload};
+use crate::terrain::car_silhouette;
+use avr_core::Vm;
+use avr_types::{DataType, PhysAddr};
+
+/// D2Q9 lattice velocities and weights.
+const EX: [i32; 9] = [0, 1, 0, -1, 0, 1, -1, -1, 1];
+const EY: [i32; 9] = [0, 0, 1, 0, -1, 1, 1, -1, -1];
+const W: [f32; 9] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+/// Opposite-direction index (bounce-back).
+const OPP: [usize; 9] = [0, 3, 4, 1, 2, 7, 8, 5, 6];
+
+/// The 2-D lattice-Boltzmann benchmark.
+pub struct Lattice {
+    pub width: usize,
+    pub height: usize,
+    pub iters: usize,
+    /// Inlet velocity (lattice units).
+    pub u0: f32,
+    /// BGK relaxation time.
+    pub tau: f32,
+}
+
+impl Lattice {
+    pub fn at_scale(scale: BenchScale) -> Self {
+        match scale {
+            BenchScale::Tiny => {
+                Lattice { width: 64, height: 32, iters: 4, u0: 0.06, tau: 0.8 }
+            }
+            // 2 x 9 x H x W x 4 B ≈ 2.7 MB of distributions (~86 %
+            // approximable), the paper's 5 MB/core shape.
+            BenchScale::Bench => {
+                Lattice { width: 288, height: 128, iters: 6, u0: 0.06, tau: 0.8 }
+            }
+        }
+    }
+
+    #[inline]
+    fn f_at(base: PhysAddr, i: usize, idx: usize, cells: usize) -> PhysAddr {
+        PhysAddr(base.0 + 4 * (i * cells + idx) as u64)
+    }
+
+    #[inline]
+    fn at(base: PhysAddr, idx: usize) -> PhysAddr {
+        PhysAddr(base.0 + 4 * idx as u64)
+    }
+
+    fn feq(i: usize, rho: f32, ux: f32, uy: f32) -> f32 {
+        let eu = EX[i] as f32 * ux + EY[i] as f32 * uy;
+        let u2 = ux * ux + uy * uy;
+        W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * u2)
+    }
+}
+
+impl Workload for Lattice {
+    fn name(&self) -> &'static str {
+        "lattice"
+    }
+
+    fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        let (w, h) = (self.width, self.height);
+        let cells = w * h;
+        // Approximable: both copies of the nine distribution functions.
+        let f = vm.approx_malloc(4 * 9 * cells, DataType::F32).base;
+        let f2 = vm.approx_malloc(4 * 9 * cells, DataType::F32).base;
+        // Precise: the obstacle mask and the output fields.
+        let mask = vm.malloc(4 * cells).base;
+        let vel_out = vm.malloc(4 * cells).base;
+        let p_out = vm.malloc(4 * cells).base;
+
+        let solid = car_silhouette(w, h);
+        for (idx, &s) in solid.iter().enumerate() {
+            vm.write_u32(Self::at(mask, idx), s as u32);
+        }
+
+        // Equilibrium init at uniform inflow — both buffers, so boundary
+        // entries the streaming step never writes hold sane values.
+        for idx in 0..cells {
+            for i in 0..9 {
+                let v = Self::feq(i, 1.0, self.u0, 0.0);
+                vm.compute(10);
+                vm.write_f32(Self::f_at(f, i, idx, cells), v);
+                vm.write_f32(Self::f_at(f2, i, idx, cells), v);
+            }
+        }
+
+        let (mut src, mut dst) = (f, f2);
+        for _step in 0..self.iters {
+            for y in 0..h {
+                for x in 0..w {
+                    let idx = y * w + x;
+                    let is_solid = vm.read_u32(Self::at(mask, idx)) != 0;
+                    // Gather distributions.
+                    let mut fi = [0f32; 9];
+                    for i in 0..9 {
+                        fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
+                    }
+                    let mut post = [0f32; 9];
+                    if is_solid {
+                        // Full bounce-back.
+                        for i in 0..9 {
+                            post[OPP[i]] = fi[i];
+                        }
+                        vm.compute(9);
+                    } else {
+                        // BGK collision.
+                        let rho: f32 = fi.iter().sum();
+                        let ux = fi
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| EX[i] as f32 * v)
+                            .sum::<f32>()
+                            / rho;
+                        let uy = fi
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| EY[i] as f32 * v)
+                            .sum::<f32>()
+                            / rho;
+                        for i in 0..9 {
+                            let eq = Self::feq(i, rho, ux, uy);
+                            post[i] = fi[i] - (fi[i] - eq) / self.tau;
+                        }
+                        vm.compute(90);
+                    }
+                    // Streaming (periodic wrap vertically, clamped
+                    // horizontally; the inlet/outlet overwrite below).
+                    for i in 0..9 {
+                        let nx = x as i32 + EX[i];
+                        let ny = (y as i32 + EY[i]).rem_euclid(h as i32) as usize;
+                        if nx < 0 || nx >= w as i32 {
+                            continue;
+                        }
+                        let nidx = ny * w + nx as usize;
+                        vm.write_f32(Self::f_at(dst, i, nidx, cells), post[i]);
+                    }
+                }
+            }
+            // Inlet (west): equilibrium at u0. Outlet (east): copy.
+            for y in 0..h {
+                for i in 0..9 {
+                    let v = Self::feq(i, 1.0, self.u0, 0.0);
+                    vm.write_f32(Self::f_at(dst, i, y * w, cells), v);
+                    let inner = vm.read_f32(Self::f_at(dst, i, y * w + w - 2, cells));
+                    vm.write_f32(Self::f_at(dst, i, y * w + w - 1, cells), inner);
+                }
+                vm.compute(40);
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        // Output pass: velocity magnitude and pressure (rho / 3).
+        let mut out = Vec::with_capacity(2 * cells);
+        for idx in 0..cells {
+            let mut fi = [0f32; 9];
+            for i in 0..9 {
+                fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
+            }
+            let rho: f32 = fi.iter().sum();
+            let ux = fi.iter().enumerate().map(|(i, &v)| EX[i] as f32 * v).sum::<f32>() / rho;
+            let uy = fi.iter().enumerate().map(|(i, &v)| EY[i] as f32 * v).sum::<f32>() / rho;
+            let vmag = (ux * ux + uy * uy).sqrt();
+            let p = rho / 3.0;
+            vm.compute(30);
+            vm.write_f32(Self::at(vel_out, idx), vmag);
+            vm.write_f32(Self::at(p_out, idx), p);
+            out.push(vmag as f64);
+            out.push(p as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
+    use crate::runner::run_on_design;
+
+    #[test]
+    fn flow_is_finite_and_mass_is_conserved() {
+        let w = Lattice::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        assert_eq!(out.len(), 2 * 64 * 32);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // Mean pressure stays near the initial rho/3 = 1/3 (inlet/outlet
+        // allow slight drift).
+        let mean_p: f64 = out.iter().skip(1).step_by(2).sum::<f64>() / (64.0 * 32.0);
+        assert!((mean_p - 1.0 / 3.0).abs() < 0.05, "mean pressure {mean_p}");
+    }
+
+    #[test]
+    fn obstacle_blocks_flow() {
+        let w = Lattice::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        let solid = car_silhouette(64, 32);
+        // Velocity inside the solid is ~0 relative to the free stream.
+        let mut inside_max = 0.0f64;
+        let mut free = 0.0f64;
+        for (idx, &s) in solid.iter().enumerate() {
+            let v = out[2 * idx];
+            if s {
+                inside_max = inside_max.max(v);
+            } else {
+                free = free.max(v);
+            }
+        }
+        assert!(free > 0.02, "free-stream flow exists: {free}");
+        assert!(inside_max < free, "solid interior slower than free stream");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = Lattice::at_scale(BenchScale::Tiny);
+        let mut a = ExactVm::new();
+        let mut b = ExactVm::new();
+        assert_eq!(w.run(&mut a), w.run(&mut b));
+    }
+
+    #[test]
+    fn avr_error_is_small() {
+        let w = Lattice::at_scale(BenchScale::Tiny);
+        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        assert!(m.output_error < 0.05, "lattice AVR error {}", m.output_error);
+    }
+}

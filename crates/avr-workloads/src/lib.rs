@@ -1,0 +1,29 @@
+//! The seven approximation-tolerant benchmarks of Table 2, ported as Rust
+//! programs that run against any [`avr_core::Vm`] — the timed systems or
+//! the exact golden executor.
+//!
+//! | name     | paper source                | this port                                   |
+//! |----------|-----------------------------|---------------------------------------------|
+//! | heat     | Quinn, MPI/OpenMP book      | 2-D Jacobi heat diffusion                   |
+//! | lattice  | Ansumali'03 (+car input)    | D2Q9 lattice-Boltzmann over a car silhouette|
+//! | lbm      | SPEC CPU2006 470.lbm        | D3Q19 lattice-Boltzmann over a sphere       |
+//! | orbit    | FLASH two-particle orbit    | 3-D potential grid + leapfrog two-body      |
+//! | kmeans   | 1-D k-means (+survey input) | 1-D k-means over fractal terrain elevations |
+//! | bscholes | AxBench blackscholes        | Black-Scholes option pricing                |
+//! | wrf      | SPEC CPU2006 481.wrf        | multi-field 3-D weather stencil             |
+//!
+//! Each workload annotates the data structures the paper lists as
+//! approximable, tuned so the approximable fraction of the footprint
+//! matches Table 4's back-computed fractions (see DESIGN.md §4).
+
+pub mod bscholes;
+pub mod heat;
+pub mod kmeans;
+pub mod lattice;
+pub mod lbm;
+pub mod orbit;
+pub mod runner;
+pub mod terrain;
+pub mod wrf;
+
+pub use runner::{all_benchmarks, mean_relative_error, run_on_design, BenchScale, Workload};

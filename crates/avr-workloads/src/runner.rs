@@ -1,0 +1,126 @@
+//! Workload trait + the measurement harness.
+//!
+//! A run of (workload × design) produces a [`RunMetrics`]: the timed system
+//! executes the workload (approximation feeding back into its data), and
+//! the output vector is compared element-wise against a golden run on
+//! [`ExactVm`] to produce Table 3's mean-relative-error metric.
+
+use avr_core::{DesignKind, ExactVm, System, SystemConfig, Vm};
+use avr_sim::RunMetrics;
+
+/// A benchmark program.
+pub trait Workload: Sync {
+    /// The paper's benchmark name (figure/table row label).
+    fn name(&self) -> &'static str;
+
+    /// Execute against a VM and return the application output values.
+    fn run(&self, vm: &mut dyn Vm) -> Vec<f64>;
+}
+
+/// Which problem size to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Tiny: unit/integration tests (sub-second per design).
+    Tiny,
+    /// Bench: the figure-regeneration scale (footprint : LLC ratios match
+    /// the paper's Table 2 against the per-core-scaled hierarchy).
+    Bench,
+}
+
+/// Mean relative error between a golden output and an approximate output
+/// (the paper's quality metric: "the mean of the relative errors for each
+/// output value").
+pub fn mean_relative_error(golden: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(golden.len(), approx.len(), "output shapes must match");
+    assert!(!golden.is_empty(), "workload produced no output");
+    // Scale guard: values at or below `tiny` relative to the output's
+    // magnitude are compared absolutely against that floor, avoiding
+    // division blow-ups on incidental zeros.
+    let mag = golden.iter().map(|g| g.abs()).sum::<f64>() / golden.len() as f64;
+    let floor = (mag * 1e-9).max(f64::MIN_POSITIVE);
+    let mut sum = 0.0;
+    for (g, a) in golden.iter().zip(approx) {
+        let denom = g.abs().max(floor);
+        let err = ((a - g).abs() / denom).min(10.0); // cap runaways at 1000 %
+        sum += err;
+    }
+    sum / golden.len() as f64
+}
+
+/// Run `workload` on `design`, returning full metrics including the output
+/// error vs. the exact golden run.
+pub fn run_on_design(
+    workload: &dyn Workload,
+    cfg: &SystemConfig,
+    design: DesignKind,
+) -> RunMetrics {
+    let mut exact = ExactVm::new();
+    let golden = workload.run(&mut exact);
+
+    let mut sys = System::new(cfg.clone(), design);
+    let out = workload.run(&mut sys);
+    let mut metrics = sys.finish(workload.name());
+    metrics.output_error = mean_relative_error(&golden, &out);
+    metrics
+}
+
+/// The full benchmark suite at the requested scale, in the paper's figure
+/// order.
+pub fn all_benchmarks(scale: BenchScale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::heat::Heat::at_scale(scale)),
+        Box::new(crate::lattice::Lattice::at_scale(scale)),
+        Box::new(crate::lbm::Lbm::at_scale(scale)),
+        Box::new(crate::orbit::Orbit::at_scale(scale)),
+        Box::new(crate::kmeans::KMeans::at_scale(scale)),
+        Box::new(crate::bscholes::BlackScholes::at_scale(scale)),
+        Box::new(crate::wrf::Wrf::at_scale(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_relative_error_basics() {
+        let g = [1.0, 2.0, 4.0];
+        let a = [1.1, 2.0, 4.0];
+        // one value 10 % off over three values
+        assert!((mean_relative_error(&g, &a) - 0.1 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_outputs_are_zero_error() {
+        let g = [3.0, -5.0, 0.0];
+        assert_eq!(mean_relative_error(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn runaway_errors_are_capped() {
+        let g = [1.0];
+        let a = [1.0e9];
+        assert_eq!(mean_relative_error(&g, &a), 10.0);
+    }
+
+    #[test]
+    fn zero_golden_values_use_magnitude_floor() {
+        let g = [0.0, 100.0];
+        let a = [1.0e-7, 100.0];
+        // The 1e-7 absolute error on a zero is tiny relative to the
+        // output's ~50 magnitude but is compared against the 5e-8 floor;
+        // it must not produce a huge error after capping.
+        let e = mean_relative_error(&g, &a);
+        assert!(e <= 10.0 / 2.0);
+    }
+
+    #[test]
+    fn suite_has_seven_benchmarks_in_paper_order() {
+        let suite = all_benchmarks(BenchScale::Tiny);
+        let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"]
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! `wrf` — a weather-forecasting proxy for SPEC CPU2006 481.wrf: a
+//! multi-field 3-D atmospheric stencil over terrain. Only the
+//! geographically ordered weather metrics (temperature and humidity) are
+//! approximable — about 15 % of the footprint, matching the paper — and
+//! they carry terrain-correlated fine structure, which limits AVR to the
+//! ~3.4:1 ratio of Table 4. Output: the temperature field.
+#![allow(clippy::needless_range_loop)] // terrain blending indexes two profiles at once
+
+use crate::runner::{BenchScale, Workload};
+use crate::terrain::fractal_terrain;
+use avr_core::Vm;
+use avr_types::{DataType, PhysAddr};
+
+/// The weather-model benchmark.
+pub struct Wrf {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub steps: usize,
+}
+
+impl Wrf {
+    pub fn at_scale(scale: BenchScale) -> Self {
+        match scale {
+            BenchScale::Tiny => Wrf { nx: 24, ny: 24, nz: 6, steps: 3 },
+            // 13 grids x 72x72x12 x 4 B ≈ 3.2 MB total, 2 of them (T, Q)
+            // approximable ≈ 15 %.
+            BenchScale::Bench => Wrf { nx: 72, ny: 72, nz: 12, steps: 5 },
+        }
+    }
+
+    #[inline]
+    fn at(base: PhysAddr, idx: usize) -> PhysAddr {
+        PhysAddr(base.0 + 4 * idx as u64)
+    }
+}
+
+impl Workload for Wrf {
+    fn name(&self) -> &'static str {
+        "wrf"
+    }
+
+    fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let cells = nx * ny * nz;
+        let idx_of = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+
+        // Approximable: the geo-ordered weather metrics.
+        let t = vm.approx_malloc(4 * cells, DataType::F32).base; // temperature
+        let q = vm.approx_malloc(4 * cells, DataType::F32).base; // humidity
+        // Precise: everything else (dynamics + scratch), 11 more grids.
+        let t_new = vm.malloc(4 * cells).base;
+        let q_new = vm.malloc(4 * cells).base;
+        let p = vm.malloc(4 * cells).base; // pressure
+        let u = vm.malloc(4 * cells).base; // wind x
+        let v = vm.malloc(4 * cells).base; // wind y
+        let wz = vm.malloc(4 * cells).base; // wind z
+        let rho_a = vm.malloc(4 * cells).base; // air density
+        let rain = vm.malloc(4 * cells).base; // accumulated precipitation
+        let srad = vm.malloc(4 * cells).base; // radiative source
+        let scratch1 = vm.malloc(4 * cells).base;
+        let scratch2 = vm.malloc(4 * cells).base;
+        let terr = vm.malloc(4 * nx * ny).base; // surface elevation (2-D)
+
+        // Terrain: two orthogonal fractal profiles blended.
+        let tx = fractal_terrain(nx, 300.0, 180.0, 0.7, 0xA11CE);
+        let ty = fractal_terrain(ny, 300.0, 180.0, 0.7, 0xB0B);
+        for y in 0..ny {
+            for x in 0..nx {
+                let e = 0.5 * (tx[x] + ty[y]);
+                vm.write_f32(Self::at(terr, y * nx + x), e);
+            }
+        }
+
+        // Initial atmosphere: lapse rate with altitude, terrain heating,
+        // and weak fine structure (what keeps the ratio near 3.4:1).
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let elev = 0.5 * (tx[x] + ty[y]);
+                    let alt = z as f32 * 500.0 + elev;
+                    let fine = ((x as f32 * 1.9).sin() + (y as f32 * 2.3).cos()) * 0.8;
+                    let temp = 288.0 - 0.0065 * alt + fine;
+                    // Multiplicative fine structure keeps the *relative*
+                    // roughness of humidity uniform across altitudes.
+                    let hum = (0.8 - 0.00009 * alt).max(0.2) * (1.0 + 0.009 * fine);
+                    let idx = idx_of(x, y, z);
+                    vm.compute(16);
+                    vm.write_f32(Self::at(t, idx), temp);
+                    vm.write_f32(Self::at(q, idx), hum);
+                    vm.write_f32(Self::at(p, idx), 1013.0 * (-alt / 8000.0).exp());
+                    vm.write_f32(Self::at(u, idx), 3.0 + 0.01 * y as f32);
+                    vm.write_f32(Self::at(v, idx), 1.0);
+                    vm.write_f32(Self::at(wz, idx), 0.0);
+                    vm.write_f32(Self::at(rho_a, idx), 1.2 * (-alt / 9000.0).exp());
+                    vm.write_f32(Self::at(rain, idx), 0.0);
+                    vm.write_f32(Self::at(srad, idx), (elev / 500.0).min(1.5));
+                    vm.write_f32(Self::at(scratch1, idx), 0.0);
+                    vm.write_f32(Self::at(scratch2, idx), 0.0);
+                }
+            }
+        }
+
+        let dt = 0.2f32;
+        for _step in 0..self.steps {
+            for z in 0..nz {
+                for y in 1..ny - 1 {
+                    for x in 1..nx - 1 {
+                        let idx = idx_of(x, y, z);
+                        let tc = vm.read_f32(Self::at(t, idx));
+                        let qc = vm.read_f32(Self::at(q, idx));
+                        let uw = vm.read_f32(Self::at(u, idx));
+                        let vw = vm.read_f32(Self::at(v, idx));
+                        let heat = vm.read_f32(Self::at(srad, idx));
+                        // Upwind advection.
+                        let tx_up = vm.read_f32(Self::at(t, idx_of(x - 1, y, z)));
+                        let ty_up = vm.read_f32(Self::at(t, idx_of(x, y - 1, z)));
+                        let qx_up = vm.read_f32(Self::at(q, idx_of(x - 1, y, z)));
+                        let qy_up = vm.read_f32(Self::at(q, idx_of(x, y - 1, z)));
+                        let adv_t = uw * (tc - tx_up) * 0.02 + vw * (tc - ty_up) * 0.02;
+                        let adv_q = uw * (qc - qx_up) * 0.02 + vw * (qc - qy_up) * 0.02;
+                        // Condensation: saturated humidity rains out and
+                        // releases latent heat.
+                        let sat = 0.02 * (tc - 250.0).max(1.0) * 0.01;
+                        let excess = (qc - sat).max(0.0);
+                        let cond = excess * 0.3;
+                        let new_t = tc - adv_t * dt + heat * 0.05 * dt + cond * 20.0 * dt;
+                        let new_q = (qc - adv_q * dt - cond * dt).max(0.0);
+                        vm.compute(150);
+                        vm.write_f32(Self::at(t_new, idx), new_t);
+                        vm.write_f32(Self::at(q_new, idx), new_q);
+                        if cond > 0.0 {
+                            let a = Self::at(rain, idx);
+                            let r0 = vm.read_f32(a);
+                            vm.write_f32(a, r0 + cond * dt);
+                        }
+                    }
+                }
+            }
+            // Commit T/Q and relax pressure/winds toward the new state.
+            for z in 0..nz {
+                for y in 1..ny - 1 {
+                    for x in 1..nx - 1 {
+                        let idx = idx_of(x, y, z);
+                        let nt = vm.read_f32(Self::at(t_new, idx));
+                        let nq = vm.read_f32(Self::at(q_new, idx));
+                        vm.write_f32(Self::at(t, idx), nt);
+                        vm.write_f32(Self::at(q, idx), nq);
+                        // Pressure responds to temperature.
+                        let pa = Self::at(p, idx);
+                        let pv = vm.read_f32(pa);
+                        vm.write_f32(pa, pv * (1.0 + (nt - 288.0) * 1e-5));
+                        vm.compute(45);
+                    }
+                }
+            }
+            // Winds follow the pressure gradient (geostrophic-lite).
+            for z in 0..nz {
+                for y in 1..ny - 1 {
+                    for x in 1..nx - 1 {
+                        let idx = idx_of(x, y, z);
+                        let pe = vm.read_f32(Self::at(p, idx_of(x + 1, y, z)));
+                        let pw = vm.read_f32(Self::at(p, idx_of(x - 1, y, z)));
+                        let pn = vm.read_f32(Self::at(p, idx_of(x, y + 1, z)));
+                        let ps = vm.read_f32(Self::at(p, idx_of(x, y - 1, z)));
+                        let ua = Self::at(u, idx);
+                        let va = Self::at(v, idx);
+                        let u0 = vm.read_f32(ua);
+                        let v0 = vm.read_f32(va);
+                        vm.compute(50);
+                        vm.write_f32(ua, u0 - (pe - pw) * 0.01 * dt);
+                        vm.write_f32(va, v0 - (pn - ps) * 0.01 * dt);
+                    }
+                }
+            }
+        }
+
+        // Output: the forecast temperature field.
+        (0..cells).map(|i| vm.read_f32(Self::at(t, i)) as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
+    use crate::runner::run_on_design;
+
+    #[test]
+    fn temperatures_stay_atmospheric() {
+        let w = Wrf::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        assert_eq!(out.len(), 24 * 24 * 6);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // Kelvin range for a troposphere slice.
+        assert!(out.iter().all(|&t| (200.0..320.0).contains(&t)), "temps out of range");
+    }
+
+    #[test]
+    fn higher_altitude_is_colder() {
+        let w = Wrf::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let out = w.run(&mut vm);
+        let cells_per_slice = 24 * 24;
+        let ground: f64 =
+            out[..cells_per_slice].iter().sum::<f64>() / cells_per_slice as f64;
+        let top: f64 = out[5 * cells_per_slice..].iter().sum::<f64>() / cells_per_slice as f64;
+        assert!(ground > top + 5.0, "lapse rate lost: ground {ground} top {top}");
+    }
+
+    #[test]
+    fn approx_fraction_is_about_15_percent() {
+        let w = Wrf::at_scale(BenchScale::Tiny);
+        let mut vm = ExactVm::new();
+        let _ = w.run(&mut vm);
+        let (total, approx) = vm.space.footprint();
+        let frac = approx as f64 / total as f64;
+        assert!((0.10..0.22).contains(&frac), "approx fraction {frac}");
+    }
+
+    #[test]
+    fn avr_error_is_moderate() {
+        let w = Wrf::at_scale(BenchScale::Tiny);
+        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        assert!(m.output_error < 0.15, "wrf AVR error {}", m.output_error);
+    }
+}

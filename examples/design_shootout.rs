@@ -1,0 +1,42 @@
+//! Run one workload across all five designs of the paper's evaluation and
+//! print a compact comparison — a miniature of Figures 9–13 for a single
+//! benchmark, runnable in seconds.
+//!
+//! ```text
+//! cargo run --release --example design_shootout [heat|lattice|lbm|orbit|kmeans|bscholes|wrf]
+//! ```
+
+use avr::arch::{DesignKind, SystemConfig};
+use avr::workloads::{all_benchmarks, run_on_design, BenchScale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "lattice".to_string());
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let workload = suite
+        .iter()
+        .find(|w| w.name() == which)
+        .unwrap_or_else(|| panic!("unknown benchmark {which}; try one of heat/lattice/lbm/orbit/kmeans/bscholes/wrf"));
+
+    let cfg = SystemConfig::tiny();
+    println!("benchmark: {which} (tiny scale)\n");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "design", "exec", "energy", "traffic", "AMAT", "MPKI", "error (%)"
+    );
+
+    let base = run_on_design(workload.as_ref(), &cfg, DesignKind::Baseline);
+    for design in DesignKind::ALL {
+        let m = run_on_design(workload.as_ref(), &cfg, design);
+        println!(
+            "{:<10}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>12.3}",
+            m.design,
+            m.exec_time_norm(&base),
+            m.energy_norm(&base),
+            m.traffic_norm(&base),
+            m.amat_norm(&base),
+            m.mpki_norm(&base),
+            m.output_error * 100.0,
+        );
+    }
+    println!("\n(all columns normalized to baseline; error is absolute)");
+}

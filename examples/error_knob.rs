@@ -1,0 +1,41 @@
+//! The paper's quality knob (§3.3): sweep the T1/T2 error thresholds and
+//! watch the tradeoff between compression ratio and application output
+//! error on the heat benchmark — an ablation of AVR's central parameter.
+//!
+//! ```text
+//! cargo run --release --example error_knob
+//! ```
+
+use avr::arch::{DesignKind, SystemConfig};
+use avr::workloads::{heat::Heat, run_on_design, BenchScale};
+
+fn main() {
+    let heat = Heat::at_scale(BenchScale::Tiny);
+    println!(
+        "{:<12}{:>12}{:>14}{:>14}{:>16}",
+        "T1 (%)", "ratio", "traffic norm", "error (%)", "exec norm"
+    );
+
+    // Baseline for normalization (thresholds are irrelevant to it).
+    let base = run_on_design(&heat, &SystemConfig::tiny(), DesignKind::Baseline);
+
+    for t1 in [0.005, 0.01, 0.02, 0.05, 0.10] {
+        let mut cfg = SystemConfig::tiny();
+        cfg.avr.t1 = t1;
+        cfg.avr.t2 = t1 / 2.0; // the paper runs T1 = 2*T2
+        let m = run_on_design(&heat, &cfg, DesignKind::Avr);
+        println!(
+            "{:<12.2}{:>11.1}x{:>14.3}{:>14.3}{:>16.3}",
+            t1 * 100.0,
+            m.compression_ratio,
+            m.traffic_norm(&base),
+            m.output_error * 100.0,
+            m.exec_time_norm(&base),
+        );
+    }
+    println!(
+        "\nLooser thresholds compress harder (higher ratio, less traffic)\n\
+         at the cost of output quality — the knob the paper exposes to the\n\
+         application provider."
+    );
+}

@@ -1,0 +1,86 @@
+//! Run an SPMD heat shard on every core of the paper's 8-core CMP
+//! (partitioned-share model) and compare designs at the chip level.
+//!
+//! ```text
+//! cargo run --release --example multicore_cmp
+//! ```
+
+use avr::arch::multicore::{run_multicore, ShardedWorkload};
+use avr::arch::{DesignKind, SystemConfig, Vm};
+use avr::types::{DataType, PhysAddr};
+
+/// Each core diffuses its own strip of a wide plate.
+struct HeatShard {
+    width: usize,
+    rows_per_core: usize,
+    iters: usize,
+}
+
+impl ShardedWorkload for HeatShard {
+    fn name(&self) -> &'static str {
+        "heat_spmd"
+    }
+
+    fn run_shard(&self, core: usize, _total: usize, vm: &mut dyn Vm) -> Vec<f64> {
+        let (w, h) = (self.width, self.rows_per_core);
+        let n = w * h;
+        let a = vm.approx_malloc(4 * n, DataType::F32).base;
+        let b = vm.approx_malloc(4 * n, DataType::F32).base;
+        let at = |base: PhysAddr, i: usize| PhysAddr(base.0 + 4 * i as u64);
+        for y in 0..h {
+            for x in 0..w {
+                let t = 20.0
+                    + 300.0
+                        * (-((x as f32 - w as f32 * 0.5).powi(2)
+                            + (y as f32 - h as f32 * 0.5).powi(2))
+                            / (w as f32 * 6.0))
+                            .exp()
+                    + core as f32;
+                vm.compute(10);
+                vm.write_f32(at(a, y * w + x), t);
+            }
+        }
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..self.iters {
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let s = 0.25
+                        * (vm.read_f32(at(src, (y - 1) * w + x))
+                            + vm.read_f32(at(src, (y + 1) * w + x))
+                            + vm.read_f32(at(src, y * w + x - 1))
+                            + vm.read_f32(at(src, y * w + x + 1)));
+                    vm.compute(6);
+                    vm.write_f32(at(dst, y * w + x), s);
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        vec![vm.read_f32(at(src, (h / 2) * w + w / 2)) as f64]
+    }
+}
+
+fn main() {
+    let cores = 8;
+    let shard = HeatShard { width: 256, rows_per_core: 128, iters: 3 };
+    // Per-core share of Table 1's hierarchy (1 MB of the 8 MB LLC, a
+    // quarter-channel of DDR4 bandwidth).
+    let cfg = SystemConfig::per_core_scaled();
+
+    println!("8-core SPMD heat, partitioned-share CMP model\n");
+    println!("{:<10}{:>16}{:>14}{:>12}", "design", "makespan (cyc)", "traffic (MB)", "energy (mJ)");
+    let mut baseline_cycles = 0u64;
+    for design in [DesignKind::Baseline, DesignKind::Truncate, DesignKind::Avr] {
+        let run = run_multicore(&shard, &cfg, design, cores);
+        if design == DesignKind::Baseline {
+            baseline_cycles = run.cycles();
+        }
+        println!(
+            "{:<10}{:>16}{:>14.1}{:>12.2}   ({:.2}x vs baseline)",
+            design.label(),
+            run.cycles(),
+            run.total_traffic() as f64 / 1e6,
+            run.total_energy() * 1e3,
+            run.cycles() as f64 / baseline_cycles as f64,
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: allocate approximable memory, stream data through an AVR
+//! system, and inspect what the architecture did with it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use avr::arch::{DesignKind, System, SystemConfig, Vm};
+use avr::types::{DataType, PhysAddr};
+
+fn main() {
+    // A small system so the working set spills out of the LLC and the AVR
+    // machinery (compression on eviction, lazy writebacks, DBUF) engages.
+    let mut sys = System::new(SystemConfig::tiny(), DesignKind::Avr);
+
+    // The paper's programming model: annotate the approximable allocation
+    // with its datatype (§3.1). Pages are marked approximate; everything
+    // else stays precise.
+    let n = 64 * 1024; // 64k f32 values = 256 KB
+    let field = sys.approx_malloc(4 * n, DataType::F32);
+    println!("allocated {} KB approximable at {:?}", 4 * n / 1024, field.base);
+
+    // Write a smooth field (a temperature-like profile), then stream some
+    // precise data to push it out of the cache hierarchy.
+    for i in 0..n as u64 {
+        let v = 300.0 + 25.0 * ((i as f32) * 1e-4).sin();
+        sys.write_f32(PhysAddr(field.base.0 + 4 * i), v);
+    }
+    let scratch = sys.malloc(512 * 1024);
+    for off in (0..512 * 1024).step_by(64) {
+        sys.read_u32(PhysAddr(scratch.base.0 + off as u64));
+    }
+
+    // Read the field back: compressed blocks return approximately
+    // reconstructed values.
+    let mut worst: f32 = 0.0;
+    for i in 0..n as u64 {
+        let expect = 300.0 + 25.0 * ((i as f32) * 1e-4).sin();
+        let got = sys.read_f32(PhysAddr(field.base.0 + 4 * i));
+        worst = worst.max(((got - expect) / expect).abs());
+    }
+    println!("worst relative read-back error: {:.4} % (T1 = 2 %)", worst * 100.0);
+
+    let m = sys.finish("quickstart");
+    let c = &m.counters;
+    println!("\n--- what the architecture did ---");
+    println!("cycles:              {}", m.cycles);
+    println!("IPC:                 {:.2}", m.ipc);
+    println!("LLC requests (approx lines):");
+    println!("  misses:            {}", c.approx_requests.miss);
+    println!("  uncompressed hits: {}", c.approx_requests.uncompressed_hit);
+    println!("  DBUF hits:         {}", c.approx_requests.dbuf_hit);
+    println!("  compressed hits:   {}", c.approx_requests.compressed_hit);
+    println!("evictions:");
+    println!("  recompress:        {}", c.evictions.recompress);
+    println!("  lazy writeback:    {}", c.evictions.lazy_writeback);
+    println!("  fetch+recompress:  {}", c.evictions.fetch_recompress);
+    println!("  uncompressed WB:   {}", c.evictions.uncompressed_writeback);
+    println!("DRAM traffic:        {} KB (approx) + {} KB (precise)",
+        c.traffic.approx() / 1024, c.traffic.nonapprox() / 1024);
+    println!("compression ratio:   {:.1}:1", m.compression_ratio);
+    println!("energy:              {:.3} mJ", m.energy.total() * 1e3);
+    assert!(worst < 0.02 + 1e-3, "T1 must bound the read-back error");
+}

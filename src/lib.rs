@@ -1,0 +1,45 @@
+//! # AVR — Approximate Value Reconstruction
+//!
+//! A full-system reproduction of *"AVR: Reducing Memory Traffic with
+//! Approximate Value Reconstruction"* (Eldstål-Damlin, Trancoso, Sourdis —
+//! ICPP 2019): an architecture for approximate memory compression that
+//! downsamples 1 KB memory blocks 16:1, keeps hard-to-approximate values
+//! as exact outliers, and co-locates compressed blocks with uncompressed
+//! cachelines in a decoupled last-level cache.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`types`] — addresses, cachelines, blocks, configuration (Table 1)
+//! * [`compress`] — the lossy codec (§3.3): biasing, downsampling,
+//!   interpolation, error check, outliers
+//! * [`dram`] — the cycle-approximate DDR4 model
+//! * [`cache`] — set-associative caches, the decoupled AVR LLC (§3.4),
+//!   CMT (§3.2), DBUF and PFE
+//! * [`sim`] — interval core model, backing-store VM, energy model, stats
+//! * [`baselines`] — Truncate and Doppelgänger comparison designs (§4.1)
+//! * [`arch`] — the assembled systems and memory operations (§3.5)
+//! * [`workloads`] — the seven benchmarks of Table 2
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use avr::arch::{DesignKind, System, SystemConfig, Vm};
+//! use avr::types::{DataType, PhysAddr};
+//!
+//! let mut sys = System::new(SystemConfig::tiny(), DesignKind::Avr);
+//! let region = sys.approx_malloc(64 << 10, DataType::F32);
+//! for i in 0..1024u64 {
+//!     sys.write_f32(PhysAddr(region.base.0 + 4 * i), 20.0 + i as f32 * 0.01);
+//! }
+//! let metrics = sys.finish("demo");
+//! assert!(metrics.cycles > 0);
+//! ```
+
+pub use avr_baselines as baselines;
+pub use avr_cache as cache;
+pub use avr_compress as compress;
+pub use avr_core as arch;
+pub use avr_dram as dram;
+pub use avr_sim as sim;
+pub use avr_types as types;
+pub use avr_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Property-based tests of the AVR codec: the invariants §3.3 promises,
+//! checked over arbitrary finite blocks.
+
+use avr::compress::{compress, decompress, CompressFailure, Thresholds};
+use avr::types::{BlockData, DataType, VALUES_PER_BLOCK};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Finite, non-degenerate magnitudes the workloads actually produce.
+    prop_oneof![
+        (-1.0e6f32..1.0e6),
+        (-1.0f32..1.0),
+        (1.0e-6f32..1.0e-3),
+        Just(0.0f32),
+    ]
+}
+
+fn smooth_block() -> impl Strategy<Value = BlockData> {
+    // base + slope*i + curvature: the compressible family.
+    ((10.0f32..1000.0), (-0.5f32..0.5), (-0.001f32..0.001)).prop_map(|(b, s, c)| {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, w) in words.iter_mut().enumerate() {
+            let x = i as f32;
+            *w = (b + s * x + c * x * x).to_bits();
+        }
+        BlockData { words }
+    })
+}
+
+fn arbitrary_block() -> impl Strategy<Value = BlockData> {
+    proptest::collection::vec(finite_f32(), VALUES_PER_BLOCK).prop_map(|vals| {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (w, v) in words.iter_mut().zip(&vals) {
+            *w = v.to_bits();
+        }
+        BlockData { words }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever happens, a successful compression fits the size cap and
+    /// its bitmap popcount equals its outlier count.
+    #[test]
+    fn compressed_blocks_respect_the_size_cap(block in arbitrary_block()) {
+        let th = Thresholds::paper_default();
+        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
+            prop_assert!(o.compressed.size_lines() <= 8);
+            prop_assert_eq!(o.compressed.outlier_count(), o.compressed.outliers.len());
+            prop_assert!(o.compressed.ratio() >= 2.0);
+        }
+    }
+
+    /// decompress(compress(x)) is exactly the reconstructed view the
+    /// simulator feeds back into application memory.
+    #[test]
+    fn decompress_matches_reconstruction(block in arbitrary_block()) {
+        let th = Thresholds::paper_default();
+        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
+            prop_assert_eq!(decompress(&o.compressed), o.reconstructed);
+        }
+    }
+
+    /// Non-outlier values respect the per-value threshold T1; outliers are
+    /// reproduced bit-exactly.
+    #[test]
+    fn t1_bounds_every_non_outlier(block in arbitrary_block()) {
+        let th = Thresholds::paper_default();
+        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
+            for i in 0..VALUES_PER_BLOCK {
+                let orig = f32::from_bits(block.words[i]);
+                let recon = f32::from_bits(o.reconstructed.words[i]);
+                if o.compressed.is_outlier(i) {
+                    prop_assert_eq!(block.words[i], o.reconstructed.words[i]);
+                } else if orig != 0.0 && orig.is_finite() {
+                    let rel = ((recon - orig) / orig).abs() as f64;
+                    prop_assert!(rel <= th.t1 + 1e-9, "value {i}: rel {rel}");
+                }
+            }
+            prop_assert!(o.avg_err <= th.t2 + 1e-12);
+        }
+    }
+
+    /// Smooth data always compresses, and well.
+    #[test]
+    fn smooth_blocks_always_compress(block in smooth_block()) {
+        let th = Thresholds::paper_default();
+        let o = compress(&block, DataType::F32, &th, 8);
+        prop_assert!(o.is_ok(), "smooth block failed: {o:?}");
+        prop_assert!(o.unwrap().compressed.size_lines() <= 4);
+    }
+
+    /// Tightening T1 never decreases the outlier count.
+    #[test]
+    fn tighter_thresholds_mean_more_outliers(block in arbitrary_block()) {
+        let loose = Thresholds::new(0.05, 0.025);
+        let tight = Thresholds::new(0.005, 0.0025);
+        let lo = compress(&block, DataType::F32, &loose, 16);
+        let to = compress(&block, DataType::F32, &tight, 16);
+        if let (Ok(l), Ok(t)) = (lo, to) {
+            prop_assert!(t.outlier_count >= l.outlier_count);
+        }
+    }
+
+    /// Failure is always one of the two documented reasons.
+    #[test]
+    fn failures_are_classified(block in arbitrary_block()) {
+        let th = Thresholds::paper_default();
+        match compress(&block, DataType::F32, &th, 8) {
+            Ok(_) => {}
+            Err(CompressFailure::TooManyOutliers { lines_needed }) => {
+                prop_assert!(lines_needed > 8);
+            }
+            Err(CompressFailure::AvgErrorTooHigh { avg_err }) => {
+                prop_assert!(avg_err > th.t2);
+            }
+        }
+    }
+
+    /// Compression is deterministic.
+    #[test]
+    fn compression_is_deterministic(block in arbitrary_block()) {
+        let th = Thresholds::paper_default();
+        let a = compress(&block, DataType::F32, &th, 8);
+        let b = compress(&block, DataType::F32, &th, 8);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.compressed, y.compressed),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "divergent outcomes: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The whole simulator is deterministic: identical runs produce identical
+//! cycle counts, traffic, and outputs — a property the figure benches and
+//! EXPERIMENTS.md depend on.
+
+use avr::arch::{DesignKind, SystemConfig};
+use avr::workloads::{all_benchmarks, run_on_design, BenchScale};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let cfg = SystemConfig::tiny();
+    for w in all_benchmarks(BenchScale::Tiny) {
+        // heat + kmeans cover the stencil and convergence-loop classes;
+        // running all seven twice would double CI time for no extra signal.
+        if !matches!(w.name(), "heat" | "kmeans") {
+            continue;
+        }
+        for design in [DesignKind::Avr, DesignKind::Doppelganger, DesignKind::Truncate] {
+            let a = run_on_design(w.as_ref(), &cfg, design);
+            let b = run_on_design(w.as_ref(), &cfg, design);
+            assert_eq!(a.cycles, b.cycles, "{} {:?} cycles differ", w.name(), design);
+            assert_eq!(
+                a.counters.traffic, b.counters.traffic,
+                "{} {:?} traffic differs",
+                w.name(),
+                design
+            );
+            assert_eq!(
+                a.output_error, b.output_error,
+                "{} {:?} output error differs",
+                w.name(),
+                design
+            );
+            assert_eq!(a.counters.llc_misses_total, b.counters.llc_misses_total);
+        }
+    }
+}
+
+#[test]
+fn design_does_not_perturb_instruction_stream_except_kmeans() {
+    // All benchmarks but kmeans execute a fixed amount of work regardless
+    // of approximation (paper §4.3); kmeans may converge differently.
+    let cfg = SystemConfig::tiny();
+    for w in all_benchmarks(BenchScale::Tiny) {
+        if w.name() == "kmeans" {
+            continue;
+        }
+        let base = run_on_design(w.as_ref(), &cfg, DesignKind::Baseline);
+        let avr = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+        assert_eq!(
+            base.counters.instructions, avr.counters.instructions,
+            "{} instruction count must not depend on the design",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: every benchmark × every design at tiny scale
+//! completes, produces sane metrics, and preserves the paper's qualitative
+//! invariants.
+
+use avr::arch::{DesignKind, SystemConfig};
+use avr::workloads::{all_benchmarks, run_on_design, BenchScale};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::tiny()
+}
+
+#[test]
+fn every_design_runs_every_benchmark() {
+    for w in all_benchmarks(BenchScale::Tiny) {
+        for design in DesignKind::ALL {
+            let m = run_on_design(w.as_ref(), &cfg(), design);
+            assert!(m.cycles > 0, "{} on {:?} produced no cycles", w.name(), design);
+            assert!(m.ipc > 0.0 && m.ipc <= 4.0, "{} IPC {} out of range", w.name(), m.ipc);
+            assert!(
+                m.output_error.is_finite() && m.output_error >= 0.0,
+                "{} error {}",
+                w.name(),
+                m.output_error
+            );
+            assert!(m.energy.total() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn baseline_and_zeroavr_are_exact() {
+    for w in all_benchmarks(BenchScale::Tiny) {
+        for design in [DesignKind::Baseline, DesignKind::ZeroAvr] {
+            let m = run_on_design(w.as_ref(), &cfg(), design);
+            assert_eq!(
+                m.output_error, 0.0,
+                "{} must be bit-exact on {:?}",
+                w.name(),
+                design
+            );
+        }
+    }
+}
+
+#[test]
+fn zeroavr_tracks_baseline_performance() {
+    // The paper: "when not approximating, AVR does not have notable
+    // overheads". Allow a few percent of slack for the decoupled LLC.
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let base = run_on_design(w.as_ref(), &cfg(), DesignKind::Baseline);
+        let zero = run_on_design(w.as_ref(), &cfg(), DesignKind::ZeroAvr);
+        let ratio = zero.exec_time_norm(&base);
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "{}: ZeroAVR exec ratio {ratio}",
+            w.name()
+        );
+        assert_eq!(
+            zero.counters.llc_misses_total, base.counters.llc_misses_total,
+            "{}: decoupled LLC must miss exactly like the baseline when \
+             nothing is approximable",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn avr_reduces_traffic_on_compressible_workloads() {
+    // lattice and lbm have highly compressible working sets even at tiny
+    // scale; AVR must move fewer bytes than the baseline.
+    for w in all_benchmarks(BenchScale::Tiny) {
+        if !matches!(w.name(), "lattice" | "lbm") {
+            continue;
+        }
+        let base = run_on_design(w.as_ref(), &cfg(), DesignKind::Baseline);
+        let avr = run_on_design(w.as_ref(), &cfg(), DesignKind::Avr);
+        let t = avr.traffic_norm(&base);
+        assert!(t < 0.95, "{}: AVR traffic ratio {t}", w.name());
+    }
+}
+
+#[test]
+fn truncate_error_is_bounded_by_the_mantissa_cut() {
+    // Dropping 16 mantissa bits bounds each value's relative error by
+    // 2^-8; outputs are combinations of inputs, so allow amplification
+    // headroom but nothing runaway.
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let m = run_on_design(w.as_ref(), &cfg(), DesignKind::Truncate);
+        assert!(
+            m.output_error < 0.20,
+            "{}: truncate output error {}",
+            w.name(),
+            m.output_error
+        );
+    }
+}
+
+#[test]
+fn avr_error_stays_in_the_papers_band() {
+    // Paper Table 3: AVR introduces at most 1.2 % output error except wrf
+    // (8.9 %). Tiny scale is harsher on the codec (sharper features per
+    // block), so allow 2x the paper's worst case per benchmark class.
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let m = run_on_design(w.as_ref(), &cfg(), DesignKind::Avr);
+        let limit = match w.name() {
+            "wrf" => 0.18,
+            "kmeans" => 0.10,
+            _ => 0.06,
+        };
+        assert!(
+            m.output_error < limit,
+            "{}: AVR output error {} over limit {limit}",
+            w.name(),
+            m.output_error
+        );
+    }
+}
+
+#[test]
+fn compression_metrics_are_consistent() {
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let m = run_on_design(w.as_ref(), &cfg(), DesignKind::Avr);
+        assert!(
+            (1.0..=16.0).contains(&m.compression_ratio),
+            "{}: ratio {}",
+            w.name(),
+            m.compression_ratio
+        );
+        assert!(
+            m.footprint_fraction > 0.0 && m.footprint_fraction <= 1.0 + 1e-9,
+            "{}: footprint {}",
+            w.name(),
+            m.footprint_fraction
+        );
+        // Figure 14/15 breakdowns partition their totals.
+        let r = m.counters.approx_requests;
+        assert_eq!(
+            r.total(),
+            r.miss + r.uncompressed_hit + r.dbuf_hit + r.compressed_hit
+        );
+    }
+}
+
+#[test]
+fn amat_orders_designs_sanely_on_memory_bound_work() {
+    // On lbm (most memory-bound), AVR's AMAT must beat the baseline's.
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let lbm = suite.iter().find(|w| w.name() == "lbm").unwrap();
+    let base = run_on_design(lbm.as_ref(), &cfg(), DesignKind::Baseline);
+    let avr = run_on_design(lbm.as_ref(), &cfg(), DesignKind::Avr);
+    assert!(
+        avr.counters.amat() < base.counters.amat(),
+        "AVR AMAT {} vs baseline {}",
+        avr.counters.amat(),
+        base.counters.amat()
+    );
+}

@@ -1,0 +1,92 @@
+//! End-to-end coverage of the fixed-point datatype path (paper §3.3,
+//! footnote 1): AVR compresses Q16.16 data directly, without the
+//! bias/convert stages, and the error check uses subtraction + comparison.
+
+use avr::arch::{DesignKind, System, SystemConfig, Vm};
+use avr::compress::{compress, Thresholds};
+use avr::types::{BlockData, DataType, PhysAddr, VALUES_PER_BLOCK};
+
+/// Q16.16 helpers.
+fn to_q16(v: f64) -> u32 {
+    ((v * 65536.0).round() as i32) as u32
+}
+fn from_q16(raw: u32) -> f64 {
+    (raw as i32) as f64 / 65536.0
+}
+
+#[test]
+fn fixed_point_blocks_compress_without_bias() {
+    let mut b = BlockData::default();
+    for (i, w) in b.words.iter_mut().enumerate() {
+        *w = to_q16(500.0 + i as f64 * 0.25);
+    }
+    let o = compress(&b, DataType::Fixed32, &Thresholds::paper_default(), 8).unwrap();
+    assert_eq!(o.compressed.bias, 0, "fixed data never biases");
+    assert!(o.compressed.size_lines() <= 2);
+    for i in 0..VALUES_PER_BLOCK {
+        let orig = from_q16(b.words[i]);
+        let rec = from_q16(o.reconstructed.words[i]);
+        assert!(
+            ((rec - orig) / orig).abs() < 0.02 + 1e-9,
+            "value {i}: {orig} vs {rec}"
+        );
+    }
+}
+
+#[test]
+fn fixed_point_region_survives_a_full_system_round_trip() {
+    let mut sys = System::new(SystemConfig::tiny(), DesignKind::Avr);
+    let n = 32 * 1024usize;
+    let r = sys.approx_malloc(4 * n, DataType::Fixed32);
+
+    // A smooth sensor-style Q16.16 signal.
+    for i in 0..n as u64 {
+        let v = 1000.0 + (i as f64) * 0.01;
+        sys.write_u32(PhysAddr(r.base.0 + 4 * i), to_q16(v));
+    }
+    // Flush the hierarchy so blocks compress on eviction.
+    let scratch = sys.malloc(256 << 10);
+    for off in (0..256 << 10).step_by(64) {
+        sys.read_u32(PhysAddr(scratch.base.0 + off as u64));
+    }
+    // Read back: values within T1 of the originals.
+    let mut worst = 0.0f64;
+    for i in 0..n as u64 {
+        let expect = 1000.0 + (i as f64) * 0.01;
+        let got = from_q16(sys.read_u32(PhysAddr(r.base.0 + 4 * i)));
+        worst = worst.max(((got - expect) / expect).abs());
+    }
+    assert!(worst <= 0.02 + 1e-6, "worst fixed-point error {worst}");
+
+    let m = sys.finish("fixed_round_trip");
+    assert!(
+        m.compression_ratio > 4.0,
+        "smooth fixed ramp should compress well: {}",
+        m.compression_ratio
+    );
+}
+
+#[test]
+fn mixed_datatype_regions_coexist() {
+    // One system, one f32 region and one Q16.16 region: the CMT method
+    // field keeps their codecs apart.
+    let mut sys = System::new(SystemConfig::tiny(), DesignKind::Avr);
+    let nf = 8 * 1024usize;
+    let rf = sys.approx_malloc(4 * nf, DataType::F32);
+    let rq = sys.approx_malloc(4 * nf, DataType::Fixed32);
+    for i in 0..nf as u64 {
+        sys.write_f32(PhysAddr(rf.base.0 + 4 * i), 3.0 + i as f32 * 1e-3);
+        sys.write_u32(PhysAddr(rq.base.0 + 4 * i), to_q16(3.0 + i as f64 * 1e-3));
+    }
+    let scratch = sys.malloc(256 << 10);
+    for off in (0..256 << 10).step_by(64) {
+        sys.read_u32(PhysAddr(scratch.base.0 + off as u64));
+    }
+    for i in (0..nf as u64).step_by(97) {
+        let expect = 3.0 + i as f64 * 1e-3;
+        let f = sys.read_f32(PhysAddr(rf.base.0 + 4 * i)) as f64;
+        let q = from_q16(sys.read_u32(PhysAddr(rq.base.0 + 4 * i)));
+        assert!(((f - expect) / expect).abs() < 0.02 + 1e-6, "f32 {i}: {f}");
+        assert!(((q - expect) / expect).abs() < 0.02 + 1e-6, "q16 {i}: {q}");
+    }
+}
