@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the full test suite, and a bench smoke run.
+#
+#   ./ci.sh          full gate (what .github/workflows/ci.yml runs)
+#   ./ci.sh quick    skip the bench smoke (fast local pre-commit check)
+#
+# Everything builds with the repo's .cargo/config.toml (host-native
+# codegen); see PERFORMANCE.md.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> bench smoke (tiny scale, shrunk measurement)"
+    # codec kernels: reference-vs-fused comparison at smoke precision; the
+    # JSON lands in a scratch file (the committed BENCH_*.json trajectory
+    # files are produced by a full run: cargo run --release -p avr-bench
+    # --bin bench_codec -- BENCH_PRn.json).
+    AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
+    AVR_BENCH_FAST=1 cargo bench --bench codec_kernels -p avr-bench
+fi
+
+echo "==> ci.sh: all green"

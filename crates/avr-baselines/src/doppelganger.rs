@@ -137,11 +137,8 @@ impl DoppelLlc {
         // 2-bit normalized shape per value.
         let mut shape = 0u64;
         for (i, &v) in vals.iter().enumerate() {
-            let q = if range == 0.0 {
-                0
-            } else {
-                (((v - min) / range) * 3.999).floor() as u64 & 0x3
-            };
+            let q =
+                if range == 0.0 { 0 } else { (((v - min) / range) * 3.999).floor() as u64 & 0x3 };
             shape |= q << (2 * i);
         }
         sig ^ shape.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -242,7 +239,12 @@ impl DoppelLlc {
                 self.next_entry += 1;
                 self.entries.insert(
                     id,
-                    DataEntry { signature: sig, representative: *values, refs: vec![line], lru: now },
+                    DataEntry {
+                        signature: sig,
+                        representative: *values,
+                        refs: vec![line],
+                        lru: now,
+                    },
                 );
                 self.sig_index.insert(sig, id);
                 id

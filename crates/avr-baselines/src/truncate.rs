@@ -36,7 +36,7 @@ mod tests {
     fn f32_relative_error_is_bounded() {
         // Keeping 7 mantissa bits bounds relative error by 2^-8 ≈ 0.39 %
         // (round-toward-zero truncation, error < 1 ulp of the kept field).
-        for v in [1.0f32, 3.14159, -2.7e8, 5.5e-12, 123.456] {
+        for v in [1.0f32, 3.25, -2.7e8, 5.5e-12, 123.456] {
             let t = f32::from_bits(truncate_word(v.to_bits(), DataType::F32));
             let rel = ((t - v) / v).abs();
             assert!(rel < 1.0 / 128.0, "{v} -> {t} rel {rel}");

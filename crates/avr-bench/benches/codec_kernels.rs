@@ -1,64 +1,49 @@
 //! Microbenchmarks of the AVR hardware pipeline stages — the throughput of
 //! the simulated compressor/decompressor module itself (not a paper
 //! figure, but the performance backbone of the whole simulation).
+//!
+//! Each kernel is measured twice: `reference_*` runs the retained
+//! pre-refactor per-stage implementation
+//! ([`avr_compress::reference::compress_reference`]), `fused_*` runs the
+//! production fused path through a reusing [`Compressor`]. The two are
+//! bit-identical (property-tested); the ratio is the PR's tracked speedup.
+//! `avr-bench`'s `bench_codec` binary emits the same comparison as a
+//! machine-readable `BENCH_*.json` trajectory file.
 
-use avr_compress::{compress, decompress, Thresholds};
-use avr_types::{BlockData, DataType};
+use avr_bench::codec_kernels::{noise_block, smooth_block, spiky_block};
+use avr_compress::{compress_reference, decompress, Compressor, Thresholds};
+use avr_types::DataType;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
-fn smooth_block() -> BlockData {
-    let mut b = BlockData::default();
-    for (i, w) in b.words.iter_mut().enumerate() {
-        let (r, c) = ((i / 16) as f32, (i % 16) as f32);
-        *w = (250.0 + 0.8 * r + 0.4 * c).to_bits();
-    }
-    b
-}
-
-fn spiky_block() -> BlockData {
-    let mut b = smooth_block();
-    for i in (0..256).step_by(11) {
-        b.words[i] = (-1.0e9f32).to_bits();
-    }
-    b
-}
-
-fn noise_block() -> BlockData {
-    let mut b = BlockData::default();
-    let mut state = 0xACE1u32;
-    for w in b.words.iter_mut() {
-        state = state.wrapping_mul(48271) % 0x7FFF_FFFF;
-        *w = (state as f32).to_bits();
-    }
-    b
-}
 
 fn codec_benches(c: &mut Criterion) {
     let th = Thresholds::paper_default();
+    let mut comp = Compressor::new(th, 8);
 
-    let smooth = smooth_block();
-    c.bench_function("compress_smooth_block", |b| {
-        b.iter(|| compress(std::hint::black_box(&smooth), DataType::F32, &th, 8).unwrap())
-    });
+    let kernels = [
+        ("smooth_block", smooth_block()),
+        ("spiky_block", spiky_block()),
+        ("noise_block", noise_block()),
+    ];
 
-    let spiky = spiky_block();
-    c.bench_function("compress_block_with_outliers", |b| {
-        b.iter(|| compress(std::hint::black_box(&spiky), DataType::F32, &th, 8))
-    });
+    for (name, block) in &kernels {
+        c.bench_function(&format!("reference_compress_{name}"), |b| {
+            b.iter(|| {
+                compress_reference(std::hint::black_box(block), DataType::F32, &th, 8).is_ok()
+            })
+        });
+        c.bench_function(&format!("fused_compress_{name}"), |b| {
+            b.iter(|| comp.compress(std::hint::black_box(block), DataType::F32).is_ok())
+        });
+    }
 
-    let noise = noise_block();
-    c.bench_function("compress_incompressible_block", |b| {
-        b.iter(|| compress(std::hint::black_box(&noise), DataType::F32, &th, 8).is_err())
-    });
-
-    let compressed = compress(&smooth, DataType::F32, &th, 8).unwrap().compressed;
+    let compressed = comp.compress(&smooth_block(), DataType::F32).unwrap().compressed;
     c.bench_function("decompress_block", |b| {
         b.iter(|| decompress(std::hint::black_box(&compressed)))
     });
 
     c.bench_function("bias_selection", |b| {
         b.iter_batched(
-            || smooth.words,
+            || smooth_block().words,
             |words| avr_compress::choose_bias(std::hint::black_box(&words)),
             BatchSize::SmallInput,
         )

@@ -7,7 +7,16 @@ use avr_core::DesignKind;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn regenerate_and_bench(c: &mut Criterion) {
-    let sweep = Sweep::run(scale_from_env(), &[DesignKind::Baseline, DesignKind::Doppelganger, DesignKind::Truncate, DesignKind::ZeroAvr, DesignKind::Avr]);
+    let sweep = Sweep::run(
+        scale_from_env(),
+        &[
+            DesignKind::Baseline,
+            DesignKind::Doppelganger,
+            DesignKind::Truncate,
+            DesignKind::ZeroAvr,
+            DesignKind::Avr,
+        ],
+    );
     print!("{}", fig12(&sweep));
     // Representative kernel: one block through the codec.
     let mut block = avr_types::BlockData::default();

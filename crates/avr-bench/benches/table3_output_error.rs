@@ -7,7 +7,10 @@ use avr_core::DesignKind;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn regenerate_and_bench(c: &mut Criterion) {
-    let sweep = Sweep::run(scale_from_env(), &[DesignKind::Doppelganger, DesignKind::Truncate, DesignKind::Avr]);
+    let sweep = Sweep::run(
+        scale_from_env(),
+        &[DesignKind::Doppelganger, DesignKind::Truncate, DesignKind::Avr],
+    );
     print!("{}", table3(&sweep));
     // Representative kernel: one block through the codec.
     let mut block = avr_types::BlockData::default();

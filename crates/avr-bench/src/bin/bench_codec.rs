@@ -1,0 +1,123 @@
+//! Codec throughput comparison: retained reference implementation vs. the
+//! fused hot path, emitted as a machine-readable `BENCH_<tag>.json`
+//! trajectory file so every PR's codec performance is tracked in-repo.
+//!
+//! Usage: `bench_codec [output.json]` (default `BENCH_current.json`).
+//! The committed trajectory file for this PR is `BENCH_PR1.json`; CI's
+//! smoke mode (`AVR_BENCH_FAST=1`) shrinks the measurement.
+//!
+//! Measurement: per kernel, reference and fused samples interleave
+//! (`SAMPLES` batches of `ITERS` calls each) and the reported figure is the
+//! per-iteration median — robust to scheduler noise on shared machines.
+
+use avr_bench::codec_kernels::{noise_block, smooth_block, spiky_block};
+use avr_compress::{compress_reference, Compressor, Thresholds};
+use avr_types::{BlockData, DataType};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    kernel: &'static str,
+    reference_ns: f64,
+    fused_ns: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.fused_ns
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn measure(kernel: &'static str, block: &BlockData, fast: bool) -> Measurement {
+    let th = Thresholds::paper_default();
+    let mut comp = Compressor::new(th, 8);
+    let (iters, samples, warmup) = if fast { (500u32, 11, 2_000u32) } else { (2_000, 41, 10_000) };
+
+    let reference = || compress_reference(block, DataType::F32, &th, 8).is_ok();
+    let mut fused = || comp.compress(block, DataType::F32).is_ok();
+    for _ in 0..warmup {
+        std::hint::black_box(reference());
+        std::hint::black_box(fused());
+    }
+
+    let mut ref_ns = Vec::with_capacity(samples);
+    let mut fused_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(reference());
+        }
+        ref_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(fused());
+        }
+        fused_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    Measurement { kernel, reference_ns: median(ref_ns), fused_ns: median(fused_ns) }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_current.json".to_string());
+    // Fail on an unwritable destination *before* spending the measurement.
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let fast = std::env::var("AVR_BENCH_FAST").is_ok();
+
+    let kernels: [(&'static str, BlockData); 3] = [
+        ("smooth_block", smooth_block()),
+        ("spiky_block", spiky_block()),
+        ("noise_block", noise_block()),
+    ];
+    let results: Vec<Measurement> =
+        kernels.iter().map(|(name, block)| measure(name, block, fast)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"codec_kernels\",");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_block\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if fast { "fast_smoke" } else { "full" });
+    let _ = writeln!(json, "  \"target\": \"host-native (.cargo/config.toml)\",");
+    json.push_str("  \"kernels\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"reference_ns\": {:.1}, \"fused_ns\": {:.1}, \
+             \"speedup\": {:.2}, \"fused_blocks_per_sec\": {:.0} }}{}",
+            m.kernel,
+            m.reference_ns,
+            m.fused_ns,
+            m.speedup(),
+            1e9 / m.fused_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    for m in &results {
+        println!(
+            "{:<14} reference {:>8.1} ns  fused {:>8.1} ns  speedup {:.2}x",
+            m.kernel,
+            m.reference_ns,
+            m.fused_ns,
+            m.speedup()
+        );
+    }
+    std::fs::write(&out_path, &json).expect("write trajectory file");
+    println!("wrote {out_path}");
+
+    // The PR's tracked acceptance bar: >= 2x on the compressible kernels.
+    // (Informational here; CI treats the committed BENCH_*.json as record.)
+    for m in &results {
+        if m.kernel != "noise_block" && m.speedup() < 2.0 {
+            eprintln!("WARNING: {} speedup {:.2}x below the 2x target", m.kernel, m.speedup());
+        }
+    }
+}

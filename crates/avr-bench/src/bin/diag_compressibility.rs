@@ -1,7 +1,7 @@
-use avr_core::ExactVm;
-use avr_compress::{compress, Thresholds, CompressFailure};
-use avr_workloads::all_benchmarks;
 use avr_bench::scale_from_env;
+use avr_compress::{compress, CompressFailure, Thresholds};
+use avr_core::ExactVm;
+use avr_workloads::all_benchmarks;
 
 fn main() {
     let th = Thresholds::paper_default();
@@ -22,7 +22,11 @@ fn main() {
         print!("{:<10} n={:<6}", w.name(), total);
         for (i, &c) in sizes.iter().enumerate() {
             if c > 0 {
-                let label = match i { 16 => "outl!".to_string(), 17 => "avg!".to_string(), _ => format!("{i}L") };
+                let label = match i {
+                    16 => "outl!".to_string(),
+                    17 => "avg!".to_string(),
+                    _ => format!("{i}L"),
+                };
                 print!(" {}:{:.0}%", label, 100.0 * c as f64 / total as f64);
             }
         }

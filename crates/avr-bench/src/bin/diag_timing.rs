@@ -1,9 +1,13 @@
 //! Timing diagnostic: where do baseline cycles go for one workload?
 use avr_core::{DesignKind, ExactVm, System, SystemConfig};
-use avr_workloads::{all_benchmarks, BenchScale, Workload};
 use avr_workloads::runner::mean_relative_error;
+use avr_workloads::{all_benchmarks, BenchScale, Workload};
 
-fn run_diag(w: &dyn Workload, cfg: &SystemConfig, d: DesignKind) -> (avr_sim::RunMetrics, (u64, u64, u64)) {
+fn run_diag(
+    w: &dyn Workload,
+    cfg: &SystemConfig,
+    d: DesignKind,
+) -> (avr_sim::RunMetrics, (u64, u64, u64)) {
     let mut exact = ExactVm::new();
     let golden = w.run(&mut exact);
     let mut sys = System::new(cfg.clone(), d);
@@ -29,9 +33,12 @@ fn main() {
         );
         println!(
             "          leading={} trailing={} stalls={} miss_lat_avg={:.0} ev={:?} req={:?}",
-            diag.0, diag.1, diag.2,
+            diag.0,
+            diag.1,
+            diag.2,
             c.miss_lat_sum as f64 / c.miss_lat_count.max(1) as f64,
-            c.evictions, c.approx_requests
+            c.evictions,
+            c.approx_requests
         );
     }
 }

@@ -8,15 +8,15 @@
 //! The output of the `bench` scale is what EXPERIMENTS.md records.
 
 use avr_bench::{
-    fig09, fig10, fig11, fig12, fig13, fig14, fig15, scale_from_env, scale_label, table3,
-    table4, Sweep,
+    fig09, fig10, fig11, fig12, fig13, fig14, fig15, scale_from_env, scale_label, table3, table4,
+    Sweep,
 };
 use avr_core::{DesignKind, OverheadReport, SystemConfig};
 
 fn main() {
     let scale = scale_from_env();
     eprintln!(
-        "running full sweep at {} scale (7 benchmarks x 5 designs, rayon-parallel)...",
+        "running full sweep at {} scale (7 benchmarks x 5 designs, thread-parallel)...",
         scale_label(scale)
     );
     let t0 = std::time::Instant::now();

@@ -12,16 +12,16 @@ use avr_core::{DesignKind, SystemConfig};
 use avr_sim::stats::geomean;
 use avr_sim::RunMetrics;
 use avr_workloads::{all_benchmarks, run_on_design, BenchScale, Workload};
-use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
+pub mod codec_kernels;
 pub mod render;
 
 pub use render::*;
 
 /// Benchmark names in the paper's figure order.
-pub const BENCH_ORDER: [&str; 7] =
-    ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"];
+pub const BENCH_ORDER: [&str; 7] = ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"];
 
 /// Resolve the scale from `AVR_SCALE` (tiny | bench).
 pub fn scale_from_env() -> BenchScale {
@@ -62,18 +62,27 @@ impl Sweep {
     pub fn run(scale: BenchScale, designs: &[DesignKind]) -> Sweep {
         let cfg = figure_config_for(scale);
         let suite = all_benchmarks(scale);
-        let jobs: Vec<(usize, DesignKind)> = (0..suite.len())
-            .flat_map(|w| designs.iter().map(move |&d| (w, d)))
-            .collect();
-        let runs: HashMap<_, _> = jobs
-            .par_iter()
-            .map(|&(wi, design)| {
-                let w: &dyn Workload = suite[wi].as_ref();
-                let m = run_on_design(w, &cfg, design);
-                ((w.name().to_string(), design.label()), m)
-            })
-            .collect();
-        Sweep { runs, designs: designs.to_vec() }
+        let jobs: Vec<(usize, DesignKind)> =
+            (0..suite.len()).flat_map(|w| designs.iter().map(move |&d| (w, d))).collect();
+        // Each run is an independent single-threaded simulation: fan the
+        // (workload, design) grid out over scoped worker threads pulling
+        // from a shared index (no external thread-pool dependency).
+        let runs = Mutex::new(HashMap::new());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers =
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(wi, design)) = jobs.get(i) else { break };
+                    let w: &dyn Workload = suite[wi].as_ref();
+                    let m = run_on_design(w, &cfg, design);
+                    runs.lock().unwrap().insert((w.name().to_string(), design.label()), m);
+                });
+            }
+        });
+        Sweep { runs: runs.into_inner().unwrap(), designs: designs.to_vec() }
     }
 
     pub fn get(&self, bench: &str, design: DesignKind) -> &RunMetrics {
@@ -93,10 +102,8 @@ impl Sweep {
         design: DesignKind,
         metric: impl Fn(&RunMetrics, &RunMetrics) -> f64,
     ) -> (Vec<f64>, f64) {
-        let vals: Vec<f64> = BENCH_ORDER
-            .iter()
-            .map(|b| metric(self.get(b, design), self.baseline(b)))
-            .collect();
+        let vals: Vec<f64> =
+            BENCH_ORDER.iter().map(|b| metric(self.get(b, design), self.baseline(b))).collect();
         let gm = geomean(&vals);
         (vals, gm)
     }
@@ -104,12 +111,8 @@ impl Sweep {
 
 /// The four comparison designs the figures plot (baseline is the
 /// normalization target).
-pub const FIGURE_DESIGNS: [DesignKind; 4] = [
-    DesignKind::Doppelganger,
-    DesignKind::Truncate,
-    DesignKind::ZeroAvr,
-    DesignKind::Avr,
-];
+pub const FIGURE_DESIGNS: [DesignKind; 4] =
+    [DesignKind::Doppelganger, DesignKind::Truncate, DesignKind::ZeroAvr, DesignKind::Avr];
 
 #[cfg(test)]
 mod tests {

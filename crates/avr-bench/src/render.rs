@@ -76,9 +76,7 @@ pub fn table4(sweep: &Sweep) -> String {
 
 /// Figure 9: normalized execution time.
 pub fn fig09(sweep: &Sweep) -> String {
-    norm_figure(sweep, "Figure 9: Execution time (norm. to baseline)", |m, b| {
-        m.exec_time_norm(b)
-    })
+    norm_figure(sweep, "Figure 9: Execution time (norm. to baseline)", |m, b| m.exec_time_norm(b))
 }
 
 /// Figure 10: normalized energy with the component stack.
@@ -174,8 +172,7 @@ pub fn fig14(sweep: &Sweep) -> String {
 
 /// Figure 15: AVR LLC eviction breakdown of approximate cachelines.
 pub fn fig15(sweep: &Sweep) -> String {
-    let mut s =
-        String::from("\n=== Figure 15: AVR LLC evictions of approximate cachelines ===\n");
+    let mut s = String::from("\n=== Figure 15: AVR LLC evictions of approximate cachelines ===\n");
     s.push_str(&format!(
         "{:<10}{:>12}{:>10}{:>18}{:>14}\n",
         "", "recompr.%", "lazy%", "fetch+recompr.%", "uncompr.wb%"
@@ -202,8 +199,13 @@ mod tests {
     fn mini_sweep() -> Sweep {
         Sweep::run(
             BenchScale::Tiny,
-            &[DesignKind::Baseline, DesignKind::Avr, DesignKind::Truncate,
-              DesignKind::Doppelganger, DesignKind::ZeroAvr],
+            &[
+                DesignKind::Baseline,
+                DesignKind::Avr,
+                DesignKind::Truncate,
+                DesignKind::Doppelganger,
+                DesignKind::ZeroAvr,
+            ],
         )
     }
 

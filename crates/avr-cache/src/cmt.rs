@@ -8,7 +8,6 @@
 //! cache misses cost metadata bandwidth.
 
 use avr_types::{BlockAddr, LINES_PER_BLOCK};
-use std::collections::HashMap;
 
 /// Per-block metadata. Field widths follow Fig. 3: size 3 b, method 2 b,
 /// bias 8 b, #lazy 4 b, #failed 4 b, #skipped 2 b (= 23 b) plus the leading
@@ -97,49 +96,99 @@ impl CmtEntry {
     }
 }
 
-/// The in-memory table: one entry per approximable block.
+/// Blocks covered by one lazily-allocated table segment: 4096 blocks =
+/// 4 MB of simulated memory per 32 KB segment.
+const CMT_SEG_BLOCKS: usize = 1 << 12;
+
+/// The in-memory table: one entry per approximable block, stored as a
+/// paged flat array indexed by block number. `get`/`get_mut` are O(1)
+/// direct indexing (the hardware's table *is* a flat region of physical
+/// memory); segments materialize on first write, so sparse address spaces
+/// stay cheap and the steady-state access path never allocates.
 #[derive(Clone, Debug, Default)]
 pub struct CmtTable {
-    entries: HashMap<BlockAddr, CmtEntry>,
+    segments: Vec<Option<Box<[CmtEntry; CMT_SEG_BLOCKS]>>>,
 }
 
 impl CmtTable {
+    #[inline]
+    fn split(block: BlockAddr) -> (usize, usize) {
+        ((block.0 as usize) / CMT_SEG_BLOCKS, (block.0 as usize) % CMT_SEG_BLOCKS)
+    }
+
     pub fn get(&self, block: BlockAddr) -> CmtEntry {
-        self.entries.get(&block).copied().unwrap_or_default()
+        let (seg, idx) = Self::split(block);
+        match self.segments.get(seg) {
+            Some(Some(s)) => s[idx],
+            _ => CmtEntry::default(),
+        }
     }
 
     pub fn get_mut(&mut self, block: BlockAddr) -> &mut CmtEntry {
-        self.entries.entry(block).or_default()
+        let (seg, idx) = Self::split(block);
+        if seg >= self.segments.len() {
+            self.segments.resize_with(seg + 1, || None);
+        }
+        let slot = &mut self.segments[seg];
+        if slot.is_none() {
+            *slot = Some(Box::new([CmtEntry::default(); CMT_SEG_BLOCKS]));
+        }
+        &mut slot.as_mut().expect("just materialized")[idx]
     }
 
     pub fn set(&mut self, block: BlockAddr, e: CmtEntry) {
-        self.entries.insert(block, e);
+        *self.get_mut(block) = e;
     }
 
-    /// Iterate all populated entries (footprint accounting).
-    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &CmtEntry)> {
-        self.entries.iter()
+    /// Iterate all non-default entries (footprint accounting).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &CmtEntry)> {
+        let default = CmtEntry::default();
+        self.segments.iter().enumerate().flat_map(move |(si, seg)| {
+            seg.iter().flat_map(move |s| {
+                s.iter()
+                    .enumerate()
+                    .filter(move |(_, e)| **e != default)
+                    .map(move |(i, e)| (BlockAddr((si * CMT_SEG_BLOCKS + i) as u64), e))
+            })
+        })
     }
 
+    /// Number of non-default entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.iter().count()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
 /// The on-chip CMT cache, updated in pair with the TLB: page-granularity,
 /// fully associative LRU over `capacity_pages` entries. A miss costs a
 /// metadata fetch (~12 B: 4 entries x 23 bits + the TLB approx bit).
+///
+/// Residency is tracked in a flat open-addressed table (linear probing,
+/// backward-shift deletion) sized at construction: the per-access hit path
+/// probes a few adjacent slots and never allocates. LRU decisions are
+/// exactly those of a fully-associative cache (each entry carries its
+/// last-use clock; eviction scans for the minimum, which only runs on
+/// misses with a full cache).
 #[derive(Clone, Debug)]
 pub struct CmtCache {
     capacity_pages: usize,
-    resident: HashMap<u64, u64>, // page -> last-use clock
+    slots: Vec<CacheSlot>,
+    mask: usize,
+    len: usize,
     clock: u64,
     pub hits: u64,
     pub misses: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheSlot {
+    used: bool,
+    page: u64,
+    last_use: u64,
 }
 
 /// Metadata bytes transferred on a CMT-cache miss (93 bits rounded up).
@@ -148,12 +197,43 @@ pub const CMT_MISS_BYTES: u64 = 12;
 impl CmtCache {
     pub fn new(capacity_pages: usize) -> Self {
         assert!(capacity_pages > 0);
+        // 2x capacity keeps probe chains short; power of two for masking.
+        let table = (capacity_pages * 2).next_power_of_two();
         CmtCache {
             capacity_pages,
-            resident: HashMap::with_capacity(capacity_pages + 1),
+            slots: vec![CacheSlot::default(); table],
+            mask: table - 1,
+            len: 0,
             clock: 0,
             hits: 0,
             misses: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, page: u64) -> usize {
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & self.mask
+    }
+
+    /// Backward-shift deletion keeps probe chains compact (no tombstones).
+    fn remove_at(&mut self, mut i: usize) {
+        self.len -= 1;
+        loop {
+            self.slots[i].used = false;
+            let mut j = i;
+            loop {
+                j = (j + 1) & self.mask;
+                if !self.slots[j].used {
+                    return;
+                }
+                let home = self.home(self.slots[j].page);
+                // Can entry j legally move up to the hole at i?
+                if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                    self.slots[i] = self.slots[j];
+                    i = j;
+                    break;
+                }
+            }
         }
     }
 
@@ -162,19 +242,36 @@ impl CmtCache {
     pub fn touch(&mut self, block: BlockAddr) -> bool {
         self.clock += 1;
         let page = block.page();
-        if let Some(t) = self.resident.get_mut(&page) {
-            *t = self.clock;
-            self.hits += 1;
-            return true;
+        let mut i = self.home(page);
+        while self.slots[i].used {
+            if self.slots[i].page == page {
+                self.slots[i].last_use = self.clock;
+                self.hits += 1;
+                return true;
+            }
+            i = (i + 1) & self.mask;
         }
         self.misses += 1;
-        if self.resident.len() >= self.capacity_pages {
-            // Evict the LRU page.
-            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
-                self.resident.remove(&victim);
-            }
+        if self.len >= self.capacity_pages {
+            // Evict the LRU page (full scan; runs only on capacity misses,
+            // like the min-scan of the fully-associative model).
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.used)
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("cache is full");
+            self.remove_at(victim);
         }
-        self.resident.insert(page, self.clock);
+        // Re-probe: the backward shift may have moved entries around.
+        let mut i = self.home(page);
+        while self.slots[i].used {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = CacheSlot { used: true, page, last_use: self.clock };
+        self.len += 1;
         false
     }
 }
@@ -283,6 +380,48 @@ mod tests {
         assert!(c.touch(BlockAddr(5))); // same page
         assert_eq!(c.hits, 2);
         assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn table_indexes_sparse_blocks_across_segments() {
+        let mut t = CmtTable::default();
+        let far = [BlockAddr(0), BlockAddr(4095), BlockAddr(4096), BlockAddr(1 << 22)];
+        for (i, &b) in far.iter().enumerate() {
+            t.get_mut(b).n_lazy = i as u8 + 1;
+        }
+        for (i, &b) in far.iter().enumerate() {
+            assert_eq!(t.get(b).n_lazy, i as u8 + 1);
+        }
+        // Untouched neighbours read as default without materializing.
+        assert_eq!(t.get(BlockAddr(4097)), CmtEntry::default());
+        assert_eq!(t.len(), far.len());
+        let mut seen: Vec<u64> = t.iter().map(|(b, _)| b.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 4095, 4096, 1 << 22]);
+    }
+
+    #[test]
+    fn cmt_cache_matches_naive_lru_model() {
+        // The open-addressed cache must make exactly the decisions of a
+        // fully-associative LRU over random page streams.
+        let mut state = 0xC3A7u64;
+        for capacity in [1usize, 2, 7, 64] {
+            let mut cache = CmtCache::new(capacity);
+            let mut model: Vec<u64> = Vec::new(); // MRU at the back
+            for _ in 0..4000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let page = (state >> 33) % 97;
+                let block = BlockAddr(page * 4); // 4 blocks per page
+                let hit = cache.touch(block);
+                let model_hit = model.contains(&page);
+                assert_eq!(hit, model_hit, "page {page} cap {capacity}");
+                model.retain(|&p| p != page);
+                if !model_hit && model.len() == capacity {
+                    model.remove(0); // evict LRU
+                }
+                model.push(page);
+            }
+        }
     }
 
     #[test]

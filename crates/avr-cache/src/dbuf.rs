@@ -65,9 +65,8 @@ impl Dbuf {
     /// Load a freshly decompressed block, marking `first_request` as
     /// already requested. Returns the replaced block's snapshot for the PFE.
     pub fn load(&mut self, block: BlockAddr, first_request: Option<usize>) -> Option<DbufEviction> {
-        let old = self
-            .block
-            .map(|b| DbufEviction { block: b, requested_mask: self.requested_mask });
+        let old =
+            self.block.map(|b| DbufEviction { block: b, requested_mask: self.requested_mask });
         self.block = Some(block);
         self.requested_mask = first_request.map_or(0, |cl| {
             debug_assert!(cl < LINES_PER_BLOCK);
@@ -78,9 +77,8 @@ impl Dbuf {
 
     /// Drop the buffered block (e.g. it was invalidated by a writeback).
     pub fn invalidate(&mut self) -> Option<DbufEviction> {
-        let old = self
-            .block
-            .map(|b| DbufEviction { block: b, requested_mask: self.requested_mask });
+        let old =
+            self.block.map(|b| DbufEviction { block: b, requested_mask: self.requested_mask });
         self.block = None;
         self.requested_mask = 0;
         old

@@ -29,6 +29,127 @@ pub enum Evicted {
     CmsBlock { block: BlockAddr, dirty: bool, size_lines: u8 },
 }
 
+const EVICT_NONE: Evicted = Evicted::Ucl { line: LineAddr(0), dirty: false };
+
+/// Worst-case eviction events from a single LLC operation: `insert_cms`
+/// may evict a victim tag's whole block (16 UCLs + 1 CMS image), place up
+/// to 16 CMS lines (one data-way eviction each), and re-ensure the tag
+/// (another whole block) — 51 events. 56 leaves headroom.
+const EVICT_CAP: usize = 56;
+
+/// Inline fixed-capacity list of eviction events — LLC operations return
+/// one of these instead of allocating a `Vec` per call.
+#[derive(Clone, Copy)]
+pub struct EvictList {
+    len: u8,
+    items: [Evicted; EVICT_CAP],
+}
+
+impl EvictList {
+    pub const fn new() -> Self {
+        EvictList { len: 0, items: [EVICT_NONE; EVICT_CAP] }
+    }
+
+    #[inline]
+    fn push(&mut self, e: Evicted) {
+        assert!((self.len as usize) < EVICT_CAP, "eviction burst exceeds EVICT_CAP");
+        self.items[self.len as usize] = e;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[Evicted] {
+        &self.items[..self.len as usize]
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Evicted> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for EvictList {
+    fn default() -> Self {
+        EvictList::new()
+    }
+}
+
+impl std::fmt::Debug for EvictList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl IntoIterator for EvictList {
+    type Item = Evicted;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Evicted, EVICT_CAP>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a EvictList {
+    type Item = &'a Evicted;
+    type IntoIter = std::slice::Iter<'a, Evicted>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Set of cacheline ids (0..16) within one block, as a bitmask — what
+/// `ucls_of`/`dirty_ucls_of` return instead of a `Vec<u8>`.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClMask(pub u16);
+
+impl ClMask {
+    #[inline]
+    pub fn contains(self, cl: u8) -> bool {
+        (self.0 >> cl) & 1 == 1
+    }
+
+    #[inline]
+    pub fn insert(&mut self, cl: u8) {
+        self.0 |= 1 << cl;
+    }
+
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Ascending cl-ids in the mask.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..LINES_PER_BLOCK as u8).filter(move |&cl| self.contains(cl))
+    }
+
+    /// Materialize as a `Vec` (test/diagnostic convenience; allocates).
+    pub fn to_vec(self) -> Vec<u8> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for ClMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ClKind {
     Ucl { cl_id: u8 },
@@ -153,8 +274,12 @@ impl AvrLlc {
 
     /// Non-destructive presence check for a UCL.
     pub fn probe_ucl(&self, line: LineAddr) -> bool {
-        self.find_bpa(self.ucl_index(line), line.block(), ClKind::Ucl { cl_id: line.cl_offset() as u8 })
-            .is_some()
+        self.find_bpa(
+            self.ucl_index(line),
+            line.block(),
+            ClKind::Ucl { cl_id: line.cl_offset() as u8 },
+        )
+        .is_some()
     }
 
     /// Presence check for the compressed image of `block`; returns its size.
@@ -200,28 +325,35 @@ impl AvrLlc {
 
     /// Was the UCL dirty? (no LRU effect)
     pub fn ucl_dirty(&self, line: LineAddr) -> Option<bool> {
-        self.find_bpa(self.ucl_index(line), line.block(), ClKind::Ucl { cl_id: line.cl_offset() as u8 })
-            .map(|i| self.bpa[i].dirty)
+        self.find_bpa(
+            self.ucl_index(line),
+            line.block(),
+            ClKind::Ucl { cl_id: line.cl_offset() as u8 },
+        )
+        .map(|i| self.bpa[i].dirty)
     }
 
-    /// cl-ids of the block's resident UCLs.
-    pub fn ucls_of(&self, block: BlockAddr) -> Vec<u8> {
-        let mut out = Vec::new();
+    /// cl-ids of the block's resident UCLs, as a bitmask (no allocation).
+    pub fn ucls_of(&self, block: BlockAddr) -> ClMask {
+        let mut out = ClMask::default();
         for cl in 0..LINES_PER_BLOCK as u8 {
             let line = block.line(cl as usize);
             if self.probe_ucl(line) {
-                out.push(cl);
+                out.insert(cl);
             }
         }
         out
     }
 
-    /// cl-ids of the block's *dirty* resident UCLs.
-    pub fn dirty_ucls_of(&self, block: BlockAddr) -> Vec<u8> {
-        self.ucls_of(block)
-            .into_iter()
-            .filter(|&cl| self.ucl_dirty(block.line(cl as usize)) == Some(true))
-            .collect()
+    /// cl-ids of the block's *dirty* resident UCLs, as a bitmask.
+    pub fn dirty_ucls_of(&self, block: BlockAddr) -> ClMask {
+        let mut out = ClMask::default();
+        for cl in self.ucls_of(block).iter() {
+            if self.ucl_dirty(block.line(cl as usize)) == Some(true) {
+                out.insert(cl);
+            }
+        }
+        out
     }
 
     /// Mark all the block's UCLs clean (after their data was folded into a
@@ -241,37 +373,42 @@ impl AvrLlc {
     // ------------------------------------------------------------------
 
     /// Ensure a tag entry exists for `block`, evicting a victim block
-    /// entirely if the tag set is full. Returns (tag slot, eviction events).
-    fn ensure_tag(&mut self, block: BlockAddr) -> (usize, Vec<Evicted>) {
+    /// entirely if the tag set is full. Appends eviction events to the
+    /// caller-provided scratch list and returns the tag slot.
+    fn ensure_tag(&mut self, block: BlockAddr, out: &mut EvictList) -> usize {
         let now = self.tick();
         if let Some(i) = self.find_tag(block) {
-            return (i, Vec::new());
+            return i;
         }
         let base = self.tag_index(block) * self.ways;
         // Free way?
         if let Some(i) = (base..base + self.ways).find(|&i| !self.tags[i].valid) {
             self.tags[i] = TagEntry { valid: true, block, lru: now, ..TAG_INVALID };
             self.tags[i].valid = true;
-            return (i, Vec::new());
+            return i;
         }
         // Evict the LRU tag and everything it maps.
-        let victim = (base..base + self.ways)
-            .min_by_key(|&i| self.tags[i].lru)
-            .expect("nonzero ways");
+        let victim =
+            (base..base + self.ways).min_by_key(|&i| self.tags[i].lru).expect("nonzero ways");
         let victim_block = self.tags[victim].block;
-        let evictions = self.evict_block(victim_block);
+        self.evict_block_into(victim_block, out);
         self.stats.tag_evictions += 1;
         self.tags[victim] = TagEntry { valid: true, block, lru: now, ..TAG_INVALID };
         self.tags[victim].valid = true;
-        (victim, evictions)
+        victim
     }
 
     /// Remove every trace of `block` (tag + all UCLs + CMS image),
     /// reporting what fell out.
-    pub fn evict_block(&mut self, block: BlockAddr) -> Vec<Evicted> {
-        let mut out = Vec::new();
+    pub fn evict_block(&mut self, block: BlockAddr) -> EvictList {
+        let mut out = EvictList::new();
+        self.evict_block_into(block, &mut out);
+        out
+    }
+
+    fn evict_block_into(&mut self, block: BlockAddr, out: &mut EvictList) {
         let Some(t) = self.find_tag(block) else {
-            return out;
+            return;
         };
         let cms_count = self.tags[t].cms_count;
         // UCLs first.
@@ -298,19 +435,17 @@ impl AvrLlc {
             });
         }
         self.tags[t] = TAG_INVALID;
-        out
     }
 
     /// Pick a victim way in a BPA set (UCLs and CMSs compete equally by
     /// LRU) and evict it. A CMS victim drags its whole compressed block out.
-    fn evict_for(&mut self, set: usize, out: &mut Vec<Evicted>) -> usize {
+    fn evict_for(&mut self, set: usize, out: &mut EvictList) -> usize {
         let base = set * self.ways;
         if let Some(i) = (base..base + self.ways).find(|&i| !self.bpa[i].valid) {
             return i;
         }
-        let victim = (base..base + self.ways)
-            .min_by_key(|&i| self.bpa[i].lru)
-            .expect("nonzero ways");
+        let victim =
+            (base..base + self.ways).min_by_key(|&i| self.bpa[i].lru).expect("nonzero ways");
         let e = self.bpa[victim];
         match e.kind {
             ClKind::Ucl { cl_id } => {
@@ -356,12 +491,13 @@ impl AvrLlc {
     }
 
     /// Insert (or refresh) a UCL. Returns everything evicted to make room.
-    pub fn insert_ucl(&mut self, line: LineAddr, dirty: bool) -> Vec<Evicted> {
+    pub fn insert_ucl(&mut self, line: LineAddr, dirty: bool) -> EvictList {
         let block = line.block();
         let cl_id = line.cl_offset() as u8;
         let kind = ClKind::Ucl { cl_id };
         let set = self.ucl_index(line);
         let now = self.tick();
+        let mut evictions = EvictList::new();
 
         if let Some(i) = self.find_bpa(set, block, kind) {
             self.bpa[i].lru = now;
@@ -369,10 +505,10 @@ impl AvrLlc {
             if let Some(t) = self.find_tag(block) {
                 self.tags[t].lru = now;
             }
-            return Vec::new();
+            return evictions;
         }
 
-        let (_, mut evictions) = self.ensure_tag(block);
+        self.ensure_tag(block, &mut evictions);
         // The data-way eviction below may hit any entry — including this
         // block's *own* CMS image (a UCL set can coincide with one of the
         // block's CMS sets). Evicting that image with ucl_count still 0
@@ -381,11 +517,7 @@ impl AvrLlc {
         self.bpa[slot] = BpaEntry { valid: true, kind, block, dirty, lru: now };
         let t = match self.find_tag(block) {
             Some(t) => t,
-            None => {
-                let (t, evs) = self.ensure_tag(block);
-                evictions.extend(evs);
-                t
-            }
+            None => self.ensure_tag(block, &mut evictions),
         };
         self.tags[t].ucl_count += 1;
         self.tags[t].lru = now;
@@ -411,11 +543,10 @@ impl AvrLlc {
     /// Install the compressed image of `block` (`size_lines` CMSs at
     /// consecutive sets starting from the tag index). Replaces any previous
     /// image. Returns eviction events for displaced entries.
-    pub fn insert_cms(&mut self, block: BlockAddr, size_lines: u8, dirty: bool) -> Vec<Evicted> {
+    pub fn insert_cms(&mut self, block: BlockAddr, size_lines: u8, dirty: bool) -> EvictList {
         assert!(size_lines >= 1 && size_lines as usize <= LINES_PER_BLOCK);
-        let mut evictions = Vec::new();
-        let (t, evs) = self.ensure_tag(block);
-        evictions.extend(evs);
+        let mut evictions = EvictList::new();
+        let t = self.ensure_tag(block, &mut evictions);
 
         // Drop a stale image (recompression may change the size).
         let old = self.tags[t].cms_count;
@@ -439,11 +570,7 @@ impl AvrLlc {
         // cms_count is still 0 — re-ensure it.
         let t = match self.find_tag(block) {
             Some(t) => t,
-            None => {
-                let (t, evs) = self.ensure_tag(block);
-                evictions.extend(evs);
-                t
-            }
+            None => self.ensure_tag(block, &mut evictions),
         };
         self.tags[t].cms_count = size_lines;
         self.tags[t].block_dirty = dirty;
@@ -492,7 +619,8 @@ impl AvrLlc {
     /// Fraction of data-array entries holding CMSs (the paper reports AVR
     /// devotes 2–16 % of LLC capacity to compressed blocks).
     pub fn cms_fraction(&self) -> f64 {
-        let cms = self.bpa.iter().filter(|e| e.valid && matches!(e.kind, ClKind::Cms { .. })).count();
+        let cms =
+            self.bpa.iter().filter(|e| e.valid && matches!(e.kind, ClKind::Cms { .. })).count();
         cms as f64 / self.bpa.len() as f64
     }
 
@@ -501,34 +629,39 @@ impl AvrLlc {
         self.bpa.iter().filter(|e| e.valid).count()
     }
 
-    /// Internal consistency check (tests / debug builds): every BPA entry's
-    /// block has a valid tag, and tag counts match the BPA contents.
+    /// Internal consistency check: every BPA entry's block has a valid
+    /// tag, and tag counts match the BPA contents. The HashMap walk is
+    /// compiled only under `debug_assertions` (tests / debug builds) so
+    /// release simulation loops that call it defensively pay nothing.
     pub fn check_invariants(&self) {
-        use std::collections::HashMap;
-        let mut ucls: HashMap<BlockAddr, u8> = HashMap::new();
-        let mut cmss: HashMap<BlockAddr, u8> = HashMap::new();
-        for e in self.bpa.iter().filter(|e| e.valid) {
-            match e.kind {
-                ClKind::Ucl { .. } => *ucls.entry(e.block).or_default() += 1,
-                ClKind::Cms { .. } => *cmss.entry(e.block).or_default() += 1,
+        #[cfg(debug_assertions)]
+        {
+            use std::collections::HashMap;
+            let mut ucls: HashMap<BlockAddr, u8> = HashMap::new();
+            let mut cmss: HashMap<BlockAddr, u8> = HashMap::new();
+            for e in self.bpa.iter().filter(|e| e.valid) {
+                match e.kind {
+                    ClKind::Ucl { .. } => *ucls.entry(e.block).or_default() += 1,
+                    ClKind::Cms { .. } => *cmss.entry(e.block).or_default() += 1,
+                }
             }
-        }
-        for t in self.tags.iter().filter(|t| t.valid) {
-            assert_eq!(
-                t.ucl_count,
-                ucls.get(&t.block).copied().unwrap_or(0),
-                "ucl_count mismatch for {:?}",
-                t.block
-            );
-            assert_eq!(
-                t.cms_count,
-                cmss.get(&t.block).copied().unwrap_or(0),
-                "cms_count mismatch for {:?}",
-                t.block
-            );
-        }
-        for (b, _) in ucls.iter().chain(cmss.iter()) {
-            assert!(self.find_tag(*b).is_some(), "orphan BPA entries for {b:?}");
+            for t in self.tags.iter().filter(|t| t.valid) {
+                assert_eq!(
+                    t.ucl_count,
+                    ucls.get(&t.block).copied().unwrap_or(0),
+                    "ucl_count mismatch for {:?}",
+                    t.block
+                );
+                assert_eq!(
+                    t.cms_count,
+                    cmss.get(&t.block).copied().unwrap_or(0),
+                    "cms_count mismatch for {:?}",
+                    t.block
+                );
+            }
+            for (b, _) in ucls.iter().chain(cmss.iter()) {
+                assert!(self.find_tag(*b).is_some(), "orphan BPA entries for {b:?}");
+            }
         }
     }
 }
@@ -564,8 +697,8 @@ mod tests {
         c.insert_ucl(b.line(7), true);
         assert_eq!(c.probe_cms(b), Some(3));
         assert!(c.probe_ucl(b.line(0)));
-        assert_eq!(c.ucls_of(b), vec![0, 7]);
-        assert_eq!(c.dirty_ucls_of(b), vec![7]);
+        assert_eq!(c.ucls_of(b).to_vec(), vec![0, 7]);
+        assert_eq!(c.dirty_ucls_of(b).to_vec(), vec![7]);
         c.check_invariants();
     }
 
@@ -630,10 +763,8 @@ mod tests {
         // A fifth block at the same tag set forces a tag eviction; victim
         // is block 0 (LRU).
         let evs = c.insert_ucl(BlockAddr(256).line(1), false);
-        let dirty_ucls: Vec<_> = evs
-            .iter()
-            .filter(|e| matches!(e, Evicted::Ucl { dirty: true, .. }))
-            .collect();
+        let dirty_ucls: Vec<_> =
+            evs.iter().filter(|e| matches!(e, Evicted::Ucl { dirty: true, .. })).collect();
         assert_eq!(dirty_ucls.len(), 1, "block 0's dirty line 1 must spill: {evs:?}");
         assert_eq!(evs.len(), 2, "both UCLs of the victim leave");
         assert!(!c.probe_ucl(BlockAddr(0).line(1)));

@@ -8,6 +8,7 @@
 //! been explicitly requested."
 
 use crate::dbuf::DbufEviction;
+use crate::llc::ClMask;
 use avr_types::LINES_PER_BLOCK;
 
 /// The threshold-based prefetch engine.
@@ -27,20 +28,18 @@ impl PrefetchEngine {
     }
 
     /// Decide which of the evicted DBUF block's lines to save into the LLC.
-    /// Returns cl-ids of the lines to insert — the lines *not* yet
+    /// Returns the cl-id mask of the lines to insert — the lines *not* yet
     /// requested (requested lines were already promoted on their hits).
-    pub fn decide(&mut self, ev: &DbufEviction) -> Vec<u8> {
+    pub fn decide(&mut self, ev: &DbufEviction) -> ClMask {
         self.consults += 1;
         let requested = ev.requested_mask.count_ones() as usize;
         if (requested as f64) < self.threshold * LINES_PER_BLOCK as f64 {
-            return Vec::new();
+            return ClMask::default();
         }
-        let to_save: Vec<u8> = (0..LINES_PER_BLOCK as u8)
-            .filter(|&cl| ev.requested_mask & (1 << cl) == 0)
-            .collect();
+        let to_save = ClMask(!ev.requested_mask);
         if !to_save.is_empty() {
             self.prefetches_issued += 1;
-            self.lines_prefetched += to_save.len() as u64;
+            self.lines_prefetched += to_save.count() as u64;
         }
         to_save
     }
@@ -76,7 +75,7 @@ mod tests {
         let mut pfe = PrefetchEngine::default();
         // Exactly 8 of 16 requested -> save the other 8.
         let lines = pfe.decide(&ev(0b0000_0000_1111_1111));
-        assert_eq!(lines, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(lines.to_vec(), vec![8, 9, 10, 11, 12, 13, 14, 15]);
         assert_eq!(pfe.lines_prefetched, 8);
     }
 
@@ -92,7 +91,7 @@ mod tests {
     fn zero_threshold_always_prefetches() {
         let mut pfe = PrefetchEngine::new(0.0);
         let lines = pfe.decide(&ev(0));
-        assert_eq!(lines.len(), LINES_PER_BLOCK);
+        assert_eq!(lines.count() as usize, LINES_PER_BLOCK);
     }
 
     #[test]

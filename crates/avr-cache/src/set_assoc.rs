@@ -116,9 +116,7 @@ impl SetAssocCache {
     pub fn contains(&self, line: LineAddr) -> bool {
         let tag = self.tag_of(line);
         let start = self.set_of(line) * self.ways;
-        self.entries[start..start + self.ways]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.entries[start..start + self.ways].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Insert a line (after a miss), evicting the LRU victim if the set is
@@ -143,10 +141,7 @@ impl SetAssocCache {
             return None;
         }
         // Evict LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("non-zero associativity");
+        let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("non-zero associativity");
         let evicted = Eviction {
             line: LineAddr((victim.tag << sets.trailing_zeros()) | set as u64),
             dirty: victim.dirty,

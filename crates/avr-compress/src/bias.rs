@@ -40,21 +40,23 @@ fn exp_field(bits: u32) -> i32 {
 /// Zeros and denormals carry no usable exponent and are ignored for the
 /// min/max scan (denormals quantize to zero in the fixed domain anyway).
 pub fn choose_bias(words: &[u32]) -> BiasDecision {
-    let mut e_max = i32::MIN;
+    // Select-based scan (no data-dependent branches, vectorizer-friendly):
+    // zeros/denormals are neutral elements of both reductions, and the
+    // specials flag is folded in instead of early-returning.
+    let mut special = false;
+    let mut e_max = 0i32;
     let mut e_min = i32::MAX;
     for &w in words {
         let e = exp_field(w);
-        if e == 255 {
-            // NaN / Inf present: rule (a) — do not bias.
-            return BiasDecision::Skip;
-        }
-        if e == 0 {
-            continue; // zero or denormal
-        }
+        special |= e == 255;
         e_max = e_max.max(e);
-        e_min = e_min.min(e);
+        e_min = e_min.min(if e == 0 { i32::MAX } else { e });
     }
-    if e_max == i32::MIN {
+    if special {
+        // NaN / Inf present: rule (a) — do not bias.
+        return BiasDecision::Skip;
+    }
+    if e_max == 0 {
         // All-zero (or denormal) block: nothing to bias.
         return BiasDecision::Bias(0);
     }

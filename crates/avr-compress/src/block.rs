@@ -1,5 +1,6 @@
 //! The compressed memory-block format (paper §3.1, Fig. 2a).
 
+use crate::outlier::OutlierVec;
 use avr_types::{DataType, CL_BYTES, VALUES_PER_BLOCK};
 
 /// Number of values in the block summary — one cacheline's worth.
@@ -63,7 +64,8 @@ pub struct CompressedBlock {
     /// One bit per block value; set = value is an outlier.
     pub bitmap: [u64; VALUES_PER_BLOCK / 64],
     /// Exact raw words of the outliers, packed in ascending block order.
-    pub outliers: Vec<u32>,
+    /// Stored inline ([`OutlierVec`]) so compression never heap-allocates.
+    pub outliers: OutlierVec,
 }
 
 impl CompressedBlock {
@@ -111,7 +113,7 @@ mod tests {
             bias: 0,
             summary: [0; SUMMARY_VALUES],
             bitmap: [0; 4],
-            outliers: Vec::new(),
+            outliers: OutlierVec::new(),
         }
     }
 

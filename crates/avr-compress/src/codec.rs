@@ -4,21 +4,51 @@
 //! parallel) → re-decompress → error check → outlier select/compact → pick
 //! the best variant → CBUF. Decompression: interpolate → fixed-to-float →
 //! unbias → scatter outliers → DBUF.
+//!
+//! ### The fused hot path
+//!
+//! This module implements the pipeline as a *fused, allocation-free* kernel
+//! (the pre-refactor per-stage version survives as
+//! [`crate::reference::compress_reference`] and is kept bit-identical by
+//! property tests):
+//!
+//! * the float→fixed conversion runs once and is shared by both variants;
+//! * both layouts' summaries are computed in a single pass
+//!   ([`downsample_both`]);
+//! * reconstruction uses compile-time (anchor, weight) tables
+//!   ([`reconstruct_into`]);
+//! * the fixed→float conversion and the error check are fused into flat
+//!   branch-free chunked loops over the 256 values that the autovectorizer
+//!   can digest, interleaving both variants;
+//! * a variant **early-aborts** as soon as its outlier count exceeds what
+//!   `max_lines` can hold — incompressible (noise) blocks bail out without
+//!   paying for the full evaluation;
+//! * all scratch storage lives in a reusable [`CompressScratch`] (owned by
+//!   [`Compressor`]) and outliers pack into the inline
+//!   [`OutlierVec`](crate::outlier::OutlierVec): the steady-state path
+//!   performs **zero heap allocations**.
+//!
+//! Failure-order semantics: the size cap is checked before the average
+//! error (the cap is what the early abort can decide without finishing the
+//! block). A block failing both reports `TooManyOutliers`.
 
 use crate::bias::choose_bias;
 use crate::block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};
-use crate::convert::{from_fixed, to_fixed, Fixed};
-use crate::downsample::downsample;
-use crate::error::{check_value, ErrorCheck, Thresholds};
-use crate::interp::reconstruct_summary;
+use crate::convert::{Fixed, FRAC_BITS};
+use crate::downsample::downsample_both;
+use crate::error::Thresholds;
+use crate::interp::{reconstruct_into, reconstruct_into_clamped};
 use crate::latency::Latency;
-use crate::outlier::{build_bitmap, compact_outliers, scatter_outliers};
-use avr_types::{BlockData, DataType, VALUES_PER_BLOCK};
+use crate::outlier::{compact_outliers_into, scatter_outliers, OutlierVec, BITMAP_WORDS};
+use avr_types::{BlockData, DataType, CL_BYTES, VALUES_PER_BLOCK};
 
 /// Why a compression attempt was rejected.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CompressFailure {
     /// Summary + bitmap + outliers would exceed the compressed-size cap.
+    /// When the fused path aborts a block early, `lines_needed` is computed
+    /// from the outlier count at the abort point: a lower bound on the true
+    /// size, always greater than `max_lines`.
     TooManyOutliers { lines_needed: usize },
     /// The average relative error of non-outliers exceeds T2.
     AvgErrorTooHigh { avg_err: f64 },
@@ -35,97 +65,398 @@ pub struct CompressOutcome {
     pub outlier_count: usize,
 }
 
-struct Variant {
-    layout: Layout,
+// ----------------------------------------------------------------------
+// Scratch storage
+// ----------------------------------------------------------------------
+
+/// Per-variant scratch arrays. Reconstruction is stored clamped to i32
+/// (what the fixed→float write-out sees anyway) so the conversion loops
+/// work on packed 32-bit lanes.
+#[derive(Clone)]
+struct VariantScratch {
     summary: [Fixed; SUMMARY_VALUES],
+    recon_fixed: [i32; VALUES_PER_BLOCK],
     recon_words: [u32; VALUES_PER_BLOCK],
-    flags: [bool; VALUES_PER_BLOCK],
-    check: ErrorCheck,
+    bitmap: [u64; BITMAP_WORDS],
 }
 
-fn try_variant(
-    layout: Layout,
-    words: &[u32; VALUES_PER_BLOCK],
-    fixed: &[Fixed; VALUES_PER_BLOCK],
-    dt: DataType,
-    bias: i8,
-    th: &Thresholds,
-) -> Variant {
-    let summary = downsample(layout, fixed);
-    let recon_fixed = reconstruct_summary(layout, &summary);
-    let mut recon_words = [0u32; VALUES_PER_BLOCK];
-    let mut flags = [false; VALUES_PER_BLOCK];
-    let mut check = ErrorCheck::default();
-    for i in 0..VALUES_PER_BLOCK {
-        recon_words[i] = from_fixed(recon_fixed[i], dt, bias);
-        let v = check_value(words[i], recon_words[i], dt, th);
-        flags[i] = v.outlier;
-        check.push(v);
+impl VariantScratch {
+    const fn new() -> Self {
+        VariantScratch {
+            summary: [0; SUMMARY_VALUES],
+            recon_fixed: [0; VALUES_PER_BLOCK],
+            recon_words: [0; VALUES_PER_BLOCK],
+            bitmap: [0; BITMAP_WORDS],
+        }
     }
-    Variant { layout, summary, recon_words, flags, check }
 }
 
-/// Compress one memory block, trying both layout variants and keeping the
-/// better one (fewer outliers, then lower average error — smaller compressed
-/// size wins, matching the hardware's "best compression" selection).
-pub fn compress(
+/// Reusable scratch buffers for the fused compression kernel (~9 KB).
+/// [`Compressor`] owns one; the free [`compress`] function keeps one on the
+/// stack. Either way the kernel itself never touches the heap.
+#[derive(Clone)]
+pub struct CompressScratch {
+    fixed: [i32; VALUES_PER_BLOCK],
+    vars: [VariantScratch; 2],
+}
+
+impl CompressScratch {
+    pub const fn new() -> Self {
+        CompressScratch {
+            fixed: [0; VALUES_PER_BLOCK],
+            vars: [VariantScratch::new(), VariantScratch::new()],
+        }
+    }
+}
+
+impl Default for CompressScratch {
+    fn default() -> Self {
+        CompressScratch::new()
+    }
+}
+
+impl std::fmt::Debug for CompressScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CompressScratch { .. }")
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fused kernel helpers
+// ----------------------------------------------------------------------
+
+const FIXED_MIN: i64 = i32::MIN as i64;
+const FIXED_MAX: i64 = i32::MAX as i64;
+
+/// Multiplying by 2^-23 is bit-identical to dividing by 2^23 (both are
+/// exact power-of-two exponent shifts in IEEE-754 double precision).
+const F32_SCALE: f64 = 1.0 / (1u64 << FRAC_BITS) as f64;
+
+/// Maximum outlier count representable within `max_lines` cachelines:
+/// 64 B summary + 32 B bitmap + 4n B ≤ 64·max_lines B. A count beyond this
+/// can never fit, so a variant crossing it aborts.
+#[inline]
+fn outlier_cap(max_lines: usize) -> usize {
+    (max_lines * CL_BYTES).saturating_sub(CL_BYTES + BITMAP_WORDS * 8) / 4
+}
+
+/// Compressed size in cachelines for a given outlier count (mirrors
+/// [`CompressedBlock::size_lines`]).
+#[inline]
+pub(crate) fn lines_for_outliers(n: usize) -> usize {
+    let bytes = if n == 0 { CL_BYTES } else { CL_BYTES + BITMAP_WORDS * 8 + 4 * n };
+    bytes.div_ceil(CL_BYTES)
+}
+
+/// Branchless batch float→fixed conversion of the whole block — the fused
+/// path's replacement for 256 scalar `to_fixed` calls. Semantics are
+/// identical for every (block, bias) pair the compressor produces: the
+/// bias comes from `choose_bias` on the same block, so a nonzero bias
+/// implies the block holds no NaN/Inf (rule (a)) and the biased exponent
+/// can never reach the special range (the ≥255 case clamps to max finite).
+fn to_fixed_block_f32(
+    words: &[u32; VALUES_PER_BLOCK],
+    bias: i8,
+    out: &mut [i32; VALUES_PER_BLOCK],
+) {
+    #[inline(always)]
+    fn round_clamp(f: f32) -> i32 {
+        // Same RNE magic-constant rounding as `to_fixed`, pure f32/i32
+        // lanes; the saturating cast handles the Inf overflow of the scale.
+        crate::convert::round_ties_even_f32(f * (1u64 << FRAC_BITS) as f32) as i32
+    }
+    if bias == 0 {
+        for (o, &bits) in out.iter_mut().zip(words) {
+            let f = f32::from_bits(bits);
+            *o = if f.is_finite() { round_clamp(f) } else { 0 };
+        }
+    } else {
+        // apply_bias, flattened to eager selects (no specials can be
+        // present when bias != 0; see above).
+        let b = bias as i32;
+        for (o, &bits) in out.iter_mut().zip(words) {
+            *o = round_clamp(f32::from_bits(shift_exponent(bits, b)));
+        }
+    }
+}
+
+/// Add `delta` to an f32 word's exponent field — the branch-reduced body of
+/// `bias::apply_bias`, as eager selects so the per-value loops vectorize.
+/// Valid when a zero exponent implies the whole word is ±0 (true for
+/// `from_fixed` outputs and for the no-specials blocks the biased path
+/// sees), where the general routine's denormal-flush and `bias == 0`
+/// early-return coincide with the arithmetic path.
+#[inline(always)]
+fn shift_exponent(bits: u32, delta: i32) -> u32 {
+    let e = ((bits >> 23) & 0xFF) as i32;
+    let sign = bits & 0x8000_0000;
+    let e2 = e + delta;
+    let mut r = (bits & 0x807F_FFFF) | (((e2 as u32) & 0xFF) << 23);
+    r = if e2 >= 255 { sign | 0x7F7F_FFFF } else { r };
+    r = if (e == 0) | (e2 <= 0) { sign } else { r };
+    r
+}
+
+/// Remove the block bias from a fixed→float conversion result:
+/// `apply_bias(bits, bias.wrapping_neg())`, branch-reduced.
+#[inline(always)]
+fn unbias(bits: u32, neg_bias: i32) -> u32 {
+    shift_exponent(bits, neg_bias)
+}
+
+/// Running totals of one variant's error check.
+#[derive(Clone, Copy, Default)]
+struct VariantCheck {
+    outliers: u32,
+    /// Integer sum of mantissa differences (F32 path). Each non-outlier's
+    /// relative error is diff·2^-23 with diff < 2^23; the f64 running sum
+    /// the hardware-model accumulates is therefore *exact*, and equals
+    /// `err_int as f64 * 2^-23` — keeping this integral keeps the fused
+    /// loop free of float ops while staying bit-identical.
+    err_int: u64,
+    /// Sequential f64 error sum (Fixed32 path, where per-value division
+    /// makes the running sum order-sensitive).
+    err_f: f64,
+    aborted: bool,
+}
+
+impl VariantCheck {
+    /// Average relative error over non-outliers, replicating
+    /// `ErrorCheck::avg_err` bit-for-bit.
+    fn avg_err(&self, dt: DataType) -> f64 {
+        let non = VALUES_PER_BLOCK as u32 - self.outliers;
+        if non == 0 {
+            return 0.0;
+        }
+        let sum = match dt {
+            DataType::F32 => self.err_int as f64 * F32_SCALE,
+            DataType::Fixed32 => self.err_f,
+        };
+        sum / non as f64
+    }
+}
+
+/// `F32_SCALE` in the f32 domain: `(v as f32) * 2^-23` is bit-identical to
+/// `((v as f64) * 2^-23) as f32` — the i32→float rounding makes the same
+/// mantissa decision either way, and the power-of-two scale shifts only
+/// the exponent (no overflow/subnormal crossing for |v| ≤ 2^31).
+const F32_SCALE_F: f32 = 1.0 / (1u64 << FRAC_BITS) as f32;
+
+/// Fused fixed→float + unbias + error-check over one 64-value chunk of one
+/// variant (F32), structured as three flat passes (convert map, classify
+/// map, reduce) so each loop is branch-free and vectorizable.
+#[inline]
+fn check_chunk_f32(
+    words: &[u32; VALUES_PER_BLOCK],
+    var: &mut VariantScratch,
+    chunk: usize,
+    neg_bias: i32,
+    mantissa_limit: u32,
+    check: &mut VariantCheck,
+) {
+    let base = chunk * 64;
+    let rf: &[i32; 64] = var.recon_fixed[base..base + 64].try_into().unwrap();
+    let rw: &mut [u32; 64] = (&mut var.recon_words[base..base + 64]).try_into().unwrap();
+    let ow: &[u32; 64] = words[base..base + 64].try_into().unwrap();
+    // Pass 1 — from_fixed: scale to float and unbias (pure 32-bit map).
+    for (w, &v) in rw.iter_mut().zip(rf) {
+        let f = v as f32 * F32_SCALE_F;
+        *w = unbias(f.to_bits(), neg_bias);
+    }
+    // Pass 2 — classify: outlier flag + error contribution per value.
+    let mut flags = [0u8; 64];
+    let mut errs = [0u32; 64];
+    for j in 0..64 {
+        let orig = ow[j];
+        let recon = rw[j];
+        let exp_o = (orig >> 23) & 0xFF;
+        let diff = (orig & 0x7F_FFFF).abs_diff(recon & 0x7F_FFFF);
+        let se_match = (orig >> 23) == (recon >> 23);
+        let both_zero = (orig | recon) & 0x7FFF_FFFF == 0;
+        // Eager bitwise logic (no short-circuit branches) so the whole
+        // classification if-converts and vectorizes.
+        let outlier = (orig != recon)
+            & ((exp_o == 255) | (!se_match & !both_zero) | (se_match & (diff >= mantissa_limit)));
+        flags[j] = outlier as u8;
+        errs[j] = if outlier { 0 } else { diff };
+    }
+    // Pass 3 — reduce: bitmap word, outlier count, error sum.
+    let mut bits_out = 0u64;
+    for (j, &f) in flags.iter().enumerate() {
+        bits_out |= (f as u64) << j;
+    }
+    var.bitmap[chunk] = bits_out;
+    check.outliers += flags.iter().map(|&f| f as u32).sum::<u32>();
+    check.err_int += errs.iter().map(|&e| e as u64).sum::<u64>();
+}
+
+/// Fused fixed→float + error-check over one 64-value chunk (Fixed32).
+/// The relative-error sum divides per value, so accumulation stays scalar
+/// and in index order to remain bit-identical to the streaming reference.
+#[inline]
+fn check_chunk_fixed(
+    words: &[u32; VALUES_PER_BLOCK],
+    var: &mut VariantScratch,
+    chunk: usize,
+    n_msbit: u32,
+    check: &mut VariantCheck,
+) {
+    let base = chunk * 64;
+    let mut bits_out = 0u64;
+    for j in 0..64 {
+        let i = base + j;
+        let recon = var.recon_fixed[i] as u32;
+        var.recon_words[i] = recon;
+        let orig = words[i] as i32;
+        let rec = recon as i32;
+        let outlier = if orig == rec {
+            false
+        } else if orig == 0 {
+            true
+        } else {
+            let diff = (orig as i64 - rec as i64).unsigned_abs();
+            let mag = (orig as i64).unsigned_abs();
+            if diff << n_msbit > mag {
+                true
+            } else {
+                check.err_f += diff as f64 / mag as f64;
+                false
+            }
+        };
+        bits_out |= (outlier as u64) << j;
+        check.outliers += outlier as u32;
+    }
+    var.bitmap[chunk] = bits_out;
+}
+
+// ----------------------------------------------------------------------
+// The fused compress
+// ----------------------------------------------------------------------
+
+/// Compress one memory block into caller-provided scratch, trying both
+/// layout variants and keeping the better one (fewer outliers, then lower
+/// average error — smaller compressed size wins, matching the hardware's
+/// "best compression" selection).
+pub fn compress_with(
+    scratch: &mut CompressScratch,
     block: &BlockData,
     dt: DataType,
     th: &Thresholds,
     max_lines: usize,
 ) -> Result<CompressOutcome, CompressFailure> {
+    // The format cannot express more than a whole block of lines, and the
+    // inline outlier buffer is sized to that bound.
+    assert!(max_lines <= avr_types::LINES_PER_BLOCK, "max_lines {max_lines} > 16");
     let bias = match dt {
         DataType::F32 => choose_bias(&block.words).value(),
         DataType::Fixed32 => 0,
     };
-    let mut fixed = [0i64; VALUES_PER_BLOCK];
-    for (f, &w) in fixed.iter_mut().zip(&block.words) {
-        *f = to_fixed(w, dt, bias);
+    match dt {
+        DataType::F32 => to_fixed_block_f32(&block.words, bias, &mut scratch.fixed),
+        DataType::Fixed32 => {
+            // Native fixed data converts by reinterpretation.
+            for (f, &w) in scratch.fixed.iter_mut().zip(&block.words) {
+                *f = w as i32;
+            }
+        }
     }
 
-    let v1 = try_variant(Layout::Linear1D, &block.words, &fixed, dt, bias, th);
-    let v2 = try_variant(Layout::Square2D, &block.words, &fixed, dt, bias, th);
-    let best = {
-        let (o1, o2) = (v1.check.outliers(), v2.check.outliers());
-        if o1 < o2 || (o1 == o2 && v1.check.avg_err() <= v2.check.avg_err()) {
-            v1
-        } else {
-            v2
+    // Both summaries in one sweep, then both reconstructions.
+    let (v0, v1) = {
+        let [a, b] = &mut scratch.vars;
+        (a, b)
+    };
+    downsample_both(&scratch.fixed, &mut v0.summary, &mut v1.summary);
+    reconstruct_into_clamped(Layout::Linear1D, &v0.summary, &mut v0.recon_fixed);
+    reconstruct_into_clamped(Layout::Square2D, &v1.summary, &mut v1.recon_fixed);
+
+    // Interleaved error checks with early abort at the outlier cap.
+    let cap = outlier_cap(max_lines) as u32;
+    let neg_bias = bias.wrapping_neg() as i32;
+    let mut checks = [VariantCheck::default(), VariantCheck::default()];
+    for chunk in 0..BITMAP_WORDS {
+        for (vi, var) in [&mut *v0, &mut *v1].into_iter().enumerate() {
+            let c = &mut checks[vi];
+            if c.aborted {
+                continue;
+            }
+            match dt {
+                DataType::F32 => {
+                    check_chunk_f32(&block.words, var, chunk, neg_bias, th.mantissa_limit(), c)
+                }
+                DataType::Fixed32 => check_chunk_fixed(&block.words, var, chunk, th.n_msbit, c),
+            }
+            if c.outliers > cap {
+                c.aborted = true;
+            }
+        }
+        if checks[0].aborted && checks[1].aborted {
+            // Neither variant can fit max_lines; the counts at the abort
+            // point lower-bound the true sizes.
+            let n = checks[0].outliers.min(checks[1].outliers) as usize;
+            return Err(CompressFailure::TooManyOutliers { lines_needed: lines_for_outliers(n) });
+        }
+    }
+
+    // Winner selection, identical ordering to the reference: fewer
+    // outliers, then lower average error, ties to the 1-D layout. An
+    // aborted variant has strictly more outliers than a surviving one.
+    let pick0 = match (checks[0].aborted, checks[1].aborted) {
+        (false, true) => true,
+        (true, false) => false,
+        _ => {
+            let (o0, o1) = (checks[0].outliers, checks[1].outliers);
+            o0 < o1 || (o0 == o1 && checks[0].avg_err(dt) <= checks[1].avg_err(dt))
         }
     };
+    let (win, layout) = if pick0 { (&*v0, Layout::Linear1D) } else { (&*v1, Layout::Square2D) };
+    let check = &checks[if pick0 { 0 } else { 1 }];
+    let avg_err = check.avg_err(dt);
 
-    if !best.check.passes(th) {
-        return Err(CompressFailure::AvgErrorTooHigh { avg_err: best.check.avg_err() });
-    }
-
-    let bitmap = build_bitmap(&best.flags);
-    let outliers = compact_outliers(&block.words, &bitmap);
     let mut summary = [0i32; SUMMARY_VALUES];
-    for (s, &v) in summary.iter_mut().zip(&best.summary) {
+    for (s, &v) in summary.iter_mut().zip(&win.summary) {
         *s = v.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
     }
+    let mut outliers = OutlierVec::new();
+    compact_outliers_into(&block.words, &win.bitmap, &mut outliers);
     let compressed = CompressedBlock {
-        method: Method { layout: best.layout, dtype: dt },
+        method: Method { layout, dtype: dt },
         bias,
         summary,
-        bitmap,
+        bitmap: win.bitmap,
         outliers,
     };
     let lines = compressed.size_lines();
     if lines > max_lines {
         return Err(CompressFailure::TooManyOutliers { lines_needed: lines });
     }
+    if avg_err > th.t2 {
+        return Err(CompressFailure::AvgErrorTooHigh { avg_err });
+    }
 
     // Value feedback: non-outliers become their reconstruction, outliers
     // stay exact.
-    let mut recon = BlockData { words: best.recon_words };
+    let mut recon = BlockData { words: win.recon_words };
     scatter_outliers(&mut recon.words, &compressed.bitmap, &compressed.outliers);
     Ok(CompressOutcome {
-        avg_err: best.check.avg_err(),
-        outlier_count: compressed.outlier_count(),
+        avg_err,
+        outlier_count: compressed.outliers.len(),
         compressed,
         reconstructed: recon,
     })
+}
+
+/// Compress one memory block with stack-local scratch (no heap use; for
+/// the steady-state hot path prefer a [`Compressor`], which reuses its
+/// scratch across calls).
+pub fn compress(
+    block: &BlockData,
+    dt: DataType,
+    th: &Thresholds,
+    max_lines: usize,
+) -> Result<CompressOutcome, CompressFailure> {
+    let mut scratch = CompressScratch::new();
+    compress_with(&mut scratch, block, dt, th, max_lines)
 }
 
 /// Decompress a compressed block back into 256 raw words.
@@ -134,10 +465,22 @@ pub fn decompress(cb: &CompressedBlock) -> BlockData {
     for (s, &v) in summary.iter_mut().zip(&cb.summary) {
         *s = v as i64;
     }
-    let recon_fixed = reconstruct_summary(cb.method.layout, &summary);
+    let mut recon_fixed = [0i64; VALUES_PER_BLOCK];
+    reconstruct_into(cb.method.layout, &summary, &mut recon_fixed);
     let mut words = [0u32; VALUES_PER_BLOCK];
-    for (w, &f) in words.iter_mut().zip(&recon_fixed) {
-        *w = from_fixed(f, cb.method.dtype, cb.bias);
+    match cb.method.dtype {
+        DataType::F32 => {
+            let neg_bias = cb.bias.wrapping_neg() as i32;
+            for (w, &v) in words.iter_mut().zip(&recon_fixed) {
+                let f = (v.clamp(FIXED_MIN, FIXED_MAX) as f64) * F32_SCALE;
+                *w = unbias((f as f32).to_bits(), neg_bias);
+            }
+        }
+        DataType::Fixed32 => {
+            for (w, &v) in words.iter_mut().zip(&recon_fixed) {
+                *w = (v.clamp(FIXED_MIN, FIXED_MAX) as i32) as u32;
+            }
+        }
     }
     scatter_outliers(&mut words, &cb.bitmap, &cb.outliers);
     BlockData { words }
@@ -154,8 +497,9 @@ pub fn reconstruct(
     compress(block, dt, th, max_lines).ok().map(|o| o.reconstructed)
 }
 
-/// A reusable compressor front-end bundling thresholds, the latency model
-/// and attempt statistics — the "AVR layer" module of Fig. 1.
+/// A reusable compressor front-end bundling thresholds, the latency model,
+/// reusable scratch buffers and attempt statistics — the "AVR layer"
+/// module of Fig. 1.
 #[derive(Clone, Debug)]
 pub struct Compressor {
     pub thresholds: Thresholds,
@@ -165,6 +509,7 @@ pub struct Compressor {
     pub failures: u64,
     pub blocks_compressed: u64,
     pub compressed_lines_total: u64,
+    scratch: CompressScratch,
 }
 
 impl Compressor {
@@ -177,17 +522,20 @@ impl Compressor {
             failures: 0,
             blocks_compressed: 0,
             compressed_lines_total: 0,
+            scratch: CompressScratch::new(),
         }
     }
 
-    /// Attempt compression, updating statistics.
+    /// Attempt compression, updating statistics. Reuses the compressor's
+    /// scratch buffers: zero heap allocations per call.
     pub fn compress(
         &mut self,
         block: &BlockData,
         dt: DataType,
     ) -> Result<CompressOutcome, CompressFailure> {
         self.attempts += 1;
-        match compress(block, dt, &self.thresholds, self.max_lines) {
+        let th = self.thresholds;
+        match compress_with(&mut self.scratch, block, dt, &th, self.max_lines) {
             Ok(o) => {
                 self.blocks_compressed += 1;
                 self.compressed_lines_total += o.compressed.size_lines() as u64;
@@ -266,13 +614,16 @@ mod tests {
     fn outliers_are_exact_in_reconstruction() {
         // Smooth field with a few spikes: spikes must come back bit-exact.
         let spike_at = [37usize, 120, 200];
-        let b = f32_block(|i| {
-            if spike_at.contains(&i) {
-                -9.75e6
-            } else {
-                64.0 + (i % 16) as f32 * 0.01
-            }
-        });
+        let b =
+            f32_block(
+                |i| {
+                    if spike_at.contains(&i) {
+                        -9.75e6
+                    } else {
+                        64.0 + (i % 16) as f32 * 0.01
+                    }
+                },
+            );
         let o = compress(&b, DataType::F32, &th(), 8).unwrap();
         assert!(o.outlier_count >= spike_at.len());
         for &i in &spike_at {
@@ -357,6 +708,25 @@ mod tests {
     }
 
     #[test]
+    fn compressor_scratch_is_reusable_across_outcomes() {
+        // Interleave compressible and incompressible blocks through one
+        // Compressor: stale scratch from an aborted attempt must never
+        // leak into the next result.
+        let mut c = Compressor::new(th(), 8);
+        let smooth = f32_block(|i| 10.0 + i as f32 * 0.001);
+        let mut state = 99u32;
+        let noise = f32_block(|_| {
+            state = state.wrapping_mul(48271).wrapping_add(13);
+            (state as f32 / u32::MAX as f32) * 2.0e6 - 1.0e6
+        });
+        let first = c.compress(&smooth, DataType::F32).unwrap();
+        assert!(c.compress(&noise, DataType::F32).is_err());
+        let again = c.compress(&smooth, DataType::F32).unwrap();
+        assert_eq!(first.compressed, again.compressed);
+        assert_eq!(first.reconstructed, again.reconstructed);
+    }
+
+    #[test]
     fn nan_values_become_outliers_and_stay_exact() {
         let nan_at = 99usize;
         let b = f32_block(|i| if i == nan_at { f32::NAN } else { 70.0 + (i % 7) as f32 * 0.01 });
@@ -383,5 +753,17 @@ mod tests {
             assert!(lines >= o.compressed.size_bytes());
             assert!(lines < o.compressed.size_bytes() + 64);
         }
+    }
+
+    #[test]
+    fn outlier_cap_matches_size_lines() {
+        // The abort cap must be exactly the largest count whose compressed
+        // size still fits, for every max_lines the CMT can encode.
+        for max_lines in 1..=16usize {
+            let cap = outlier_cap(max_lines);
+            assert!(lines_for_outliers(cap) <= max_lines, "cap {cap} @ {max_lines}");
+            assert!(lines_for_outliers(cap + 1) > max_lines, "cap {cap} @ {max_lines}");
+        }
+        assert_eq!(outlier_cap(8), 104); // the paper's 2:1 worst case
     }
 }

@@ -22,11 +22,32 @@ pub type Fixed = i64;
 const FIXED_MAX: i64 = i32::MAX as i64;
 const FIXED_MIN: i64 = i32::MIN as i64;
 
+/// Magic addend for round-to-nearest-even of an f32 to an integer value:
+/// adding and subtracting 2^23 forces the mantissa rounding at the ones
+/// place (valid for |x| < 2^23; larger magnitudes are already integral).
+const RNE_MAGIC: f32 = (1u64 << FRAC_BITS) as f32;
+
+/// Round an f32 to an integer-valued f32, ties to even — the IEEE default
+/// the hardware converter would use, and branch-free/vectorizable (no f64,
+/// no libm `round` call).
+#[inline(always)]
+pub(crate) fn round_ties_even_f32(x: f32) -> f32 {
+    let magic = RNE_MAGIC.copysign(x);
+    // |x| >= 2^23 (or NaN/Inf) is already integral: adding the magic
+    // constant there would round the *mantissa tail* instead, so select.
+    if x.abs() < RNE_MAGIC {
+        (x + magic) - magic
+    } else {
+        x
+    }
+}
+
 /// Convert one raw word to the internal fixed format (1 cycle in hardware).
 ///
-/// NaN converts to 0 — it can never pass the error check, so it always
-/// becomes an outlier and the garbage summary contribution is benign but
-/// must be *finite*.
+/// The float scaling rounds ties-to-even (the IEEE default rounding the
+/// converter hardware applies). NaN converts to 0 — it can never pass the
+/// error check, so it always becomes an outlier and the garbage summary
+/// contribution is benign but must be *finite*.
 #[inline]
 pub fn to_fixed(raw: u32, dt: DataType, bias: i8) -> Fixed {
     match dt {
@@ -35,8 +56,11 @@ pub fn to_fixed(raw: u32, dt: DataType, bias: i8) -> Fixed {
             if !f.is_finite() {
                 return 0;
             }
-            let scaled = (f as f64) * (1u64 << FRAC_BITS) as f64;
-            (scaled.round() as i64).clamp(FIXED_MIN, FIXED_MAX)
+            // Exact: the mantissa is unchanged by a power-of-two scale
+            // (overflow to Inf saturates through the cast below).
+            let scaled = f * RNE_MAGIC;
+            // Saturating f32→i32 cast == round-then-clamp to i32 range.
+            round_ties_even_f32(scaled) as i32 as i64
         }
         // Fixed-point data is compressed directly in its native format.
         DataType::Fixed32 => raw as i32 as i64,
@@ -101,6 +125,38 @@ mod tests {
     fn nan_becomes_zero_fixed() {
         assert_eq!(to_fixed(f32::NAN.to_bits(), DataType::F32, 0), 0);
     }
+
+    #[test]
+    fn magic_rounding_matches_ieee_ties_even() {
+        // The magic-constant rounding must agree with f64 round-ties-even
+        // (exact for any f32 input scaled by a power of two) over
+        // arbitrary f32 inputs and biases.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let raw = (state >> 16) as u32;
+            let bias = (state & 0xFF) as u8 as i8;
+            let f = f32::from_bits(apply_bias(raw, bias));
+            if !f.is_finite() {
+                continue;
+            }
+            let scaled = (f as f64) * (1u64 << FRAC_BITS) as f64;
+            let expect = (scaled.round_ties_even() as i64).clamp(FIXED_MIN, FIXED_MAX);
+            assert_eq!(to_fixed(raw, DataType::F32, bias), expect, "raw {raw:#x} bias {bias}");
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 2.5 * 2^-23 scales to 2.5: ties-to-even keeps 2 (half-away
+        // would give 3); 1.5 rounds up to 2 either way.
+        let f = 2.5f32 / (1 << 23) as f32;
+        assert_eq!(to_fixed(f.to_bits(), DataType::F32, 0), 2);
+        let f = 1.5f32 / (1 << 23) as f32;
+        assert_eq!(to_fixed(f.to_bits(), DataType::F32, 0), 2);
+    }
+
+    use crate::bias::apply_bias;
 
     #[test]
     fn negative_values() {

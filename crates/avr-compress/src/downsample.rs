@@ -34,6 +34,14 @@ pub fn sub_block_of(layout: Layout, idx: usize) -> usize {
     }
 }
 
+/// Round-to-nearest (ties away from zero) divide of a sub-block sum by 16,
+/// as the fixed-point averaging tree would.
+#[inline]
+fn round_avg(s: i64) -> i64 {
+    let half = if s >= 0 { SUB_BLOCK as i64 / 2 } else { -(SUB_BLOCK as i64) / 2 };
+    (s + half) / SUB_BLOCK as i64
+}
+
 /// Average each sub-block, rounding to nearest (ties away from zero), as the
 /// fixed-point averaging tree would.
 pub fn downsample(layout: Layout, fixed: &[Fixed; VALUES_PER_BLOCK]) -> [Fixed; SUMMARY_VALUES] {
@@ -43,11 +51,39 @@ pub fn downsample(layout: Layout, fixed: &[Fixed; VALUES_PER_BLOCK]) -> [Fixed; 
     }
     let mut out = [0i64; SUMMARY_VALUES];
     for (o, s) in out.iter_mut().zip(&sums) {
-        // Round-to-nearest divide by 16.
-        let half = if *s >= 0 { SUB_BLOCK as i64 / 2 } else { -(SUB_BLOCK as i64) / 2 };
-        *o = (s + half) / SUB_BLOCK as i64;
+        *o = round_avg(*s);
     }
     out
+}
+
+/// Compute both layouts' summaries in a single pass over the block — the
+/// hardware evaluates the variants in parallel; in software one sweep fills
+/// both sum arrays with pure strided indexing (no per-value div/mod). The
+/// input is the fixed-domain block as i32 (every `to_fixed` output fits);
+/// sums widen to i64.
+pub fn downsample_both(
+    fixed: &[i32; VALUES_PER_BLOCK],
+    out_1d: &mut [Fixed; SUMMARY_VALUES],
+    out_2d: &mut [Fixed; SUMMARY_VALUES],
+) {
+    let mut sums_1d = [0i64; SUMMARY_VALUES];
+    let mut sums_2d = [0i64; SUMMARY_VALUES];
+    for (r, row) in fixed.chunks_exact(GRID).enumerate() {
+        // 1-D sub-block r covers exactly this 16-value row.
+        let mut s1 = 0i64;
+        // 2-D: row r contributes to tiles (r/4)*4 + 0..4, four values each.
+        let tile_base = (r / TILE) * (GRID / TILE);
+        for (j, quad) in row.chunks_exact(TILE).enumerate() {
+            let q: i64 = quad.iter().map(|&v| v as i64).sum();
+            sums_2d[tile_base + j] += q;
+            s1 += q;
+        }
+        sums_1d[r] = s1;
+    }
+    for i in 0..SUMMARY_VALUES {
+        out_1d[i] = round_avg(sums_1d[i]);
+        out_2d[i] = round_avg(sums_2d[i]);
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +129,25 @@ mod tests {
         for (i, &v) in s.iter().enumerate() {
             assert_eq!(v, 512 * i as i64 + 240);
         }
+    }
+
+    #[test]
+    fn downsample_both_matches_per_layout_downsample() {
+        let mut fixed32 = [0i32; VALUES_PER_BLOCK];
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        for v in fixed32.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as i64 - (1 << 30)) as i32;
+        }
+        let mut fixed = [0i64; VALUES_PER_BLOCK];
+        for (w, &v) in fixed.iter_mut().zip(&fixed32) {
+            *w = v as i64;
+        }
+        let mut s1 = [0i64; SUMMARY_VALUES];
+        let mut s2 = [0i64; SUMMARY_VALUES];
+        downsample_both(&fixed32, &mut s1, &mut s2);
+        assert_eq!(s1, downsample(Layout::Linear1D, &fixed));
+        assert_eq!(s2, downsample(Layout::Square2D, &fixed));
     }
 
     #[test]

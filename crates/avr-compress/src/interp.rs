@@ -18,21 +18,21 @@ use avr_types::VALUES_PER_BLOCK;
 
 /// 1-D anchor of sub-block `i`, in x2 coordinates: 2*(16i + 7.5).
 #[inline]
-fn anchor_1d(i: usize) -> i64 {
+const fn anchor_1d(i: usize) -> i64 {
     (2 * SUB_BLOCK * i + SUB_BLOCK - 1) as i64
 }
 
 /// 2-D anchor of tile index `t` along one axis, in x2 coordinates:
 /// 2*(4t + 1.5).
 #[inline]
-fn anchor_2d(t: usize) -> i64 {
+const fn anchor_2d(t: usize) -> i64 {
     (2 * TILE * t + TILE - 1) as i64
 }
 
 /// Locate `pos` (x2 coordinates) between anchors spaced `step` apart:
 /// returns (left anchor index, weight toward the right anchor in [0, step)).
 #[inline]
-fn locate(pos: i64, first_anchor: i64, step: i64, last_idx: usize) -> (usize, i64) {
+const fn locate(pos: i64, first_anchor: i64, step: i64, last_idx: usize) -> (usize, i64) {
     if pos <= first_anchor {
         return (0, 0);
     }
@@ -46,7 +46,7 @@ fn locate(pos: i64, first_anchor: i64, step: i64, last_idx: usize) -> (usize, i6
 
 /// Linear interpolation with round-to-nearest.
 #[inline]
-fn lerp(a: i64, b: i64, w: i64, step: i64) -> i64 {
+const fn lerp(a: i64, b: i64, w: i64, step: i64) -> i64 {
     let num = a * (step - w) + b * w;
     // round-to-nearest for possibly-negative numerators
     if num >= 0 {
@@ -56,49 +56,148 @@ fn lerp(a: i64, b: i64, w: i64, step: i64) -> i64 {
     }
 }
 
+/// x2-coordinate anchor step between 1-D sub-block centers.
+const STEP_1D: i64 = 2 * SUB_BLOCK as i64;
+/// x2-coordinate anchor step between 2-D tile centers.
+const STEP_2D: i64 = 2 * TILE as i64;
+
+/// Per-position (left anchor index, interpolation weight) for the 1-D
+/// layout, fixed by the block geometry and precomputed at compile time so
+/// the reconstruction loop is pure arithmetic (no `locate` per value).
+const LUT_1D: [(u8, u8); VALUES_PER_BLOCK] = {
+    let mut t = [(0u8, 0u8); VALUES_PER_BLOCK];
+    let mut x = 0;
+    while x < VALUES_PER_BLOCK {
+        let (i, w) = locate(2 * x as i64, anchor_1d(0), STEP_1D, SUMMARY_VALUES - 1);
+        t[x] = (i as u8, w as u8);
+        x += 1;
+    }
+    t
+};
+
+/// Per-row/column (tile index, weight) for the 2-D layout axes.
+const LUT_2D: [(u8, u8); GRID] = {
+    let mut t = [(0u8, 0u8); GRID];
+    let mut r = 0;
+    while r < GRID {
+        let (i, w) = locate(2 * r as i64, anchor_2d(0), STEP_2D, GRID / TILE - 1);
+        t[r] = (i as u8, w as u8);
+        r += 1;
+    }
+    t
+};
+
+/// Horizontal interpolation profiles for the 2-D layout: `prof[a][c]` is
+/// the column interpolation of anchor row `a` at column `c`. Every output
+/// row reuses the profiles of its two neighbouring anchor rows, so the 2-D
+/// reconstruction computes 4×16 horizontal lerps once instead of re-deriving
+/// them per cell.
+fn profiles_2d(summary: &[Fixed; SUMMARY_VALUES]) -> [[i64; GRID]; GRID / TILE] {
+    let tiles = GRID / TILE;
+    let mut prof = [[0i64; GRID]; GRID / TILE];
+    for (a, row) in prof.iter_mut().enumerate() {
+        for (c, p) in row.iter_mut().enumerate() {
+            let (tc, wc) = LUT_2D[c];
+            let (tc, wc) = (tc as usize, wc as i64);
+            let s = &summary[a * tiles..];
+            *p = if wc == 0 { s[tc] } else { lerp(s[tc], s[tc + 1], wc, STEP_2D) };
+        }
+    }
+    prof
+}
+
+/// Reconstruct the full 256-value block from its 16-value summary, writing
+/// into caller-provided storage (the hot path; no stack-array return).
+pub fn reconstruct_into(
+    layout: Layout,
+    summary: &[Fixed; SUMMARY_VALUES],
+    out: &mut [Fixed; VALUES_PER_BLOCK],
+) {
+    match layout {
+        Layout::Linear1D => {
+            for (x, o) in out.iter_mut().enumerate() {
+                let (i, w) = LUT_1D[x];
+                let (i, w) = (i as usize, w as i64);
+                *o = if w == 0 { summary[i] } else { lerp(summary[i], summary[i + 1], w, STEP_1D) };
+            }
+        }
+        Layout::Square2D => {
+            let prof = profiles_2d(summary);
+            for r in 0..GRID {
+                let (tr, wr) = LUT_2D[r];
+                let (tr, wr) = (tr as usize, wr as i64);
+                let row = &mut out[r * GRID..(r + 1) * GRID];
+                if wr == 0 {
+                    row.copy_from_slice(&prof[tr]);
+                } else {
+                    let (top, bot) = (&prof[tr], &prof[tr + 1]);
+                    for (c, o) in row.iter_mut().enumerate() {
+                        *o = lerp(top[c], bot[c], wr, STEP_2D);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`reconstruct_into`] fused with the value clamp of the fixed→float
+/// write-out: every reconstructed value lands in i32 range (`from_fixed`
+/// clamps anyway), so narrowing at store costs nothing and hands the
+/// codec's conversion loops packed 32-bit lanes.
+pub fn reconstruct_into_clamped(
+    layout: Layout,
+    summary: &[Fixed; SUMMARY_VALUES],
+    out: &mut [i32; VALUES_PER_BLOCK],
+) {
+    const LO: i64 = i32::MIN as i64;
+    const HI: i64 = i32::MAX as i64;
+    match layout {
+        Layout::Linear1D => {
+            // Segment-structured: positions 8+16i..8+16(i+1) interpolate
+            // between anchors i and i+1 with the constant weight pattern
+            // 1,3,…,31 (see LUT_1D); the first/last 8 positions clamp flat.
+            let first = summary[0].clamp(LO, HI) as i32;
+            let last = summary[SUMMARY_VALUES - 1].clamp(LO, HI) as i32;
+            out[..SUB_BLOCK / 2].fill(first);
+            out[VALUES_PER_BLOCK - SUB_BLOCK / 2..].fill(last);
+            let segments =
+                out[SUB_BLOCK / 2..VALUES_PER_BLOCK - SUB_BLOCK / 2].chunks_exact_mut(SUB_BLOCK);
+            for (i, seg) in segments.enumerate() {
+                let (a, b) = (summary[i], summary[i + 1]);
+                for (k, o) in seg.iter_mut().enumerate() {
+                    let w = 2 * k as i64 + 1;
+                    *o = lerp(a, b, w, STEP_1D).clamp(LO, HI) as i32;
+                }
+            }
+        }
+        Layout::Square2D => {
+            let prof = profiles_2d(summary);
+            for r in 0..GRID {
+                let (tr, wr) = LUT_2D[r];
+                let (tr, wr) = (tr as usize, wr as i64);
+                let row = &mut out[r * GRID..(r + 1) * GRID];
+                if wr == 0 {
+                    for (o, &p) in row.iter_mut().zip(&prof[tr]) {
+                        *o = p.clamp(LO, HI) as i32;
+                    }
+                } else {
+                    let (top, bot) = (&prof[tr], &prof[tr + 1]);
+                    for (c, o) in row.iter_mut().enumerate() {
+                        *o = lerp(top[c], bot[c], wr, STEP_2D).clamp(LO, HI) as i32;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Reconstruct the full 256-value block from its 16-value summary.
 pub fn reconstruct_summary(
     layout: Layout,
     summary: &[Fixed; SUMMARY_VALUES],
 ) -> [Fixed; VALUES_PER_BLOCK] {
     let mut out = [0i64; VALUES_PER_BLOCK];
-    match layout {
-        Layout::Linear1D => {
-            let step = 2 * SUB_BLOCK as i64;
-            for (x, o) in out.iter_mut().enumerate() {
-                let (i, w) = locate(2 * x as i64, anchor_1d(0), step, SUMMARY_VALUES - 1);
-                *o = if w == 0 { summary[i] } else { lerp(summary[i], summary[i + 1], w, step) };
-            }
-        }
-        Layout::Square2D => {
-            let tiles = GRID / TILE; // 4x4 grid of tiles
-            let step = 2 * TILE as i64;
-            for r in 0..GRID {
-                let (tr, wr) = locate(2 * r as i64, anchor_2d(0), step, tiles - 1);
-                for c in 0..GRID {
-                    let (tc, wc) = locate(2 * c as i64, anchor_2d(0), step, tiles - 1);
-                    let s = |a: usize, b: usize| summary[a * tiles + b];
-                    // Interpolate along columns first, then rows.
-                    let top = if wc == 0 {
-                        s(tr, tc)
-                    } else {
-                        lerp(s(tr, tc), s(tr, tc + 1), wc, step)
-                    };
-                    let v = if wr == 0 {
-                        top
-                    } else {
-                        let bot = if wc == 0 {
-                            s(tr + 1, tc)
-                        } else {
-                            lerp(s(tr + 1, tc), s(tr + 1, tc + 1), wc, step)
-                        };
-                        lerp(top, bot, wr, step)
-                    };
-                    out[r * GRID + c] = v;
-                }
-            }
-        }
-    }
+    reconstruct_into(layout, summary, &mut out);
     out
 }
 
@@ -153,12 +252,7 @@ mod tests {
         for r in 2..GRID - 2 {
             for c in 2..GRID - 2 {
                 let i = r * GRID + c;
-                assert!(
-                    (fixed[i] - rec[i]).abs() <= 8,
-                    "({r},{c}): {} vs {}",
-                    fixed[i],
-                    rec[i]
-                );
+                assert!((fixed[i] - rec[i]).abs() <= 8, "({r},{c}): {} vs {}", fixed[i], rec[i]);
             }
         }
     }

@@ -24,9 +24,15 @@ pub mod error;
 pub mod interp;
 pub mod latency;
 pub mod outlier;
+pub mod reference;
 
 pub use bias::choose_bias;
 pub use block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};
-pub use codec::{compress, decompress, reconstruct, CompressFailure, CompressOutcome, Compressor};
+pub use codec::{
+    compress, compress_with, decompress, reconstruct, CompressFailure, CompressOutcome,
+    CompressScratch, Compressor,
+};
 pub use error::{ErrorCheck, Thresholds};
 pub use latency::Latency;
+pub use outlier::{OutlierVec, MAX_OUTLIERS};
+pub use reference::compress_reference;

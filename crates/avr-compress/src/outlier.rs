@@ -9,6 +9,103 @@ use avr_types::VALUES_PER_BLOCK;
 /// Bitmap words covering one block (256 bits).
 pub const BITMAP_WORDS: usize = VALUES_PER_BLOCK / 64;
 
+/// Hard format cap on outliers per block: with the full 16-line budget,
+/// 64 B summary + 32 B bitmap + 4·n B outliers ≤ 1024 B ⟹ n ≤ 232.
+pub const MAX_OUTLIERS: usize = (16 * 64 - 96) / 4;
+
+/// Inline fixed-capacity outlier storage — the compress hot path never
+/// touches the heap. Capacity is [`MAX_OUTLIERS`], the most a compressed
+/// block can ever hold; equality and iteration see only the live prefix.
+#[derive(Clone, Copy)]
+pub struct OutlierVec {
+    len: u16,
+    buf: [u32; MAX_OUTLIERS],
+}
+
+impl OutlierVec {
+    pub const fn new() -> Self {
+        OutlierVec { len: 0, buf: [0; MAX_OUTLIERS] }
+    }
+
+    #[inline]
+    pub fn push(&mut self, v: u32) {
+        self.buf[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len as usize]
+    }
+
+    pub fn from_slice(s: &[u32]) -> Self {
+        assert!(s.len() <= MAX_OUTLIERS);
+        let mut o = OutlierVec::new();
+        o.buf[..s.len()].copy_from_slice(s);
+        o.len = s.len() as u16;
+        o
+    }
+
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for OutlierVec {
+    fn default() -> Self {
+        OutlierVec::new()
+    }
+}
+
+impl std::ops::Deref for OutlierVec {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for OutlierVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OutlierVec {}
+
+impl std::fmt::Debug for OutlierVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl Extend<u32> for OutlierVec {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a OutlierVec {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Build the bitmap from per-value outlier flags.
 pub fn build_bitmap(flags: &[bool; VALUES_PER_BLOCK]) -> [u64; BITMAP_WORDS] {
     let mut bm = [0u64; BITMAP_WORDS];
@@ -20,7 +117,8 @@ pub fn build_bitmap(flags: &[bool; VALUES_PER_BLOCK]) -> [u64; BITMAP_WORDS] {
     bm
 }
 
-/// Select and pack the outlier words in ascending block order.
+/// Select and pack the outlier words in ascending block order (reference
+/// path; allocates the result).
 pub fn compact_outliers(words: &[u32; VALUES_PER_BLOCK], bitmap: &[u64; BITMAP_WORDS]) -> Vec<u32> {
     let count: usize = bitmap.iter().map(|w| w.count_ones() as usize).sum();
     let mut out = Vec::with_capacity(count);
@@ -30,6 +128,24 @@ pub fn compact_outliers(words: &[u32; VALUES_PER_BLOCK], bitmap: &[u64; BITMAP_W
         }
     }
     out
+}
+
+/// Allocation-free compaction: walk each bitmap word's set bits directly
+/// (count-trailing-zeros) instead of testing all 256 positions.
+pub fn compact_outliers_into(
+    words: &[u32; VALUES_PER_BLOCK],
+    bitmap: &[u64; BITMAP_WORDS],
+    out: &mut OutlierVec,
+) {
+    out.clear();
+    for (wi, &bm) in bitmap.iter().enumerate() {
+        let mut rest = bm;
+        while rest != 0 {
+            let bit = rest.trailing_zeros() as usize;
+            out.push(words[wi * 64 + bit]);
+            rest &= rest - 1;
+        }
+    }
 }
 
 /// Scatter packed outliers back over a reconstructed block (decompressor
@@ -108,5 +224,41 @@ mod tests {
         let words = [9u32; VALUES_PER_BLOCK];
         let bm = [0u64; BITMAP_WORDS];
         assert!(compact_outliers(&words, &bm).is_empty());
+    }
+
+    #[test]
+    fn compact_into_matches_allocating_compact() {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (i as u32).wrapping_mul(2654435761);
+        }
+        let mut flags = [false; VALUES_PER_BLOCK];
+        for i in (0..VALUES_PER_BLOCK).step_by(3) {
+            flags[i] = true;
+        }
+        let bm = build_bitmap(&flags);
+        let reference = compact_outliers(&words, &bm);
+        let mut fast = OutlierVec::new();
+        compact_outliers_into(&words, &bm, &mut fast);
+        assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn outlier_vec_basics() {
+        let mut v = OutlierVec::new();
+        assert!(v.is_empty());
+        v.push(3);
+        v.extend([4, 5]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.as_slice(), &[3, 4, 5]);
+        assert_eq!(v, OutlierVec::from_slice(&[3, 4, 5]));
+        assert_ne!(v, OutlierVec::new());
+        // Equality ignores garbage past the live prefix.
+        let mut w = OutlierVec::from_slice(&[3, 4, 5, 99]);
+        w.clear();
+        w.extend([3, 4, 5]);
+        assert_eq!(v, w);
+        // Capacity matches the 16-line format bound.
+        assert_eq!(MAX_OUTLIERS, 232);
     }
 }

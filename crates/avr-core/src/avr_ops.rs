@@ -15,10 +15,9 @@
 //! block, including ones whose UCLs are still dirty upstream, which is a
 //! latest-value resolution of an ordering the paper leaves unspecified.
 
-use avr_cache::llc::Evicted;
+use avr_cache::llc::{EvictList, Evicted};
 use avr_dram::AccessKind;
 use avr_types::{BlockAddr, DataType, DesignKind, LineAddr, CL_BYTES, LINES_PER_BLOCK};
-use std::collections::VecDeque;
 
 use crate::system::{LlcVariant, System};
 
@@ -79,8 +78,7 @@ impl System {
         if let Some(count) = self.llc_decoupled().probe_cms(block) {
             self.counters.approx_requests.compressed_hit += 1;
             self.llc_line_touches += count as u64;
-            let lat =
-                llc_lat * count as u64 + self.compressor.latency.decompress_total();
+            let lat = llc_lat * count as u64 + self.compressor.latency.decompress_total();
             self.counters.compressed_hit_cycles_sum += lat;
             self.counters.blocks_decompressed += 1;
             self.load_dbuf(block, line, t);
@@ -151,7 +149,12 @@ impl System {
                     } else {
                         // Without LLC co-location the recompacted image goes
                         // straight back to memory.
-                        self.dram.access_burst(block.line(0), size as usize, AccessKind::Write, completion);
+                        self.dram.access_burst(
+                            block.line(0),
+                            size as usize,
+                            AccessKind::Write,
+                            completion,
+                        );
                         self.count_traffic(true, true, size as u64 * CL_BYTES as u64);
                     }
                 }
@@ -196,7 +199,7 @@ impl System {
             self.counters.block_reuse_sum += ev.requested_mask.count_ones() as u64;
             self.counters.block_reuse_count += 1;
             let save = self.pfe.decide(&ev);
-            for cl in save {
+            for cl in save.iter() {
                 let l = ev.block.line(cl as usize);
                 if !self.llc_decoupled().probe_ucl(l) {
                     let evs = self.llc_decoupled().insert_ucl(l, false);
@@ -214,9 +217,21 @@ impl System {
     /// Run the eviction state machine over everything the LLC pushed out.
     /// Evictions are write-buffered: they cost traffic and events but do
     /// not extend the triggering request's latency.
-    pub(crate) fn handle_avr_evictions(&mut self, evs: Vec<Evicted>, now: u64) {
-        let mut work: VecDeque<Evicted> = evs.into();
-        while let Some(ev) = work.pop_front() {
+    ///
+    /// The work queue is owned by the `System` and reused across calls
+    /// (recompressions enqueue follow-on evictions), so the steady-state
+    /// path performs no allocation.
+    pub(crate) fn handle_avr_evictions(&mut self, evs: EvictList, now: u64) {
+        if evs.is_empty() {
+            return;
+        }
+        let mut work = std::mem::take(&mut self.evict_queue);
+        work.clear();
+        work.extend(evs);
+        let mut next = 0;
+        while next < work.len() {
+            let ev = work[next];
+            next += 1;
             match ev {
                 Evicted::Ucl { line, dirty } => {
                     if !dirty {
@@ -238,6 +253,7 @@ impl System {
                 }
             }
         }
+        self.evict_queue = work;
     }
 
     /// Fig. 8, dirty-UCL path.
@@ -246,7 +262,7 @@ impl System {
         line: LineAddr,
         dt: DataType,
         now: u64,
-        work: &mut VecDeque<Evicted>,
+        work: &mut Vec<Evicted>,
     ) {
         let block = line.block();
 
@@ -435,10 +451,7 @@ mod tests {
             s.read_u32(PhysAddr(r.base.0 + i as u64));
         }
         let read_bytes = s.counters.traffic.approx_read_bytes - before;
-        assert!(
-            read_bytes < (64 << 10) / 2,
-            "re-read moved {read_bytes} B for a 65536 B region"
-        );
+        assert!(read_bytes < (64 << 10) / 2, "re-read moved {read_bytes} B for a 65536 B region");
     }
 
     #[test]
@@ -490,10 +503,7 @@ mod tests {
             }
         }
         assert!(s.compressor.failures > 0, "noise must fail compression");
-        assert!(
-            s.counters.compression_skips > 0,
-            "skip history must suppress some attempts"
-        );
+        assert!(s.counters.compression_skips > 0, "skip history must suppress some attempts");
         assert!(s.counters.evictions.uncompressed_writeback > 0);
     }
 

@@ -5,7 +5,7 @@
 //! that as a **partitioned-share CMP**: each core owns its share of the
 //! LLC and of the memory-system bandwidth (`SystemConfig::per_core_scaled`
 //! encodes the shares), and shards execute concurrently on OS threads via
-//! `crossbeam::scope`. Inter-core interference beyond the static shares
+//! `std::thread::scope`. Inter-core interference beyond the static shares
 //! (set conflicts in a truly shared LLC, bank conflicts between cores) is
 //! not modelled; DESIGN.md §3 records the simplification.
 //!
@@ -61,22 +61,18 @@ pub fn run_multicore(
 ) -> MulticoreRun {
     assert!(cores >= 1);
     let mut slots: Vec<Option<(RunMetrics, Vec<f64>)>> = (0..cores).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (core, slot) in slots.iter_mut().enumerate() {
             let cfg = per_core_cfg.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut sys = System::new(cfg, design);
                 let out = workload.run_shard(core, cores, &mut sys);
                 let metrics = sys.finish(workload.name());
                 *slot = Some((metrics, out));
             });
         }
-    })
-    .expect("shard thread panicked");
-    let (per_core, outputs) = slots
-        .into_iter()
-        .map(|s| s.expect("every shard completes"))
-        .unzip();
+    });
+    let (per_core, outputs) = slots.into_iter().map(|s| s.expect("every shard completes")).unzip();
     MulticoreRun { per_core, outputs }
 }
 
@@ -138,10 +134,7 @@ mod tests {
         let one = run_multicore(&w, &cfg, DesignKind::Avr, 1);
         let two = run_multicore(&w, &cfg, DesignKind::Avr, 2);
         assert_eq!(one.per_core[0].cycles, two.per_core[0].cycles);
-        assert_eq!(
-            one.per_core[0].counters.traffic,
-            two.per_core[0].counters.traffic
-        );
+        assert_eq!(one.per_core[0].counters.traffic, two.per_core[0].counters.traffic);
     }
 
     #[test]

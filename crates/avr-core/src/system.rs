@@ -47,6 +47,9 @@ pub struct System {
     pub(crate) cmt_cache: CmtCache,
     pub(crate) dbuf: Dbuf,
     pub(crate) pfe: PrefetchEngine,
+    /// Reusable eviction work queue (capacity retained across requests so
+    /// the steady-state eviction machine never allocates).
+    pub(crate) evict_queue: Vec<avr_cache::llc::Evicted>,
     pub mem: PhysMem,
     pub space: AddressSpace,
     pub counters: Counters,
@@ -78,6 +81,7 @@ impl System {
             cmt_cache: CmtCache::new(cfg.avr.cmt_cache_pages),
             dbuf: Dbuf::new(),
             pfe: PrefetchEngine::new(cfg.avr.pfe_threshold),
+            evict_queue: Vec::with_capacity(256),
             mem: PhysMem::new(),
             space: AddressSpace::new(),
             counters: Counters::default(),
@@ -499,10 +503,7 @@ mod tests {
             s.read_u32(PhysAddr(r.base.0 + i as u64));
         }
         assert!(s.counters.llc_misses_total > 10_000);
-        assert_eq!(
-            s.counters.traffic.nonapprox_read_bytes,
-            s.counters.llc_misses_total * 64
-        );
+        assert_eq!(s.counters.traffic.nonapprox_read_bytes, s.counters.llc_misses_total * 64);
     }
 
     #[test]

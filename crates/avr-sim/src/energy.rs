@@ -193,7 +193,10 @@ mod tests {
         assert!(fast.total() < slow.total());
         // Dynamic component is identical, so the delta equals static power
         // x time delta.
-        let static_w = m.core_static_w + m.l1l2_static_w + m.llc_static_w + m.dram_static_w
+        let static_w = m.core_static_w
+            + m.l1l2_static_w
+            + m.llc_static_w
+            + m.dram_static_w
             + m.compressor_static_w;
         let expect = static_w * 0.0005;
         assert!((slow.total() - fast.total() - expect).abs() < 1e-12);

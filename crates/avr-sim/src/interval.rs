@@ -123,10 +123,9 @@ impl IntervalCore {
         // such misses pipeline; their cost surfaces as MSHR stalls at the
         // DRAM service rate, which is exactly the steady state of a
         // bandwidth-bound stream.
-        let trailing = self
-            .last_long_miss_instr
-            .is_some_and(|at| self.instructions - at <= self.rob_size)
-            && self.outstanding.len() < self.mshrs;
+        let trailing =
+            self.last_long_miss_instr.is_some_and(|at| self.instructions - at <= self.rob_size)
+                && self.outstanding.len() < self.mshrs;
         self.last_long_miss_instr = Some(self.instructions);
         if trailing {
             self.trailing_misses += 1;
@@ -143,9 +142,7 @@ impl IntervalCore {
         if self.outstanding.len() >= 2 {
             let last = *self.outstanding.back().unwrap();
             if last < self.outstanding[self.outstanding.len() - 2] {
-                let mut v: Vec<u64> = self.outstanding.drain(..).collect();
-                v.sort_unstable();
-                self.outstanding.extend(v);
+                self.outstanding.make_contiguous().sort_unstable();
             }
         }
     }

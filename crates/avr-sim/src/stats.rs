@@ -47,8 +47,7 @@ pub struct EvictionBreakdown {
 
 impl EvictionBreakdown {
     pub fn total(&self) -> u64 {
-        self.recompress + self.lazy_writeback + self.fetch_recompress
-            + self.uncompressed_writeback
+        self.recompress + self.lazy_writeback + self.fetch_recompress + self.uncompressed_writeback
     }
 
     /// Shares in Figure 15 order.

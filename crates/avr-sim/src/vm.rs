@@ -11,9 +11,9 @@
 //! allocation with regions optionally registered as approximable (the OS
 //! page-table/TLB approx bit of §3.1).
 
-use avr_types::{BlockData, CacheLine, DataType, LineAddr, PhysAddr, CL_BYTES, VALUES_PER_LINE};
 use avr_types::addr::{BLOCK_BYTES, PAGE_BYTES};
 use avr_types::BlockAddr;
+use avr_types::{BlockData, CacheLine, DataType, LineAddr, PhysAddr, CL_BYTES, VALUES_PER_LINE};
 
 /// Flat word-granularity physical memory, grown on demand.
 #[derive(Clone, Debug, Default)]

@@ -30,8 +30,7 @@ impl BlockData {
     pub fn to_lines(&self) -> [CacheLine; LINES_PER_BLOCK] {
         let mut out = [CacheLine::ZERO; LINES_PER_BLOCK];
         for (i, line) in out.iter_mut().enumerate() {
-            line.words
-                .copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
+            line.words.copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
         }
         out
     }
@@ -39,8 +38,7 @@ impl BlockData {
     /// The `i`-th cacheline of the block.
     pub fn line(&self, i: usize) -> CacheLine {
         let mut l = CacheLine::ZERO;
-        l.words
-            .copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
+        l.words.copy_from_slice(&self.words[i * VALUES_PER_LINE..(i + 1) * VALUES_PER_LINE]);
         l
     }
 

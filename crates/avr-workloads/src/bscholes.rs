@@ -116,8 +116,8 @@ impl Workload for BlackScholes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avr_core::{DesignKind, ExactVm, SystemConfig};
     use crate::runner::run_on_design;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
 
     #[test]
     fn norm_cdf_sanity() {

@@ -78,9 +78,8 @@ impl Workload for KMeans {
         }
 
         // Initialize centroids evenly over the value range.
-        let (lo, hi) = terrain
-            .iter()
-            .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let (lo, hi) =
+            terrain.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         for c in 0..k {
             let v = lo + (hi - lo) * (c as f32 + 0.5) / k as f32;
             vm.write_f32(Self::at(cent, c), v);
@@ -144,8 +143,8 @@ impl Workload for KMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avr_core::{DesignKind, ExactVm, SystemConfig};
     use crate::runner::run_on_design;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
 
     #[test]
     fn converges_on_exact_run() {

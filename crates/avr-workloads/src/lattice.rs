@@ -40,14 +40,10 @@ pub struct Lattice {
 impl Lattice {
     pub fn at_scale(scale: BenchScale) -> Self {
         match scale {
-            BenchScale::Tiny => {
-                Lattice { width: 64, height: 32, iters: 4, u0: 0.06, tau: 0.8 }
-            }
+            BenchScale::Tiny => Lattice { width: 64, height: 32, iters: 4, u0: 0.06, tau: 0.8 },
             // 2 x 9 x H x W x 4 B ≈ 2.7 MB of distributions (~86 %
             // approximable), the paper's 5 MB/core shape.
-            BenchScale::Bench => {
-                Lattice { width: 288, height: 128, iters: 6, u0: 0.06, tau: 0.8 }
-            }
+            BenchScale::Bench => Lattice { width: 288, height: 128, iters: 6, u0: 0.06, tau: 0.8 },
         }
     }
 
@@ -121,17 +117,9 @@ impl Workload for Lattice {
                     } else {
                         // BGK collision.
                         let rho: f32 = fi.iter().sum();
-                        let ux = fi
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &v)| EX[i] as f32 * v)
-                            .sum::<f32>()
+                        let ux = fi.iter().enumerate().map(|(i, &v)| EX[i] as f32 * v).sum::<f32>()
                             / rho;
-                        let uy = fi
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &v)| EY[i] as f32 * v)
-                            .sum::<f32>()
+                        let uy = fi.iter().enumerate().map(|(i, &v)| EY[i] as f32 * v).sum::<f32>()
                             / rho;
                         for i in 0..9 {
                             let eq = Self::feq(i, rho, ux, uy);
@@ -190,8 +178,8 @@ impl Workload for Lattice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avr_core::{DesignKind, ExactVm, SystemConfig};
     use crate::runner::run_on_design;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
 
     #[test]
     fn flow_is_finite_and_mass_is_conserved() {

@@ -96,9 +96,8 @@ impl Workload for Lbm {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let d2 = (x as f32 - cx).powi(2)
-                        + (y as f32 - cy).powi(2)
-                        + (z as f32 - cz).powi(2);
+                    let d2 =
+                        (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2) + (z as f32 - cz).powi(2);
                     let solid = (d2 <= r * r) as u32;
                     vm.compute(8);
                     vm.write_u32(PhysAddr(mask.0 + 4 * idx_of(x, y, z) as u64), solid);
@@ -124,8 +123,7 @@ impl Workload for Lbm {
                 for y in 0..ny {
                     for x in 0..nx {
                         let idx = idx_of(x, y, z);
-                        let solid =
-                            vm.read_u32(PhysAddr(mask.0 + 4 * idx as u64)) != 0;
+                        let solid = vm.read_u32(PhysAddr(mask.0 + 4 * idx as u64)) != 0;
                         let mut fi = [0f32; 19];
                         for i in 0..19 {
                             fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
@@ -176,8 +174,7 @@ impl Workload for Lbm {
                     for i in 0..19 {
                         let v = Self::feq(i, 1.0, (0.0, 0.0, self.u0));
                         vm.write_f32(Self::f_at(dst, i, idx_of(x, y, 0), cells), v);
-                        let inner =
-                            vm.read_f32(Self::f_at(dst, i, idx_of(x, y, nz - 2), cells));
+                        let inner = vm.read_f32(Self::f_at(dst, i, idx_of(x, y, nz - 2), cells));
                         vm.write_f32(Self::f_at(dst, i, idx_of(x, y, nz - 1), cells), inner);
                     }
                     vm.compute(80);
@@ -212,8 +209,8 @@ impl Workload for Lbm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avr_core::{DesignKind, ExactVm, SystemConfig};
     use crate::runner::run_on_design;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
 
     #[test]
     fn d3q19_tables_are_consistent() {
@@ -235,9 +232,7 @@ mod tests {
         assert!(out.iter().all(|v| v.is_finite()));
         // Downstream of the sphere (z > 2/3) flow still moves.
         let cells_per_slice = 12 * 12;
-        let downstream: f64 = out[12 * cells_per_slice..13 * cells_per_slice]
-            .iter()
-            .sum::<f64>()
+        let downstream: f64 = out[12 * cells_per_slice..13 * cells_per_slice].iter().sum::<f64>()
             / cells_per_slice as f64;
         assert!(downstream > 0.005, "downstream mean velocity {downstream}");
     }

@@ -146,7 +146,12 @@ impl Workload for Orbit {
             p1 = (p1.0 + v1.0 * dt, p1.1 + v1.1 * dt, p1.2 + v1.2 * dt);
             p2 = (p2.0 + v2.0 * dt, p2.1 + v2.1 * dt, p2.2 + v2.2 * dt);
             trajectory.extend_from_slice(&[
-                p1.0 as f64, p1.1 as f64, p1.2 as f64, p2.0 as f64, p2.1 as f64, p2.2 as f64,
+                p1.0 as f64,
+                p1.1 as f64,
+                p1.2 as f64,
+                p2.0 as f64,
+                p2.1 as f64,
+                p2.2 as f64,
             ]);
         }
 
@@ -174,8 +179,7 @@ mod tests {
         for step in 0..w.steps {
             let p1 = (out[6 * step], out[6 * step + 1], out[6 * step + 2]);
             let p2 = (out[6 * step + 3], out[6 * step + 4], out[6 * step + 5]);
-            let d = ((p1.0 - p2.0).powi(2) + (p1.1 - p2.1).powi(2) + (p1.2 - p2.2).powi(2))
-                .sqrt();
+            let d = ((p1.0 - p2.0).powi(2) + (p1.1 - p2.1).powi(2) + (p1.2 - p2.2).powi(2)).sqrt();
             assert!(d > 1.0, "bodies collapsed at step {step}: d={d}");
             assert!(d < 32.0, "bodies escaped at step {step}: d={d}");
             assert!((0.0..32.0).contains(&p1.0) && (0.0..32.0).contains(&p2.0));

@@ -118,9 +118,6 @@ mod tests {
     fn suite_has_seven_benchmarks_in_paper_order() {
         let suite = all_benchmarks(BenchScale::Tiny);
         let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
-        assert_eq!(
-            names,
-            ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"]
-        );
+        assert_eq!(names, ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"]);
     }
 }

@@ -7,8 +7,25 @@
 //! mask and a midpoint-displacement fractal elevation profile with
 //! realistic spatial correlation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (splitmix64) so the generators need no
+/// external RNG crate; sequences are stable across platforms and releases.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f32 in [lo, hi).
+    fn gen_range(&mut self, range: std::ops::Range<f32>) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
 
 /// 1-D fractal terrain via midpoint displacement.
 ///
@@ -16,7 +33,7 @@ use rand::{Rng, SeedableRng};
 /// is deterministic in `seed` and sized to exactly `n` samples.
 pub fn fractal_terrain(n: usize, base: f32, amplitude: f32, roughness: f32, seed: u64) -> Vec<f32> {
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64(seed);
     // Work on a power-of-two + 1 grid, then truncate.
     let size = (n - 1).next_power_of_two() + 1;
     let mut h = vec![0f32; size];
@@ -92,9 +109,7 @@ mod tests {
     #[test]
     fn terrain_respects_amplitude_scale() {
         let t = fractal_terrain(4096, 500.0, 100.0, 0.5, 7);
-        let (min, max) = t.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = t.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         assert!(min > 0.0, "elevations stay positive: {min}");
         assert!(max - min > 50.0, "terrain has relief: {}", max - min);
         assert!(max - min < 1000.0, "relief bounded: {}", max - min);

@@ -48,6 +48,7 @@ impl Workload for Wrf {
         // Approximable: the geo-ordered weather metrics.
         let t = vm.approx_malloc(4 * cells, DataType::F32).base; // temperature
         let q = vm.approx_malloc(4 * cells, DataType::F32).base; // humidity
+
         // Precise: everything else (dynamics + scratch), 11 more grids.
         let t_new = vm.malloc(4 * cells).base;
         let q_new = vm.malloc(4 * cells).base;
@@ -183,8 +184,8 @@ impl Workload for Wrf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avr_core::{DesignKind, ExactVm, SystemConfig};
     use crate::runner::run_on_design;
+    use avr_core::{DesignKind, ExactVm, SystemConfig};
 
     #[test]
     fn temperatures_stay_atmospheric() {
@@ -203,8 +204,7 @@ mod tests {
         let mut vm = ExactVm::new();
         let out = w.run(&mut vm);
         let cells_per_slice = 24 * 24;
-        let ground: f64 =
-            out[..cells_per_slice].iter().sum::<f64>() / cells_per_slice as f64;
+        let ground: f64 = out[..cells_per_slice].iter().sum::<f64>() / cells_per_slice as f64;
         let top: f64 = out[5 * cells_per_slice..].iter().sum::<f64>() / cells_per_slice as f64;
         assert!(ground > top + 5.0, "lapse rate lost: ground {ground} top {top}");
     }

@@ -1,0 +1,276 @@
+//! A tiny, dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmarking harness, implementing exactly the API surface the
+//! `avr-bench` benches use. The build environment has no network access to
+//! crates.io, so the real criterion cannot be a dependency; this shim keeps
+//! `cargo bench` working with the same bench sources.
+//!
+//! Measurement model: each `bench_function` target is warmed up for a fixed
+//! wall-clock budget, then sampled `sample_size` times; the reported figure
+//! is the median of per-iteration times. Results print in a criterion-like
+//! `name  time: [..]` format and are also collected in-process so callers
+//! (e.g. the `bench_codec` JSON emitter) can consume them via
+//! [`Criterion::results`].
+
+use std::time::{Duration, Instant};
+
+/// How a batched-iteration setup cost is amortized. The shim times only the
+/// routine, matching criterion's semantics closely enough for our kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One measured benchmark target.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of measurement samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median sample.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The per-target timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// (sample durations, iterations per sample) recorded by `iter*`.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, warm_up: Duration) -> Self {
+        Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count, warm_up }
+    }
+
+    /// Time `routine`, criterion-style: warm up, pick an iteration count
+    /// that makes one sample take a measurable slice, then sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the budget elapses, counting iterations to
+        // calibrate the per-sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as u64 / warm_iters.max(1);
+        // Target ~2 ms per sample so short kernels are averaged over many
+        // iterations and the Instant overhead vanishes.
+        let iters = (2_000_000 / per_iter.max(1)).clamp(1, 10_000_000);
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Batched variant: `setup` produces the input consumed by `routine`.
+    /// The shim times setup + routine per call but runs one iteration per
+    /// sample when setup is present, so setup noise stays visible but small
+    /// kernels still get many samples.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as u64 / warm_iters.max(1);
+        let iters = (2_000_000 / per_iter.max(1)).clamp(1, 10_000_000);
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn result(&self, name: &str) -> BenchResult {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample.max(1) as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = if per_iter.is_empty() { 0.0 } else { per_iter[per_iter.len() / 2] };
+        let mean_ns = if per_iter.is_empty() {
+            0.0
+        } else {
+            per_iter.iter().sum::<f64>() / per_iter.len() as f64
+        };
+        BenchResult {
+            name: name.to_string(),
+            median_ns,
+            mean_ns,
+            samples: per_iter.len(),
+            iters_per_sample: self.iters_per_sample,
+        }
+    }
+}
+
+/// The bench registry / driver.
+pub struct Criterion {
+    sample_count: usize,
+    warm_up: Duration,
+    results: Vec<BenchResult>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // AVR_BENCH_FAST=1 shrinks the measurement so CI smoke runs stay
+        // in seconds; default settings give stable medians for the JSON
+        // trajectory files.
+        let fast = std::env::var("AVR_BENCH_FAST").is_ok();
+        Criterion {
+            sample_count: if fast { 10 } else { 30 },
+            warm_up: if fast { Duration::from_millis(50) } else { Duration::from_millis(300) },
+            results: Vec::new(),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Criterion-compatible knob: number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Criterion-compatible knob: warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Criterion-compatible knob: measurement time (the shim derives its
+    /// sampling from sample_size instead; accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one benchmark target.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.sample_count, self.warm_up);
+        f(&mut b);
+        let r = b.result(name);
+        println!(
+            "{:<40} time: [{:>10.1} ns] ({} samples x {} iters)",
+            r.name, r.median_ns, r.samples, r.iters_per_sample
+        );
+        self.results.push(r);
+        self
+    }
+
+    /// All results measured so far (shim extension; not in real criterion).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Final report hook, called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("{} benchmark target(s) measured", self.results.len());
+    }
+}
+
+/// `black_box` re-export for criterion API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a benchmark group, criterion-style. Both the simple form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`
+/// are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        target(&mut c);
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.name, "shim_smoke");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.samples >= 3);
+    }
+
+    #[test]
+    fn iter_batched_also_records() {
+        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        c.bench_function("batched", |b| b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput));
+        assert_eq!(c.results().len(), 1);
+    }
+}

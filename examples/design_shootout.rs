@@ -12,10 +12,9 @@ use avr::workloads::{all_benchmarks, run_on_design, BenchScale};
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "lattice".to_string());
     let suite = all_benchmarks(BenchScale::Tiny);
-    let workload = suite
-        .iter()
-        .find(|w| w.name() == which)
-        .unwrap_or_else(|| panic!("unknown benchmark {which}; try one of heat/lattice/lbm/orbit/kmeans/bscholes/wrf"));
+    let workload = suite.iter().find(|w| w.name() == which).unwrap_or_else(|| {
+        panic!("unknown benchmark {which}; try one of heat/lattice/lbm/orbit/kmeans/bscholes/wrf")
+    });
 
     let cfg = SystemConfig::tiny();
     println!("benchmark: {which} (tiny scale)\n");

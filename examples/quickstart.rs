@@ -56,8 +56,11 @@ fn main() {
     println!("  lazy writeback:    {}", c.evictions.lazy_writeback);
     println!("  fetch+recompress:  {}", c.evictions.fetch_recompress);
     println!("  uncompressed WB:   {}", c.evictions.uncompressed_writeback);
-    println!("DRAM traffic:        {} KB (approx) + {} KB (precise)",
-        c.traffic.approx() / 1024, c.traffic.nonapprox() / 1024);
+    println!(
+        "DRAM traffic:        {} KB (approx) + {} KB (precise)",
+        c.traffic.approx() / 1024,
+        c.traffic.nonapprox() / 1024
+    );
     println!("compression ratio:   {:.1}:1", m.compression_ratio);
     println!("energy:              {:.3} mJ", m.energy.total() * 1e3);
     assert!(worst < 0.02 + 1e-3, "T1 must bound the read-back error");

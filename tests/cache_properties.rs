@@ -1,12 +1,16 @@
 //! Property-based tests of the cache structures: the decoupled LLC never
 //! corrupts its tag/BPA invariants under arbitrary operation sequences,
-//! and the conventional cache behaves like a reference model.
+//! and the conventional cache behaves like a reference model. Random
+//! sequences come from a deterministic splitmix64 stream (the build
+//! environment is offline, so no proptest).
 
 use avr::cache::llc::AvrLlc;
 use avr::cache::set_assoc::SetAssocCache;
 use avr::types::{BlockAddr, CacheGeometry, LineAddr};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+mod common;
+use common::Rng;
 
 #[derive(Clone, Debug)]
 enum LlcOp {
@@ -18,63 +22,68 @@ enum LlcOp {
     EvictBlock { block: u8 },
 }
 
-fn llc_op() -> impl Strategy<Value = LlcOp> {
-    prop_oneof![
-        (any::<u8>(), 0u8..16, any::<bool>())
-            .prop_map(|(block, cl, dirty)| LlcOp::InsertUcl { block, cl, dirty }),
-        (any::<u8>(), 1u8..=8, any::<bool>())
-            .prop_map(|(block, size, dirty)| LlcOp::InsertCms { block, size, dirty }),
-        (any::<u8>(), 0u8..16).prop_map(|(block, cl)| LlcOp::AccessUcl { block, cl }),
-        any::<u8>().prop_map(|block| LlcOp::RemoveCms { block }),
-        (any::<u8>(), 0u8..16).prop_map(|(block, cl)| LlcOp::InvalidateUcl { block, cl }),
-        any::<u8>().prop_map(|block| LlcOp::EvictBlock { block }),
-    ]
+fn llc_op(rng: &mut Rng) -> LlcOp {
+    let block = rng.below(256) as u8;
+    match rng.below(6) {
+        0 => LlcOp::InsertUcl { block, cl: rng.below(16) as u8, dirty: rng.flip() },
+        1 => LlcOp::InsertCms { block, size: 1 + rng.below(8) as u8, dirty: rng.flip() },
+        2 => LlcOp::AccessUcl { block, cl: rng.below(16) as u8 },
+        3 => LlcOp::RemoveCms { block },
+        4 => LlcOp::InvalidateUcl { block, cl: rng.below(16) as u8 },
+        _ => LlcOp::EvictBlock { block },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The decoupled LLC's internal invariants hold under arbitrary
-    /// operation sequences (tag counts match BPA contents, no orphans).
-    #[test]
-    fn decoupled_llc_invariants_hold(ops in proptest::collection::vec(llc_op(), 1..300)) {
+/// The decoupled LLC's internal invariants hold under arbitrary operation
+/// sequences (tag counts match BPA contents, no orphans).
+#[test]
+fn decoupled_llc_invariants_hold() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xcace_0001 ^ case);
         let mut llc = AvrLlc::new(CacheGeometry { capacity: 64 * 4 * 64, ways: 4, latency: 15 });
-        for op in ops {
-            match op {
+        let ops = 1 + rng.below(300);
+        for step in 0..ops {
+            let op = llc_op(&mut rng);
+            match &op {
                 LlcOp::InsertUcl { block, cl, dirty } => {
-                    llc.insert_ucl(BlockAddr(block as u64).line(cl as usize), dirty);
+                    llc.insert_ucl(BlockAddr(*block as u64).line(*cl as usize), *dirty);
                 }
                 LlcOp::InsertCms { block, size, dirty } => {
-                    llc.insert_cms(BlockAddr(block as u64), size, dirty);
+                    llc.insert_cms(BlockAddr(*block as u64), *size, *dirty);
                 }
                 LlcOp::AccessUcl { block, cl } => {
-                    llc.access_ucl(BlockAddr(block as u64).line(cl as usize), false);
+                    llc.access_ucl(BlockAddr(*block as u64).line(*cl as usize), false);
                 }
                 LlcOp::RemoveCms { block } => {
-                    llc.remove_cms(BlockAddr(block as u64));
+                    llc.remove_cms(BlockAddr(*block as u64));
                 }
                 LlcOp::InvalidateUcl { block, cl } => {
-                    llc.invalidate_ucl(BlockAddr(block as u64).line(cl as usize));
+                    llc.invalidate_ucl(BlockAddr(*block as u64).line(*cl as usize));
                 }
                 LlcOp::EvictBlock { block } => {
-                    llc.evict_block(BlockAddr(block as u64));
+                    llc.evict_block(BlockAddr(*block as u64));
                 }
             }
             llc.check_invariants();
+            let _ = (case, step, op);
         }
     }
+}
 
-    /// A dirty line inserted into the LLC is either still resident or was
-    /// reported dirty in an eviction — dirtiness never silently vanishes.
-    #[test]
-    fn dirty_lines_are_never_lost(
-        lines in proptest::collection::vec((any::<u8>(), 0u8..16), 1..200)
-    ) {
+/// A dirty line inserted into the LLC is either still resident or was
+/// reported dirty in an eviction — dirtiness never silently vanishes.
+#[test]
+fn dirty_lines_are_never_lost() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xcace_0002 ^ case);
         let mut llc = AvrLlc::new(CacheGeometry { capacity: 32 * 4 * 64, ways: 4, latency: 15 });
         let mut written_back = std::collections::HashSet::new();
         let mut inserted = std::collections::HashSet::new();
-        for (block, cl) in lines {
-            let line = BlockAddr(block as u64).line(cl as usize);
+        let n = 1 + rng.below(200);
+        for _ in 0..n {
+            let block = rng.below(256);
+            let cl = rng.below(16) as usize;
+            let line = BlockAddr(block).line(cl);
             for ev in llc.insert_ucl(line, true) {
                 if let avr::cache::llc::Evicted::Ucl { line: l, dirty: true } = ev {
                     written_back.insert(l);
@@ -84,31 +93,35 @@ proptest! {
         }
         for line in &inserted {
             let resident_dirty = llc.ucl_dirty(*line) == Some(true);
-            prop_assert!(
+            assert!(
                 resident_dirty || written_back.contains(line),
-                "dirty line {line:?} vanished without a writeback"
+                "case {case}: dirty line {line:?} vanished without a writeback"
             );
         }
     }
+}
 
-    /// The conventional cache agrees with a trivial reference model on
-    /// presence after arbitrary access/insert interleavings.
-    #[test]
-    fn set_assoc_matches_reference(
-        accesses in proptest::collection::vec((0u64..256, any::<bool>()), 1..300)
-    ) {
+/// The conventional cache agrees with a trivial reference model on
+/// presence after arbitrary access/insert interleavings.
+#[test]
+fn set_assoc_matches_reference() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xcace_0003 ^ case);
         let geom = CacheGeometry { capacity: 16 * 2 * 64, ways: 2, latency: 1 };
         let mut cache = SetAssocCache::new(geom);
         // Reference: per-set LRU lists.
         let sets = 16usize;
         let ways = 2usize;
         let mut reference: HashMap<usize, Vec<u64>> = HashMap::new();
-        for (line, write) in accesses {
+        let n = 1 + rng.below(300);
+        for _ in 0..n {
+            let line = rng.below(256);
+            let write = rng.flip();
             let set = (line as usize) % sets;
             let lru = reference.entry(set).or_default();
             let hit_ref = lru.contains(&line);
             let hit = cache.access(LineAddr(line), write);
-            prop_assert_eq!(hit, hit_ref, "presence diverged on line {}", line);
+            assert_eq!(hit, hit_ref, "case {case}: presence diverged on line {line}");
             if hit_ref {
                 lru.retain(|&l| l != line);
                 lru.push(line);

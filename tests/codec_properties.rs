@@ -1,133 +1,297 @@
 //! Property-based tests of the AVR codec: the invariants §3.3 promises,
-//! checked over arbitrary finite blocks.
+//! checked over randomized finite blocks. The generator is a deterministic
+//! splitmix64 stream (the build environment is offline, so no proptest);
+//! every failure reports the case seed for replay.
 
-use avr::compress::{compress, decompress, CompressFailure, Thresholds};
+use avr::compress::{compress, compress_reference, decompress, CompressFailure, Thresholds};
 use avr::types::{BlockData, DataType, VALUES_PER_BLOCK};
-use proptest::prelude::*;
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    // Finite, non-degenerate magnitudes the workloads actually produce.
-    prop_oneof![
-        (-1.0e6f32..1.0e6),
-        (-1.0f32..1.0),
-        (1.0e-6f32..1.0e-3),
-        Just(0.0f32),
-    ]
-}
+mod common;
+use common::Rng;
 
-fn smooth_block() -> impl Strategy<Value = BlockData> {
-    // base + slope*i + curvature: the compressible family.
-    ((10.0f32..1000.0), (-0.5f32..0.5), (-0.001f32..0.001)).prop_map(|(b, s, c)| {
-        let mut words = [0u32; VALUES_PER_BLOCK];
-        for (i, w) in words.iter_mut().enumerate() {
-            let x = i as f32;
-            *w = (b + s * x + c * x * x).to_bits();
-        }
-        BlockData { words }
-    })
-}
-
-fn arbitrary_block() -> impl Strategy<Value = BlockData> {
-    proptest::collection::vec(finite_f32(), VALUES_PER_BLOCK).prop_map(|vals| {
-        let mut words = [0u32; VALUES_PER_BLOCK];
-        for (w, v) in words.iter_mut().zip(&vals) {
-            *w = v.to_bits();
-        }
-        BlockData { words }
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whatever happens, a successful compression fits the size cap and
-    /// its bitmap popcount equals its outlier count.
-    #[test]
-    fn compressed_blocks_respect_the_size_cap(block in arbitrary_block()) {
-        let th = Thresholds::paper_default();
-        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
-            prop_assert!(o.compressed.size_lines() <= 8);
-            prop_assert_eq!(o.compressed.outlier_count(), o.compressed.outliers.len());
-            prop_assert!(o.compressed.ratio() >= 2.0);
-        }
+/// Finite, non-degenerate magnitudes the workloads actually produce.
+fn finite_f32(rng: &mut Rng) -> f32 {
+    match rng.next_u64() % 4 {
+        0 => rng.range_f32(-1.0e6, 1.0e6),
+        1 => rng.range_f32(-1.0, 1.0),
+        2 => rng.range_f32(1.0e-6, 1.0e-3),
+        _ => 0.0,
     }
+}
 
-    /// decompress(compress(x)) is exactly the reconstructed view the
-    /// simulator feeds back into application memory.
-    #[test]
-    fn decompress_matches_reconstruction(block in arbitrary_block()) {
-        let th = Thresholds::paper_default();
-        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
-            prop_assert_eq!(decompress(&o.compressed), o.reconstructed);
-        }
+/// base + slope*i + curvature: the compressible family.
+fn smooth_block(rng: &mut Rng) -> BlockData {
+    let b = rng.range_f32(10.0, 1000.0);
+    let s = rng.range_f32(-0.5, 0.5);
+    let c = rng.range_f32(-0.001, 0.001);
+    let mut words = [0u32; VALUES_PER_BLOCK];
+    for (i, w) in words.iter_mut().enumerate() {
+        let x = i as f32;
+        *w = (b + s * x + c * x * x).to_bits();
     }
+    BlockData { words }
+}
 
-    /// Non-outlier values respect the per-value threshold T1; outliers are
-    /// reproduced bit-exactly.
-    #[test]
-    fn t1_bounds_every_non_outlier(block in arbitrary_block()) {
-        let th = Thresholds::paper_default();
-        if let Ok(o) = compress(&block, DataType::F32, &th, 8) {
+fn arbitrary_block(rng: &mut Rng) -> BlockData {
+    let mut words = [0u32; VALUES_PER_BLOCK];
+    for w in words.iter_mut() {
+        *w = finite_f32(rng).to_bits();
+    }
+    BlockData { words }
+}
+
+const CASES: u64 = 128;
+
+fn for_arbitrary_blocks(seed: u64, mut check: impl FnMut(u64, &BlockData)) {
+    for case in 0..CASES {
+        let mut rng = Rng(seed ^ case);
+        let block = arbitrary_block(&mut rng);
+        check(case, &block);
+    }
+}
+
+/// Whatever happens, a successful compression fits the size cap and its
+/// bitmap popcount equals its outlier count.
+#[test]
+fn compressed_blocks_respect_the_size_cap() {
+    let th = Thresholds::paper_default();
+    for_arbitrary_blocks(0x5eed_0001, |case, block| {
+        if let Ok(o) = compress(block, DataType::F32, &th, 8) {
+            assert!(o.compressed.size_lines() <= 8, "case {case}");
+            assert_eq!(o.compressed.outlier_count(), o.compressed.outliers.len(), "case {case}");
+            assert!(o.compressed.ratio() >= 2.0, "case {case}");
+        }
+    });
+}
+
+/// decompress(compress(x)) is exactly the reconstructed view the simulator
+/// feeds back into application memory.
+#[test]
+fn decompress_matches_reconstruction() {
+    let th = Thresholds::paper_default();
+    for_arbitrary_blocks(0x5eed_0002, |case, block| {
+        if let Ok(o) = compress(block, DataType::F32, &th, 8) {
+            assert_eq!(decompress(&o.compressed), o.reconstructed, "case {case}");
+        }
+    });
+}
+
+/// Non-outlier values respect the per-value threshold T1; outliers are
+/// reproduced bit-exactly.
+#[test]
+fn t1_bounds_every_non_outlier() {
+    let th = Thresholds::paper_default();
+    for_arbitrary_blocks(0x5eed_0003, |case, block| {
+        if let Ok(o) = compress(block, DataType::F32, &th, 8) {
             for i in 0..VALUES_PER_BLOCK {
                 let orig = f32::from_bits(block.words[i]);
                 let recon = f32::from_bits(o.reconstructed.words[i]);
                 if o.compressed.is_outlier(i) {
-                    prop_assert_eq!(block.words[i], o.reconstructed.words[i]);
+                    assert_eq!(block.words[i], o.reconstructed.words[i], "case {case} value {i}");
                 } else if orig != 0.0 && orig.is_finite() {
                     let rel = ((recon - orig) / orig).abs() as f64;
-                    prop_assert!(rel <= th.t1 + 1e-9, "value {i}: rel {rel}");
+                    assert!(rel <= th.t1 + 1e-9, "case {case} value {i}: rel {rel}");
                 }
             }
-            prop_assert!(o.avg_err <= th.t2 + 1e-12);
+            assert!(o.avg_err <= th.t2 + 1e-12, "case {case}");
         }
-    }
+    });
+}
 
-    /// Smooth data always compresses, and well.
-    #[test]
-    fn smooth_blocks_always_compress(block in smooth_block()) {
-        let th = Thresholds::paper_default();
+/// Smooth data always compresses, and well.
+#[test]
+fn smooth_blocks_always_compress() {
+    let th = Thresholds::paper_default();
+    for case in 0..CASES {
+        let mut rng = Rng(0x5eed_0004 ^ case);
+        let block = smooth_block(&mut rng);
         let o = compress(&block, DataType::F32, &th, 8);
-        prop_assert!(o.is_ok(), "smooth block failed: {o:?}");
-        prop_assert!(o.unwrap().compressed.size_lines() <= 4);
+        assert!(o.is_ok(), "case {case}: smooth block failed: {o:?}");
+        assert!(o.unwrap().compressed.size_lines() <= 4, "case {case}");
     }
+}
 
-    /// Tightening T1 never decreases the outlier count.
-    #[test]
-    fn tighter_thresholds_mean_more_outliers(block in arbitrary_block()) {
-        let loose = Thresholds::new(0.05, 0.025);
-        let tight = Thresholds::new(0.005, 0.0025);
-        let lo = compress(&block, DataType::F32, &loose, 16);
-        let to = compress(&block, DataType::F32, &tight, 16);
+/// Tightening T1 never decreases the outlier count.
+#[test]
+fn tighter_thresholds_mean_more_outliers() {
+    let loose = Thresholds::new(0.05, 0.025);
+    let tight = Thresholds::new(0.005, 0.0025);
+    for_arbitrary_blocks(0x5eed_0005, |case, block| {
+        let lo = compress(block, DataType::F32, &loose, 16);
+        let to = compress(block, DataType::F32, &tight, 16);
         if let (Ok(l), Ok(t)) = (lo, to) {
-            prop_assert!(t.outlier_count >= l.outlier_count);
+            assert!(t.outlier_count >= l.outlier_count, "case {case}");
+        }
+    });
+}
+
+/// Failure is always one of the two documented reasons.
+#[test]
+fn failures_are_classified() {
+    let th = Thresholds::paper_default();
+    for_arbitrary_blocks(0x5eed_0006, |case, block| match compress(block, DataType::F32, &th, 8) {
+        Ok(_) => {}
+        Err(CompressFailure::TooManyOutliers { lines_needed }) => {
+            assert!(lines_needed > 8, "case {case}");
+        }
+        Err(CompressFailure::AvgErrorTooHigh { avg_err }) => {
+            assert!(avg_err > th.t2, "case {case}");
+        }
+    });
+}
+
+/// One block drawn from the families the fused/reference oracle sweeps:
+/// smooth fields, ramps, noise, NaN-sprinkled and bias-heavy (huge / tiny
+/// magnitude) blocks, plus mixtures.
+fn oracle_f32_block(rng: &mut Rng) -> BlockData {
+    let family = rng.next_u64() % 6;
+    let mut words = [0u32; VALUES_PER_BLOCK];
+    match family {
+        // Smooth quadratic field.
+        0 => {
+            let b = rng.range_f32(10.0, 1000.0);
+            let s = rng.range_f32(-0.5, 0.5);
+            let c = rng.range_f32(-0.001, 0.001);
+            for (i, w) in words.iter_mut().enumerate() {
+                let x = i as f32;
+                *w = (b + s * x + c * x * x).to_bits();
+            }
+        }
+        // Linear ramp with occasional spikes.
+        1 => {
+            let base = rng.range_f32(1.0, 5000.0);
+            let slope = rng.range_f32(-2.0, 2.0);
+            for (i, w) in words.iter_mut().enumerate() {
+                let spike = rng.next_u64().is_multiple_of(37);
+                let v = if spike { rng.range_f32(-1.0e8, 1.0e8) } else { base + slope * i as f32 };
+                *w = v.to_bits();
+            }
+        }
+        // White noise (incompressible).
+        2 => {
+            for w in words.iter_mut() {
+                *w = rng.range_f32(-1.0e6, 1.0e6).to_bits();
+            }
+        }
+        // Smooth with NaN/Inf sprinkles.
+        3 => {
+            let b = rng.range_f32(50.0, 500.0);
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = match rng.next_u64() % 61 {
+                    0 => f32::NAN.to_bits(),
+                    1 => f32::INFINITY.to_bits(),
+                    _ => (b + (i as f32 * 0.3).sin()).to_bits(),
+                };
+            }
+        }
+        // Bias-heavy: huge or tiny magnitudes.
+        4 => {
+            let scale = if rng.flip() { 1.0e18 } else { 1.0e-18 };
+            let b = rng.range_f32(1.0, 9.0) * scale;
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = (b * (1.0 + i as f32 * 1.0e-4)).to_bits();
+            }
+        }
+        // Fully arbitrary finite values (mixed magnitudes + zeros).
+        _ => {
+            for w in words.iter_mut() {
+                *w = finite_f32(rng).to_bits();
+            }
         }
     }
+    BlockData { words }
+}
 
-    /// Failure is always one of the two documented reasons.
-    #[test]
-    fn failures_are_classified(block in arbitrary_block()) {
-        let th = Thresholds::paper_default();
-        match compress(&block, DataType::F32, &th, 8) {
-            Ok(_) => {}
-            Err(CompressFailure::TooManyOutliers { lines_needed }) => {
-                prop_assert!(lines_needed > 8);
+/// Q16.16 analogue of the oracle families.
+fn oracle_fixed_block(rng: &mut Rng) -> BlockData {
+    let family = rng.next_u64() % 3;
+    let mut words = [0u32; VALUES_PER_BLOCK];
+    match family {
+        // Smooth Q16.16 ramp.
+        0 => {
+            let base = (rng.next_u64() % 2000) as i32 - 1000;
+            let slope = (rng.next_u64() % 2000) as i32 - 1000;
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = ((base << 16).wrapping_add(slope.wrapping_mul(i as i32))) as u32;
             }
-            Err(CompressFailure::AvgErrorTooHigh { avg_err }) => {
-                prop_assert!(avg_err > th.t2);
+        }
+        // Noise over the full 32-bit range.
+        1 => {
+            for w in words.iter_mut() {
+                *w = rng.next_u64() as u32;
+            }
+        }
+        // Mostly-smooth with zero runs and spikes.
+        _ => {
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = match rng.next_u64() % 13 {
+                    0 => 0,
+                    1 => rng.next_u64() as u32,
+                    _ => ((500i32 << 16) + (i as i32) * 700) as u32,
+                };
             }
         }
     }
+    BlockData { words }
+}
 
-    /// Compression is deterministic.
-    #[test]
-    fn compression_is_deterministic(block in arbitrary_block()) {
-        let th = Thresholds::paper_default();
-        let a = compress(&block, DataType::F32, &th, 8);
-        let b = compress(&block, DataType::F32, &th, 8);
+/// The oracle: the fused hot path is **bit-identical** to the retained
+/// pre-refactor reference on success, and agrees on the failure mode, over
+/// ≥1000 randomized blocks per data type (and several `max_lines` caps).
+#[test]
+fn fused_codec_is_bit_identical_to_reference() {
+    let th = Thresholds::paper_default();
+    for (dt, cases) in [(DataType::F32, 1200u64), (DataType::Fixed32, 1200u64)] {
+        for case in 0..cases {
+            let mut rng = Rng(0x0eac_1e00 ^ (case << 1) ^ dt as u64);
+            let block = match dt {
+                DataType::F32 => oracle_f32_block(&mut rng),
+                DataType::Fixed32 => oracle_fixed_block(&mut rng),
+            };
+            let max_lines = [8usize, 4, 16][(case % 3) as usize];
+            let fused = compress(&block, dt, &th, max_lines);
+            let reference = compress_reference(&block, dt, &th, max_lines);
+            match (fused, reference) {
+                (Ok(f), Ok(r)) => {
+                    assert_eq!(f.compressed, r.compressed, "{dt:?} case {case}: block");
+                    assert_eq!(
+                        f.reconstructed, r.reconstructed,
+                        "{dt:?} case {case}: reconstruction"
+                    );
+                    assert_eq!(f.avg_err.to_bits(), r.avg_err.to_bits(), "{dt:?} case {case}");
+                    assert_eq!(f.outlier_count, r.outlier_count, "{dt:?} case {case}");
+                }
+                (Err(f), Err(r)) => {
+                    assert_eq!(
+                        std::mem::discriminant(&f),
+                        std::mem::discriminant(&r),
+                        "{dt:?} case {case}: failure mode {f:?} vs {r:?}"
+                    );
+                    if let (
+                        CompressFailure::AvgErrorTooHigh { avg_err: fa },
+                        CompressFailure::AvgErrorTooHigh { avg_err: ra },
+                    ) = (f, r)
+                    {
+                        assert_eq!(fa.to_bits(), ra.to_bits(), "{dt:?} case {case}");
+                    }
+                }
+                other => panic!("{dt:?} case {case}: outcome diverged: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Compression is deterministic.
+#[test]
+fn compression_is_deterministic() {
+    let th = Thresholds::paper_default();
+    for_arbitrary_blocks(0x5eed_0007, |case, block| {
+        let a = compress(block, DataType::F32, &th, 8);
+        let b = compress(block, DataType::F32, &th, 8);
         match (a, b) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x.compressed, y.compressed),
+            (Ok(x), Ok(y)) => assert_eq!(x.compressed, y.compressed, "case {case}"),
             (Err(_), Err(_)) => {}
-            other => prop_assert!(false, "divergent outcomes: {other:?}"),
+            other => panic!("case {case}: divergent outcomes: {other:?}"),
         }
-    }
+    });
 }

@@ -1,0 +1,37 @@
+//! Shared deterministic PRNG for the integration tests (the build
+//! environment is offline, so no proptest/rand): splitmix64, seeded per
+//! test case so failures replay exactly.
+
+#[allow(dead_code)] // each test binary uses a different subset
+pub struct Rng(pub u64);
+
+#[allow(dead_code)]
+impl Rng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, n).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f32 in [0, 1).
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform f32 in [lo, hi).
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.unit_f32() * (hi - lo)
+    }
+
+    /// Fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

@@ -19,13 +19,15 @@ fn repeated_runs_are_bit_identical() {
             let b = run_on_design(w.as_ref(), &cfg, design);
             assert_eq!(a.cycles, b.cycles, "{} {:?} cycles differ", w.name(), design);
             assert_eq!(
-                a.counters.traffic, b.counters.traffic,
+                a.counters.traffic,
+                b.counters.traffic,
                 "{} {:?} traffic differs",
                 w.name(),
                 design
             );
             assert_eq!(
-                a.output_error, b.output_error,
+                a.output_error,
+                b.output_error,
                 "{} {:?} output error differs",
                 w.name(),
                 design
@@ -47,7 +49,8 @@ fn design_does_not_perturb_instruction_stream_except_kmeans() {
         let base = run_on_design(w.as_ref(), &cfg, DesignKind::Baseline);
         let avr = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
         assert_eq!(
-            base.counters.instructions, avr.counters.instructions,
+            base.counters.instructions,
+            avr.counters.instructions,
             "{} instruction count must not depend on the design",
             w.name()
         );

@@ -32,12 +32,7 @@ fn baseline_and_zeroavr_are_exact() {
     for w in all_benchmarks(BenchScale::Tiny) {
         for design in [DesignKind::Baseline, DesignKind::ZeroAvr] {
             let m = run_on_design(w.as_ref(), &cfg(), design);
-            assert_eq!(
-                m.output_error, 0.0,
-                "{} must be bit-exact on {:?}",
-                w.name(),
-                design
-            );
+            assert_eq!(m.output_error, 0.0, "{} must be bit-exact on {:?}", w.name(), design);
         }
     }
 }
@@ -50,13 +45,10 @@ fn zeroavr_tracks_baseline_performance() {
         let base = run_on_design(w.as_ref(), &cfg(), DesignKind::Baseline);
         let zero = run_on_design(w.as_ref(), &cfg(), DesignKind::ZeroAvr);
         let ratio = zero.exec_time_norm(&base);
-        assert!(
-            (0.9..=1.1).contains(&ratio),
-            "{}: ZeroAVR exec ratio {ratio}",
-            w.name()
-        );
+        assert!((0.9..=1.1).contains(&ratio), "{}: ZeroAVR exec ratio {ratio}", w.name());
         assert_eq!(
-            zero.counters.llc_misses_total, base.counters.llc_misses_total,
+            zero.counters.llc_misses_total,
+            base.counters.llc_misses_total,
             "{}: decoupled LLC must miss exactly like the baseline when \
              nothing is approximable",
             w.name()
@@ -86,12 +78,7 @@ fn truncate_error_is_bounded_by_the_mantissa_cut() {
     // headroom but nothing runaway.
     for w in all_benchmarks(BenchScale::Tiny) {
         let m = run_on_design(w.as_ref(), &cfg(), DesignKind::Truncate);
-        assert!(
-            m.output_error < 0.20,
-            "{}: truncate output error {}",
-            w.name(),
-            m.output_error
-        );
+        assert!(m.output_error < 0.20, "{}: truncate output error {}", w.name(), m.output_error);
     }
 }
 
@@ -134,10 +121,7 @@ fn compression_metrics_are_consistent() {
         );
         // Figure 14/15 breakdowns partition their totals.
         let r = m.counters.approx_requests;
-        assert_eq!(
-            r.total(),
-            r.miss + r.uncompressed_hit + r.dbuf_hit + r.compressed_hit
-        );
+        assert_eq!(r.total(), r.miss + r.uncompressed_hit + r.dbuf_hit + r.compressed_hit);
     }
 }
 

@@ -26,10 +26,7 @@ fn fixed_point_blocks_compress_without_bias() {
     for i in 0..VALUES_PER_BLOCK {
         let orig = from_q16(b.words[i]);
         let rec = from_q16(o.reconstructed.words[i]);
-        assert!(
-            ((rec - orig) / orig).abs() < 0.02 + 1e-9,
-            "value {i}: {orig} vs {rec}"
-        );
+        assert!(((rec - orig) / orig).abs() < 0.02 + 1e-9, "value {i}: {orig} vs {rec}");
     }
 }
 

@@ -1,0 +1,143 @@
+//! Allocation regression test: the steady-state compress + LLC access
+//! paths must perform **zero heap allocations** after warm-up. A counting
+//! global allocator wraps the system allocator; everything runs inside one
+//! test function so no concurrent test pollutes the counter.
+
+use avr::arch::{DesignKind, System as AvrSystem, SystemConfig, Vm};
+use avr::cache::cmt::{CmtCache, CmtTable};
+use avr::cache::llc::AvrLlc;
+use avr::compress::{Compressor, Thresholds};
+use avr::types::{BlockAddr, BlockData, CacheGeometry, DataType, PhysAddr};
+use avr_bench::codec_kernels::{noise_block, smooth_block, spiky_block};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    // ------------------------------------------------------------------
+    // Codec: success, outlier and failure paths.
+    // ------------------------------------------------------------------
+    let mut comp = Compressor::new(Thresholds::paper_default(), 8);
+    let (smooth, spiky, noise) = (smooth_block(), spiky_block(), noise_block());
+    let mut fixed = BlockData::default();
+    for (i, w) in fixed.words.iter_mut().enumerate() {
+        *w = ((100 << 16) + (i as i32) * 300) as u32;
+    }
+    // Warm-up covers every branch once.
+    let _ = comp.compress(&smooth, DataType::F32);
+    let _ = comp.compress(&spiky, DataType::F32);
+    let _ = comp.compress(&noise, DataType::F32);
+    let _ = comp.compress(&fixed, DataType::Fixed32);
+
+    let before = allocations();
+    for _ in 0..200 {
+        assert!(comp.compress(&smooth, DataType::F32).is_ok());
+        assert!(comp.compress(&spiky, DataType::F32).is_ok());
+        assert!(comp.compress(&noise, DataType::F32).is_err());
+        assert!(comp.compress(&fixed, DataType::Fixed32).is_ok());
+    }
+    let codec_allocs = allocations() - before;
+    assert_eq!(codec_allocs, 0, "steady-state compress allocated {codec_allocs} times");
+
+    // ------------------------------------------------------------------
+    // Decoupled LLC: hits, inserts, evictions, mask queries.
+    // ------------------------------------------------------------------
+    let mut llc = AvrLlc::new(CacheGeometry { capacity: 64 * 4 * 64, ways: 4, latency: 15 });
+    let exercise = |llc: &mut AvrLlc| {
+        for k in 0..96u64 {
+            let b = BlockAddr(k * 3);
+            let _ = llc.insert_ucl(b.line((k % 16) as usize), k % 2 == 0);
+            let _ = llc.insert_cms(BlockAddr(k), 1 + (k % 8) as u8, k % 3 == 0);
+            llc.access_ucl(b.line((k % 16) as usize), false);
+            let _ = llc.ucls_of(b);
+            let _ = llc.dirty_ucls_of(b);
+            if k % 7 == 0 {
+                let _ = llc.evict_block(BlockAddr(k / 2));
+            }
+            if k % 5 == 0 {
+                let _ = llc.remove_cms(BlockAddr(k));
+            }
+        }
+    };
+    exercise(&mut llc); // warm
+    let before = allocations();
+    for _ in 0..50 {
+        exercise(&mut llc);
+    }
+    let llc_allocs = allocations() - before;
+    assert_eq!(llc_allocs, 0, "steady-state LLC ops allocated {llc_allocs} times");
+
+    // ------------------------------------------------------------------
+    // CMT table + cache on a warmed block set.
+    // ------------------------------------------------------------------
+    let mut cmt = CmtTable::default();
+    let mut cache = CmtCache::new(16);
+    for k in 0..128u64 {
+        cmt.get_mut(BlockAddr(k * 37)).n_lazy = (k % 8) as u8; // materialize segments
+        cache.touch(BlockAddr(k * 37));
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        for k in 0..128u64 {
+            let e = cmt.get(BlockAddr(k * 37));
+            cmt.get_mut(BlockAddr(k * 37)).n_failed = e.n_lazy;
+            cache.touch(BlockAddr(k * 37));
+        }
+    }
+    let cmt_allocs = allocations() - before;
+    assert_eq!(cmt_allocs, 0, "steady-state CMT ops allocated {cmt_allocs} times");
+
+    // ------------------------------------------------------------------
+    // Full system: an AVR design re-running identical approx traffic.
+    // ------------------------------------------------------------------
+    let mut sys = AvrSystem::new(SystemConfig::tiny(), DesignKind::Avr);
+    let region = sys.approx_malloc(64 << 10, DataType::F32);
+    let flush = sys.malloc(1 << 18);
+    let pass = |sys: &mut AvrSystem, seed: f32| {
+        for i in 0..(64 << 10) / 4_u64 {
+            sys.write_f32(PhysAddr(region.base.0 + 4 * i), seed + (i as f32) * 0.001);
+        }
+        for off in (0..1 << 18).step_by(64) {
+            sys.read_u32(PhysAddr(flush.base.0 + off as u64));
+        }
+        for i in (0..(64 << 10) / 4_u64).step_by(16) {
+            sys.read_f32(PhysAddr(region.base.0 + 4 * i));
+        }
+    };
+    pass(&mut sys, 100.0); // warm-up: allocates backing pages, CMT segments…
+    pass(&mut sys, 101.0);
+    let before = allocations();
+    pass(&mut sys, 102.0);
+    let system_allocs = allocations() - before;
+    assert_eq!(
+        system_allocs, 0,
+        "steady-state full-system AVR traffic allocated {system_allocs} times"
+    );
+}
