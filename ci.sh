@@ -1,35 +1,78 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, the full test suite, and a bench smoke run.
+# CI gate, split into the stages .github/workflows/ci.yml runs as a matrix
+# (so lint failures report in minutes, not after a full release build):
 #
-#   ./ci.sh          full gate (what .github/workflows/ci.yml runs)
-#   ./ci.sh quick    skip the bench smoke (fast local pre-commit check)
+#   ./ci.sh               full gate: lint + debug tests + release tests + perf
+#   ./ci.sh lint          rustfmt + clippy -D warnings
+#   ./ci.sh test-debug    debug build + full test suite
+#   ./ci.sh test-release  release build + full test suite
+#   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
+#                         committed BENCH_PR2.json + codec kernel smoke
+#   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Everything builds with the repo's .cargo/config.toml (host-native
-# codegen); see PERFORMANCE.md.
+# codegen) and the channel pinned by rust-toolchain.toml; see
+# PERFORMANCE.md.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo build --release"
-cargo build --release
+test_debug() {
+    echo "==> cargo build (debug)"
+    cargo build --workspace
 
-echo "==> cargo test (workspace)"
-cargo test --workspace -q
+    echo "==> cargo test (debug, workspace)"
+    cargo test --workspace -q
+}
 
-if [[ "${1:-}" != "quick" ]]; then
-    echo "==> bench smoke (tiny scale, shrunk measurement)"
-    # codec kernels: reference-vs-fused comparison at smoke precision; the
-    # JSON lands in a scratch file (the committed BENCH_*.json trajectory
-    # files are produced by a full run: cargo run --release -p avr-bench
-    # --bin bench_codec -- BENCH_PRn.json).
+test_release() {
+    echo "==> cargo build --release"
+    cargo build --release
+
+    echo "==> cargo test --release (workspace)"
+    cargo test --release --workspace -q
+}
+
+perf() {
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR2.json"
+    # Fails when any workload's blocks/s regresses > 25 % against the
+    # committed trajectory baseline (median-calibrated: uniform machine
+    # speed cancels); the JSON is uploaded as a CI artifact.
+    cargo run --release -p avr-bench --bin bench_e2e -- \
+        --smoke --check BENCH_PR2.json --out bench-e2e-smoke.json
+
+    echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
     AVR_BENCH_FAST=1 cargo bench --bench codec_kernels -p avr-bench
-fi
+}
 
-echo "==> ci.sh: all green"
+case "${1:-all}" in
+    lint) lint ;;
+    test-debug) test_debug ;;
+    test-release) test_release ;;
+    perf) perf ;;
+    quick)
+        lint
+        test_release
+        ;;
+    all)
+        lint
+        test_debug
+        test_release
+        perf
+        ;;
+    *)
+        echo "usage: ./ci.sh [lint|test-debug|test-release|perf|quick|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "==> ci.sh ${1:-all}: all green"

@@ -1,13 +1,16 @@
 //! Regenerates Figure 13 (normalized LLC MPKI) when run under `cargo bench` (prints the rows the
 //! paper reports), then times a representative kernel so Criterion has a
-//! stable measurement target. Scale via AVR_SCALE=tiny|bench.
+//! stable measurement target. Scale via AVR_SCALE=tiny|bench; pool width via AVR_THREADS.
 
 use avr_bench::*;
 use avr_core::DesignKind;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn regenerate_and_bench(c: &mut Criterion) {
-    let sweep = Sweep::run(
+    // The grid runs on the shared SimPool engine (pool width from
+    // AVR_THREADS, default = available cores).
+    let sweep = Sweep::run_on(
+        &avr_core::SimPool::from_env(),
         scale_from_env(),
         &[
             DesignKind::Baseline,

@@ -1,0 +1,342 @@
+//! End-to-end simulation-rate benchmark: drives all nine workloads through
+//! the `SimPool` engine and emits a machine-readable `BENCH_<tag>.json`
+//! recording **blocks/s per workload** — the whole-simulator throughput the
+//! perf trajectory tracks beyond the codec kernels (ROADMAP).
+//!
+//! One "block" is the AVR 1 KB memory-block unit: a workload's block count
+//! is its simulated DRAM traffic in 1 KB units, which is deterministic for
+//! a fixed (workload, design, scale); the wall clock is the only measured
+//! quantity. Each workload entry times the *full* end-to-end pipeline —
+//! golden run, timed AVR-design simulation, and the parallel Table 4
+//! compression summary. A PR that intentionally changes simulation speed
+//! (or the simulated traffic) should regenerate and commit the next
+//! `BENCH_PRn.json` and point CI's `--check` at it.
+//!
+//! ```text
+//! bench_e2e [--smoke] [--check BASELINE.json] [--out PATH]
+//! ```
+//!
+//! * default: measures the `smoke` (tiny-scale) *and* `full` (bench-scale)
+//!   sections — the committed BENCH_PRn.json trajectory files come from
+//!   this mode;
+//! * `--smoke`: tiny scale only — CI's perf gate;
+//! * `--check B.json`: after measuring, compare this run's smoke section
+//!   against `B.json`'s and exit non-zero if any workload's blocks/s
+//!   regressed more than the 25 % budget. Ratios are **median-calibrated**
+//!   first: each workload's current/baseline ratio is divided by the
+//!   median ratio across all workloads, so a uniform machine-speed
+//!   difference (a slower CI runner, host frequency drift) cancels out and
+//!   the gate fires on *differential* regressions — one workload's engine
+//!   path getting slower — which is what a committed-baseline gate can
+//!   actually detect across machines. A uniform drift beyond the budget is
+//!   reported loudly but does not fail the gate.
+//!
+//! The Table 4 sweep (all nine workloads × AVR) is also timed on one
+//! thread vs. the pool so the engine's scaling is part of the record.
+
+use avr_core::{DesignKind, SimPool, SystemConfig};
+use avr_workloads::{all_benchmarks, run_grid, run_on_design, BenchScale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Regression budget for `--check`: fail when a workload's blocks/s drops
+/// below this fraction of the committed baseline.
+const GATE_FRACTION: f64 = 0.75;
+
+struct WorkloadRate {
+    workload: &'static str,
+    sim_blocks: u64,
+    wall_ms: f64,
+}
+
+impl WorkloadRate {
+    fn blocks_per_sec(&self) -> f64 {
+        self.sim_blocks as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+}
+
+struct SweepTiming {
+    pool_threads: usize,
+    single_thread_ms: f64,
+    pooled_ms: f64,
+}
+
+struct Section {
+    scale_label: &'static str,
+    workloads: Vec<WorkloadRate>,
+    sweep: SweepTiming,
+}
+
+fn config_for(scale: BenchScale) -> SystemConfig {
+    match scale {
+        BenchScale::Tiny => SystemConfig::tiny(),
+        BenchScale::Bench => SystemConfig::per_core_scaled(),
+    }
+}
+
+/// Time one full (golden + AVR + summary) run per workload, best-of-N so
+/// the trajectory numbers resist noise. Short workloads (sub-10 ms runs)
+/// get extra reps until ~60 ms of total measurement accumulates — a
+/// 0.7 ms tiny-scale run measured only twice would dominate the gate's
+/// flakiness on shared CI runners.
+const MIN_MEASURE_MS: f64 = 60.0;
+const MAX_REPS: u32 = 12;
+
+fn measure_workloads(
+    suite: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    reps: u32,
+) -> Vec<WorkloadRate> {
+    suite
+        .iter()
+        .map(|w| {
+            let mut best_ms = f64::MAX;
+            let mut total_ms = 0.0;
+            let mut blocks = 0u64;
+            let mut rep = 0;
+            while rep < reps || (total_ms < MIN_MEASURE_MS && rep < MAX_REPS) {
+                let t0 = Instant::now();
+                let m = run_on_design(w.as_ref(), cfg, DesignKind::Avr);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                blocks = m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
+                best_ms = best_ms.min(ms);
+                total_ms += ms;
+                rep += 1;
+            }
+            WorkloadRate { workload: w.name(), sim_blocks: blocks, wall_ms: best_ms }
+        })
+        .collect()
+}
+
+/// Time the Table 4 sweep (nine workloads × AVR) single-threaded vs. on
+/// the pool.
+fn measure_sweep(
+    suite: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    pool_threads: usize,
+) -> SweepTiming {
+    let designs = [DesignKind::Avr];
+    let t0 = Instant::now();
+    let serial = run_grid(&SimPool::new(1), suite, cfg, &designs);
+    let single_thread_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let pooled = run_grid(&SimPool::new(pool_threads), suite, cfg, &designs);
+    let pooled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // The engine's determinism contract, asserted on every bench run.
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert_eq!(
+            a.metrics.cycles, b.metrics.cycles,
+            "{}: pool changed the simulation",
+            a.workload
+        );
+    }
+    SweepTiming { pool_threads, single_thread_ms, pooled_ms }
+}
+
+fn measure_section(
+    scale: BenchScale,
+    label: &'static str,
+    reps: u32,
+    pool_threads: usize,
+) -> Section {
+    let suite = all_benchmarks(scale);
+    let cfg = config_for(scale);
+    Section {
+        scale_label: label,
+        workloads: measure_workloads(&suite, &cfg, reps),
+        sweep: measure_sweep(&suite, &cfg, pool_threads),
+    }
+}
+
+fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
+    let _ = writeln!(json, "    \"{name}\": {{");
+    let _ = writeln!(json, "      \"scale\": \"{}\",", s.scale_label);
+    json.push_str("      \"workloads\": [\n");
+    for (i, w) in s.workloads.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{ \"workload\": \"{}\", \"design\": \"AVR\", \"sim_blocks\": {}, \
+             \"wall_ms\": {:.1}, \"blocks_per_sec\": {:.0} }}{}",
+            w.workload,
+            w.sim_blocks,
+            w.wall_ms,
+            w.blocks_per_sec(),
+            if i + 1 < s.workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("      ],\n");
+    let sw = &s.sweep;
+    let _ = writeln!(
+        json,
+        "      \"table4_sweep\": {{ \"pool_threads\": {}, \"single_thread_ms\": {:.1}, \
+         \"pooled_ms\": {:.1}, \"speedup\": {:.2} }}",
+        sw.pool_threads,
+        sw.single_thread_ms,
+        sw.pooled_ms,
+        sw.single_thread_ms / sw.pooled_ms.max(1e-9)
+    );
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
+/// Extract `(workload, blocks_per_sec)` pairs from the named section of a
+/// previously emitted file (the format is line-oriented by construction;
+/// no JSON dependency exists offline).
+fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
+    let mut rates = Vec::new();
+    let mut in_section = false;
+    let wanted = format!("\"{section}\": {{");
+    for line in text.lines() {
+        let t = line.trim();
+        if t == wanted {
+            in_section = true;
+        } else if in_section && (t == "\"smoke\": {" || t == "\"full\": {") {
+            break; // next section began
+        } else if in_section && t.starts_with("{ \"workload\": \"") {
+            let name = t
+                .split("\"workload\": \"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())
+                .unwrap_or_default()
+                .to_string();
+            let bps = t
+                .split("\"blocks_per_sec\": ")
+                .nth(1)
+                .and_then(|r| r.trim_end_matches(&[' ', '}', ','][..]).parse::<f64>().ok());
+            if let Some(bps) = bps {
+                rates.push((name, bps));
+            }
+        }
+    }
+    rates
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_only = args.iter().any(|a| a == "--smoke");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a baseline path").clone());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone())
+        .unwrap_or_else(|| "BENCH_current.json".to_string());
+
+    // Fail on an unwritable destination before spending the measurement.
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    let env_pool = SimPool::from_env();
+    // The scaling record always exercises ≥ 4 workers (they time-slice on
+    // smaller machines; the JSON records the honest result either way).
+    let sweep_threads = env_pool.threads().max(4);
+
+    eprintln!("bench_e2e: smoke section (tiny scale)...");
+    let smoke = measure_section(BenchScale::Tiny, "tiny", 3, sweep_threads);
+    let full = if smoke_only {
+        None
+    } else {
+        eprintln!("bench_e2e: full section (bench scale)...");
+        Some(measure_section(BenchScale::Bench, "bench", 1, sweep_threads))
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"e2e\",");
+    let _ = writeln!(json, "  \"unit\": \"blocks_per_sec (1 KB simulated DRAM blocks / wall s)\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke_only { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"target\": \"host-native (.cargo/config.toml)\",");
+    json.push_str("  \"sections\": {\n");
+    render_section(&mut json, "smoke", &smoke, full.is_none());
+    if let Some(full) = &full {
+        render_section(&mut json, "full", full, true);
+    }
+    json.push_str("  }\n}\n");
+
+    for s in [Some(&smoke), full.as_ref()].into_iter().flatten() {
+        eprintln!("-- {} scale --", s.scale_label);
+        for w in &s.workloads {
+            eprintln!(
+                "{:<10} {:>9} blocks  {:>8.1} ms  {:>12.0} blocks/s",
+                w.workload,
+                w.sim_blocks,
+                w.wall_ms,
+                w.blocks_per_sec()
+            );
+        }
+        let sw = &s.sweep;
+        eprintln!(
+            "table4 sweep: 1 thread {:.0} ms, {} threads {:.0} ms, speedup {:.2}x",
+            sw.single_thread_ms,
+            sw.pool_threads,
+            sw.pooled_ms,
+            sw.single_thread_ms / sw.pooled_ms.max(1e-9)
+        );
+    }
+
+    std::fs::write(&out_path, &json).expect("write trajectory file");
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text, "smoke");
+        if baseline.is_empty() {
+            eprintln!("error: no smoke-section workloads found in {baseline_path}");
+            std::process::exit(1);
+        }
+        // Raw current/baseline ratios, then the machine-speed calibration:
+        // the median ratio is the fleet-wide speed factor of this host vs.
+        // the baseline host; dividing it out leaves per-workload deltas.
+        let mut ratios: Vec<(String, f64, f64)> = Vec::new(); // (name, base, raw ratio)
+        let mut missing = false;
+        for (name, base_bps) in &baseline {
+            match smoke.workloads.iter().find(|w| w.workload == *name) {
+                Some(cur) => {
+                    ratios.push((name.clone(), *base_bps, cur.blocks_per_sec() / base_bps))
+                }
+                None => {
+                    eprintln!("GATE: workload {name} missing from this run");
+                    missing = true;
+                }
+            }
+        }
+        if ratios.is_empty() {
+            eprintln!("GATE: no baseline workload matches this run's suite");
+            std::process::exit(1);
+        }
+        let mut sorted: Vec<f64> = ratios.iter().map(|r| r.2).collect();
+        sorted.sort_by(f64::total_cmp);
+        let machine_speed = sorted[sorted.len() / 2];
+        eprintln!("GATE: machine-speed factor vs baseline host: {machine_speed:.2}x (median)");
+        if machine_speed < GATE_FRACTION {
+            eprintln!(
+                "GATE: WARNING — this host runs the whole suite {:.0} % slower than the \
+                 baseline host; uniform drift is not gated, only per-workload deltas",
+                (1.0 - machine_speed) * 100.0
+            );
+        }
+        let mut failed = missing;
+        for (name, base_bps, raw) in &ratios {
+            let calibrated = raw / machine_speed;
+            let verdict = if calibrated < GATE_FRACTION { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "GATE {name:<10} baseline {base_bps:>12.0}  raw {raw:>5.2}  calibrated \
+                 {calibrated:>5.2}  {verdict}"
+            );
+            failed |= calibrated < GATE_FRACTION;
+        }
+        if failed {
+            eprintln!(
+                "GATE: a workload's blocks/s regressed more than {:.0} % beyond the \
+                 fleet median",
+                (1.0 - GATE_FRACTION) * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("GATE: all workloads within the {:.0} % budget", (1.0 - GATE_FRACTION) * 100.0);
+    }
+}

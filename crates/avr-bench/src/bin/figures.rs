@@ -15,12 +15,14 @@ use avr_core::{DesignKind, OverheadReport, SystemConfig};
 
 fn main() {
     let scale = scale_from_env();
+    let pool = avr_core::SimPool::from_env();
     eprintln!(
-        "running full sweep at {} scale (7 benchmarks x 5 designs, thread-parallel)...",
-        scale_label(scale)
+        "running full sweep at {} scale (9 benchmarks x 5 designs, {} pool threads)...",
+        scale_label(scale),
+        pool.threads()
     );
     let t0 = std::time::Instant::now();
-    let sweep = Sweep::run(scale, &DesignKind::ALL);
+    let sweep = Sweep::run_on(&pool, scale, &DesignKind::ALL);
     eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
 
     print!("{}", table3(&sweep));

@@ -8,20 +8,21 @@
 //! * `bench` — the EXPERIMENTS.md scale with paper-like footprint:LLC
 //!   ratios; select with `AVR_SCALE=bench`.
 
-use avr_core::{DesignKind, SystemConfig};
+use avr_core::{DesignKind, SimPool, SystemConfig};
 use avr_sim::stats::geomean;
 use avr_sim::RunMetrics;
-use avr_workloads::{all_benchmarks, run_on_design, BenchScale, Workload};
+use avr_workloads::{run_suite_on_pool, BenchScale};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 pub mod codec_kernels;
 pub mod render;
 
 pub use render::*;
 
-/// Benchmark names in the paper's figure order.
-pub const BENCH_ORDER: [&str; 7] = ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"];
+/// Benchmark names in figure order: the paper's seven, then the two
+/// extension workloads.
+pub const BENCH_ORDER: [&str; 9] =
+    ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf", "sobel", "fft"];
 
 /// Resolve the scale from `AVR_SCALE` (tiny | bench).
 pub fn scale_from_env() -> BenchScale {
@@ -57,32 +58,21 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Run `designs` × the full suite at `scale`, in parallel (each run is
-    /// an independent single-threaded simulation).
+    /// Run `designs` × the full suite at `scale` on an environment-sized
+    /// pool (each run is an independent single-threaded simulation).
     pub fn run(scale: BenchScale, designs: &[DesignKind]) -> Sweep {
+        Sweep::run_on(&SimPool::from_env(), scale, designs)
+    }
+
+    /// Run the (workload × design) grid on `pool`. Results are
+    /// bit-identical for any pool width.
+    pub fn run_on(pool: &SimPool, scale: BenchScale, designs: &[DesignKind]) -> Sweep {
         let cfg = figure_config_for(scale);
-        let suite = all_benchmarks(scale);
-        let jobs: Vec<(usize, DesignKind)> =
-            (0..suite.len()).flat_map(|w| designs.iter().map(move |&d| (w, d))).collect();
-        // Each run is an independent single-threaded simulation: fan the
-        // (workload, design) grid out over scoped worker threads pulling
-        // from a shared index (no external thread-pool dependency).
-        let runs = Mutex::new(HashMap::new());
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers =
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(wi, design)) = jobs.get(i) else { break };
-                    let w: &dyn Workload = suite[wi].as_ref();
-                    let m = run_on_design(w, &cfg, design);
-                    runs.lock().unwrap().insert((w.name().to_string(), design.label()), m);
-                });
-            }
-        });
-        Sweep { runs: runs.into_inner().unwrap(), designs: designs.to_vec() }
+        let runs = run_suite_on_pool(pool, scale, &cfg, designs)
+            .into_iter()
+            .map(|c| ((c.workload.to_string(), c.design.label()), c.metrics))
+            .collect();
+        Sweep { runs, designs: designs.to_vec() }
     }
 
     pub fn get(&self, bench: &str, design: DesignKind) -> &RunMetrics {
@@ -121,7 +111,7 @@ mod tests {
     #[test]
     fn sweep_runs_all_cells_at_tiny_scale() {
         let sweep = Sweep::run(BenchScale::Tiny, &[DesignKind::Baseline, DesignKind::Avr]);
-        assert_eq!(sweep.runs.len(), 14);
+        assert_eq!(sweep.runs.len(), 18);
         for b in BENCH_ORDER {
             let base = sweep.baseline(b);
             assert!(base.cycles > 0, "{b} baseline must have run");
@@ -131,10 +121,10 @@ mod tests {
     }
 
     #[test]
-    fn normalized_rows_have_seven_entries() {
+    fn normalized_rows_have_nine_entries() {
         let sweep = Sweep::run(BenchScale::Tiny, &[DesignKind::Baseline, DesignKind::Avr]);
         let (vals, gm) = sweep.normalized_row(DesignKind::Avr, |m, b| m.exec_time_norm(b));
-        assert_eq!(vals.len(), 7);
+        assert_eq!(vals.len(), 9);
         assert!(gm > 0.0);
     }
 }

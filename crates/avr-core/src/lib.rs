@@ -14,11 +14,14 @@
 pub mod avr_ops;
 pub mod multicore;
 pub mod overhead;
+pub mod pool;
+pub mod summary;
 pub mod system;
 pub mod vm_api;
 
-pub use multicore::{run_multicore, MulticoreRun, ShardedWorkload};
+pub use multicore::{run_multicore, run_multicore_on, MulticoreRun, ShardedWorkload};
 pub use overhead::OverheadReport;
+pub use pool::{shard_seed, JobCtx, SimPool};
 pub use system::System;
 pub use vm_api::{ExactVm, Vm};
 

@@ -12,6 +12,7 @@
 //! The aggregate metrics follow the paper's conventions: cycles are the
 //! *slowest* core's (makespan), traffic and energy sum across cores.
 
+use crate::pool::SimPool;
 use crate::system::System;
 use crate::vm_api::Vm;
 use avr_sim::RunMetrics;
@@ -49,30 +50,46 @@ impl MulticoreRun {
     pub fn total_energy(&self) -> f64 {
         self.per_core.iter().map(|m| m.energy.total()).sum()
     }
+
+    /// Merged chip-level accumulators: summed counters/energy, makespan
+    /// cycles (the paper's multicore conventions).
+    pub fn merged(&self) -> avr_sim::MergedRun {
+        avr_sim::MergedRun::of(&self.per_core)
+    }
 }
 
 /// Execute `workload` on `cores` SPMD shards of `design`, each against its
-/// per-core share of the paper's hierarchy.
+/// per-core share of the paper's hierarchy. One worker thread per shard
+/// (the seed behavior); sweeps that run many multicore configurations
+/// should share a bounded [`SimPool`] via [`run_multicore_on`] instead.
 pub fn run_multicore(
     workload: &dyn ShardedWorkload,
     per_core_cfg: &SystemConfig,
     design: DesignKind,
     cores: usize,
 ) -> MulticoreRun {
+    run_multicore_on(&SimPool::new(cores), workload, per_core_cfg, design, cores)
+}
+
+/// Execute `workload` on `cores` SPMD shards of `design`, scheduling the
+/// shards on `pool`. Shard results are returned in core order and are
+/// bit-identical for any pool width (each shard is an independent
+/// deterministic simulation).
+pub fn run_multicore_on(
+    pool: &SimPool,
+    workload: &dyn ShardedWorkload,
+    per_core_cfg: &SystemConfig,
+    design: DesignKind,
+    cores: usize,
+) -> MulticoreRun {
     assert!(cores >= 1);
-    let mut slots: Vec<Option<(RunMetrics, Vec<f64>)>> = (0..cores).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (core, slot) in slots.iter_mut().enumerate() {
-            let cfg = per_core_cfg.clone();
-            scope.spawn(move || {
-                let mut sys = System::new(cfg, design);
-                let out = workload.run_shard(core, cores, &mut sys);
-                let metrics = sys.finish(workload.name());
-                *slot = Some((metrics, out));
-            });
-        }
+    let shards = pool.run_jobs(cores, |ctx| {
+        let mut sys = System::new(per_core_cfg.clone(), design);
+        let out = workload.run_shard(ctx.index, cores, &mut sys);
+        let metrics = sys.finish(workload.name());
+        (metrics, out)
     });
-    let (per_core, outputs) = slots.into_iter().map(|s| s.expect("every shard completes")).unzip();
+    let (per_core, outputs) = shards.into_iter().unzip();
     MulticoreRun { per_core, outputs }
 }
 
@@ -135,6 +152,26 @@ mod tests {
         let two = run_multicore(&w, &cfg, DesignKind::Avr, 2);
         assert_eq!(one.per_core[0].cycles, two.per_core[0].cycles);
         assert_eq!(one.per_core[0].counters.traffic, two.per_core[0].counters.traffic);
+    }
+
+    #[test]
+    fn pooled_shards_match_per_core_threads_exactly() {
+        // Scheduling 4 shards on a 2-wide pool must be bit-identical to
+        // the thread-per-shard path — and expose the same merged stats.
+        let w = StripSmooth { strip_len: 8 * 1024 };
+        let cfg = SystemConfig::tiny();
+        let wide = run_multicore(&w, &cfg, DesignKind::Avr, 4);
+        let pooled = run_multicore_on(&SimPool::new(2), &w, &cfg, DesignKind::Avr, 4);
+        assert_eq!(pooled.outputs, wide.outputs);
+        for (a, b) in pooled.per_core.iter().zip(&wide.per_core) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.counters.traffic, b.counters.traffic);
+        }
+        let merged = pooled.merged();
+        assert_eq!(merged.runs, 4);
+        assert_eq!(merged.makespan_cycles, pooled.cycles());
+        assert_eq!(merged.counters.traffic.total(), pooled.total_traffic());
+        assert!((merged.energy.total() - pooled.total_energy()).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! `SimPool` — the parallel end-to-end simulation engine.
+//!
+//! Every figure and table in the paper is a sweep over independent
+//! (workload × configuration) simulations, and the data-partitioning /
+//! granularity-gap literature (arXiv:2004.01637, arXiv:2101.10605) shows
+//! that approximate-memory conclusions need *many* such configurations.
+//! `SimPool` shards those independent runs across OS threads:
+//!
+//! * **Deterministic**: each job gets a [`JobCtx`] whose `seed` is a pure
+//!   function of the job index (splitmix64), and results come back in job
+//!   order regardless of thread count or scheduling. A pool of N threads is
+//!   bit-identical to the single-threaded path (`tests/determinism.rs`
+//!   asserts this for every workload).
+//! * **Dependency-free**: plain `std::thread::scope` workers pulling job
+//!   indices from a shared atomic — no external thread-pool crate (the
+//!   build environment is offline).
+//! * **Composable**: the same engine drives the figure sweeps
+//!   (`avr_bench::Sweep`), the SPMD multicore runner
+//!   ([`crate::multicore::run_multicore_on`]) and the parallel Table 4
+//!   block scan ([`crate::summary`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-job context handed to every pool closure.
+#[derive(Clone, Copy, Debug)]
+pub struct JobCtx {
+    /// This job's index in `0..total` (also its result slot).
+    pub index: usize,
+    /// Total number of jobs in the batch.
+    pub total: usize,
+    /// Deterministic per-shard seed: a pure function of `index`, identical
+    /// for any thread count. Stochastic workloads must draw all their
+    /// randomness from this.
+    pub seed: u64,
+}
+
+/// Deterministic per-shard seed (splitmix64 over the job index).
+#[inline]
+pub fn shard_seed(index: usize) -> u64 {
+    let mut z = (index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-width pool of simulation workers.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPool {
+    threads: usize,
+}
+
+impl Default for SimPool {
+    fn default() -> Self {
+        SimPool::from_env()
+    }
+}
+
+impl SimPool {
+    /// A pool of exactly `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        SimPool { threads }
+    }
+
+    /// Pool width from the environment: `AVR_THREADS` if set (≥ 1),
+    /// otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("AVR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        SimPool::new(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `total` independent jobs and return their results **in job
+    /// order**. Jobs are claimed dynamically (an atomic cursor), so uneven
+    /// job costs load-balance, but the output order — and, because jobs are
+    /// independent and deterministic, every result bit — is identical for
+    /// any pool width.
+    pub fn run_jobs<T, F>(&self, total: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(JobCtx) -> T + Sync,
+    {
+        let ctx = |index| JobCtx { index, total, seed: shard_seed(index) };
+        if self.threads == 1 || total <= 1 {
+            // Inline fast path: no spawn overhead, trivially deterministic.
+            return (0..total).map(|i| job(ctx(i))).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let done = Mutex::new(Vec::<(usize, T)>::with_capacity(total));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(total) {
+                scope.spawn(|| {
+                    // Each worker accumulates locally and publishes once at
+                    // the end, keeping the mutex off the per-job path.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        local.push((i, job(ctx(i))));
+                    }
+                    done.lock().unwrap().append(&mut local);
+                });
+            }
+        });
+        let mut tagged = done.into_inner().unwrap();
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), total);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 7] {
+            let pool = SimPool::new(threads);
+            let out = pool.run_jobs(100, |ctx| ctx.index * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let pool = SimPool::new(4);
+        let a = pool.run_jobs(64, |ctx| ctx.seed);
+        let b = SimPool::new(1).run_jobs(64, |ctx| ctx.seed);
+        assert_eq!(a, b, "seed must not depend on pool width");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "shard seeds collide");
+    }
+
+    #[test]
+    fn ctx_reports_batch_shape() {
+        let pool = SimPool::new(2);
+        let out = pool.run_jobs(5, |ctx| (ctx.index, ctx.total));
+        for (i, (idx, total)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*total, 5);
+        }
+    }
+
+    #[test]
+    fn wide_pool_on_few_jobs_is_fine() {
+        let pool = SimPool::new(16);
+        assert_eq!(pool.run_jobs(2, |ctx| ctx.index), vec![0, 1]);
+        assert_eq!(pool.run_jobs(0, |ctx| ctx.index), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn from_env_honors_avr_threads() {
+        // Set/unset is process-global; keep the assertion tolerant of both
+        // a preexisting AVR_THREADS and the default path.
+        let pool = SimPool::from_env();
+        assert!(pool.threads() >= 1);
+    }
+}

@@ -53,6 +53,11 @@ pub struct System {
     pub mem: PhysMem,
     pub space: AddressSpace,
     pub counters: Counters,
+    /// Worker count for the end-of-run parallel compression summary
+    /// (Table 4 scan). Defaults to 1 — sweeps already parallelize across
+    /// whole runs (`SimPool`), so nesting stays opt-in: standalone drivers
+    /// raise it via [`System::set_summary_threads`] or `AVR_SUMMARY_THREADS`.
+    pub summary_threads: usize,
     pub(crate) energy_model: EnergyModel,
     /// 64 B-granularity LLC data accesses (energy accounting).
     pub(crate) llc_line_touches: u64,
@@ -88,9 +93,20 @@ impl System {
             energy_model: EnergyModel::default(),
             honor_approx: !matches!(design, DesignKind::Baseline | DesignKind::ZeroAvr),
             llc_line_touches: 0,
+            summary_threads: std::env::var("AVR_SUMMARY_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or(1),
             design,
             cfg,
         }
+    }
+
+    /// Set the worker count for the end-of-run compression summary.
+    pub fn set_summary_threads(&mut self, threads: usize) {
+        assert!(threads >= 1);
+        self.summary_threads = threads;
     }
 
     /// The effective approximability of a line under this design.
@@ -393,7 +409,9 @@ impl System {
 
     /// Table 4: sweep the approximable regions, compress every block from
     /// its final values, and report the footprint-weighted ratio plus the
-    /// whole-application footprint fraction.
+    /// whole-application footprint fraction. The block scan partitions
+    /// across `summary_threads` workers ([`crate::summary`]), each reusing
+    /// its own compressor scratch; the totals are thread-count-invariant.
     fn compression_summary(&mut self) -> (f64, f64) {
         let (total, approx) = self.space.footprint();
         if total == 0 {
@@ -405,21 +423,13 @@ impl System {
                 if blocks.is_empty() || self.design == DesignKind::ZeroAvr {
                     1.0
                 } else {
-                    let mut stored_bytes = 0u64;
-                    let mut raw_bytes = 0u64;
-                    for (b, dt) in blocks {
-                        let data = self.mem.read_block(b);
-                        raw_bytes += 1024;
-                        stored_bytes += match avr_compress::compress(
-                            &data,
-                            dt,
-                            &self.compressor.thresholds,
-                            self.compressor.max_lines,
-                        ) {
-                            Ok(o) => (o.compressed.size_lines() * CL_BYTES) as u64,
-                            Err(_) => 1024,
-                        };
-                    }
+                    let (raw_bytes, stored_bytes) = crate::summary::parallel_summary(
+                        &self.mem,
+                        &blocks,
+                        self.compressor.thresholds,
+                        self.compressor.max_lines,
+                        self.summary_threads,
+                    );
                     raw_bytes as f64 / stored_bytes.max(1) as f64
                 }
             }

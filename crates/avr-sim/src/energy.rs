@@ -75,6 +75,15 @@ impl EnergyBreakdown {
         self.core + self.l1l2 + self.llc + self.dram + self.compressor
     }
 
+    /// Accumulate another run's stack (joules are additive across shards).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.core += other.core;
+        self.l1l2 += other.l1l2;
+        self.llc += other.llc;
+        self.dram += other.dram;
+        self.compressor += other.compressor;
+    }
+
     /// Normalize each component to another run's total (the figures
     /// normalize to the baseline design).
     pub fn normalized_to(&self, baseline_total: f64) -> EnergyBreakdown {

@@ -9,5 +9,5 @@ pub mod vm;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use interval::IntervalCore;
-pub use stats::{Counters, EvictionBreakdown, LlcRequestBreakdown, RunMetrics, Traffic};
+pub use stats::{Counters, EvictionBreakdown, LlcRequestBreakdown, MergedRun, RunMetrics, Traffic};
 pub use vm::{AddressSpace, PhysMem, Region};

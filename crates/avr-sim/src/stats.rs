@@ -20,6 +20,14 @@ impl LlcRequestBreakdown {
         self.miss + self.uncompressed_hit + self.dbuf_hit + self.compressed_hit
     }
 
+    /// Accumulate another shard's breakdown (event counts are additive).
+    pub fn merge(&mut self, other: &LlcRequestBreakdown) {
+        self.miss += other.miss;
+        self.uncompressed_hit += other.uncompressed_hit;
+        self.dbuf_hit += other.dbuf_hit;
+        self.compressed_hit += other.compressed_hit;
+    }
+
     /// Shares in Figure 14 order: [miss, uncompressed, dbuf, compressed].
     pub fn shares(&self) -> [f64; 4] {
         let t = self.total().max(1) as f64;
@@ -48,6 +56,14 @@ pub struct EvictionBreakdown {
 impl EvictionBreakdown {
     pub fn total(&self) -> u64 {
         self.recompress + self.lazy_writeback + self.fetch_recompress + self.uncompressed_writeback
+    }
+
+    /// Accumulate another shard's breakdown (event counts are additive).
+    pub fn merge(&mut self, other: &EvictionBreakdown) {
+        self.recompress += other.recompress;
+        self.lazy_writeback += other.lazy_writeback;
+        self.fetch_recompress += other.fetch_recompress;
+        self.uncompressed_writeback += other.uncompressed_writeback;
     }
 
     /// Shares in Figure 15 order.
@@ -85,6 +101,15 @@ impl Traffic {
     pub fn total(&self) -> u64 {
         self.approx() + self.nonapprox()
     }
+
+    /// Accumulate another shard's traffic (byte counts are additive).
+    pub fn merge(&mut self, other: &Traffic) {
+        self.approx_read_bytes += other.approx_read_bytes;
+        self.approx_write_bytes += other.approx_write_bytes;
+        self.nonapprox_read_bytes += other.nonapprox_read_bytes;
+        self.nonapprox_write_bytes += other.nonapprox_write_bytes;
+        self.metadata_bytes += other.metadata_bytes;
+    }
 }
 
 /// Raw event counters accumulated during a run.
@@ -120,6 +145,35 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Accumulate another run's counters into this one: every event count
+    /// is additive except `miss_lat_max`, which takes the maximum. Derived
+    /// ratios (AMAT, MPKI, …) computed on the merged counters are then the
+    /// event-weighted aggregates over all merged runs.
+    pub fn merge(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.llc_requests_total += other.llc_requests_total;
+        self.llc_misses_total += other.llc_misses_total;
+        self.approx_requests.merge(&other.approx_requests);
+        self.evictions.merge(&other.evictions);
+        self.traffic.merge(&other.traffic);
+        self.amat_cycles_sum += other.amat_cycles_sum;
+        self.amat_count += other.amat_count;
+        self.miss_lat_sum += other.miss_lat_sum;
+        self.miss_lat_count += other.miss_lat_count;
+        self.miss_lat_max = self.miss_lat_max.max(other.miss_lat_max);
+        self.compressed_hit_cycles_sum += other.compressed_hit_cycles_sum;
+        self.blocks_compressed += other.blocks_compressed;
+        self.blocks_decompressed += other.blocks_decompressed;
+        self.compression_failures += other.compression_failures;
+        self.compression_skips += other.compression_skips;
+        self.block_reuse_sum += other.block_reuse_sum;
+        self.block_reuse_count += other.block_reuse_count;
+    }
+
     /// Average memory access time (cycles) over all core memory requests.
     pub fn amat(&self) -> f64 {
         if self.amat_count == 0 {
@@ -209,6 +263,46 @@ impl RunMetrics {
     }
 }
 
+/// Aggregate over many (workload × configuration) runs — what a
+/// [`SimPool`]-style parallel engine reports after merging its shards.
+///
+/// Conventions follow the paper's multicore accounting: event counters,
+/// traffic and energy *sum* across runs, while cycles report the *makespan*
+/// (slowest run).
+#[derive(Clone, Debug, Default)]
+pub struct MergedRun {
+    /// Number of runs absorbed.
+    pub runs: u64,
+    /// Summed event counters over all runs.
+    pub counters: Counters,
+    /// Summed energy over all runs.
+    pub energy: EnergyBreakdown,
+    /// Slowest absorbed run, in cycles.
+    pub makespan_cycles: u64,
+    /// Summed simulated cycles (for throughput-weighted aggregates).
+    pub total_cycles: u64,
+}
+
+impl MergedRun {
+    /// Fold one run's metrics into the aggregate.
+    pub fn absorb(&mut self, m: &RunMetrics) {
+        self.runs += 1;
+        self.counters.merge(&m.counters);
+        self.energy.merge(&m.energy);
+        self.makespan_cycles = self.makespan_cycles.max(m.cycles);
+        self.total_cycles += m.cycles;
+    }
+
+    /// Merge a whole slice of runs.
+    pub fn of(runs: &[RunMetrics]) -> MergedRun {
+        let mut acc = MergedRun::default();
+        for m in runs {
+            acc.absorb(m);
+        }
+        acc
+    }
+}
+
 /// Geometric mean helper for the figures' "Geom. Mean" column.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty());
@@ -285,6 +379,51 @@ mod tests {
     fn geomean_of_equal_values_is_value() {
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_merge_sums_events_and_maxes_latency() {
+        let mut a = Counters {
+            instructions: 100,
+            loads: 10,
+            miss_lat_max: 80,
+            amat_cycles_sum: 500,
+            amat_count: 100,
+            ..Default::default()
+        };
+        a.traffic.approx_read_bytes = 64;
+        let mut b = Counters {
+            instructions: 50,
+            loads: 5,
+            miss_lat_max: 200,
+            amat_cycles_sum: 250,
+            amat_count: 50,
+            ..Default::default()
+        };
+        b.traffic.approx_read_bytes = 128;
+        a.merge(&b);
+        assert_eq!(a.instructions, 150);
+        assert_eq!(a.loads, 15);
+        assert_eq!(a.miss_lat_max, 200, "max, not sum");
+        assert_eq!(a.traffic.approx_read_bytes, 192);
+        // Merged AMAT is the event-weighted mean: 750 cycles / 150 reqs.
+        assert!((a.amat() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_run_sums_and_takes_makespan() {
+        let mut m1 = RunMetrics { cycles: 100, ..Default::default() };
+        m1.counters.instructions = 1_000;
+        m1.energy.dram = 2.0;
+        let mut m2 = RunMetrics { cycles: 300, ..Default::default() };
+        m2.counters.instructions = 500;
+        m2.energy.dram = 1.0;
+        let agg = MergedRun::of(&[m1, m2]);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.counters.instructions, 1_500);
+        assert_eq!(agg.makespan_cycles, 300);
+        assert_eq!(agg.total_cycles, 400);
+        assert!((agg.energy.total() - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The seven approximation-tolerant benchmarks of Table 2, ported as Rust
-//! programs that run against any [`avr_core::Vm`] — the timed systems or
-//! the exact golden executor.
+//! The nine approximation-tolerant benchmarks, ported as Rust programs
+//! that run against any [`avr_core::Vm`] — the timed systems or the exact
+//! golden executor. The first seven are the paper's Table 2 suite; `sobel`
+//! and `fft` extend it with two further AxBench kernels so configuration
+//! sweeps cover more data-layout classes (cf. arXiv:2004.01637).
 //!
-//! | name     | paper source                | this port                                   |
+//! | name     | source                      | this port                                   |
 //! |----------|-----------------------------|---------------------------------------------|
 //! | heat     | Quinn, MPI/OpenMP book      | 2-D Jacobi heat diffusion                   |
 //! | lattice  | Ansumali'03 (+car input)    | D2Q9 lattice-Boltzmann over a car silhouette|
@@ -11,19 +13,26 @@
 //! | kmeans   | 1-D k-means (+survey input) | 1-D k-means over fractal terrain elevations |
 //! | bscholes | AxBench blackscholes        | Black-Scholes option pricing                |
 //! | wrf      | SPEC CPU2006 481.wrf        | multi-field 3-D weather stencil             |
+//! | sobel    | AxBench sobel (extension)   | 3×3 Sobel edge filter over a textured image |
+//! | fft      | AxBench fft (extension)     | radix-2 FFT of a full-band chirp            |
 //!
 //! Each workload annotates the data structures the paper lists as
 //! approximable, tuned so the approximable fraction of the footprint
 //! matches Table 4's back-computed fractions (see DESIGN.md §4).
 
 pub mod bscholes;
+pub mod fft;
 pub mod heat;
 pub mod kmeans;
 pub mod lattice;
 pub mod lbm;
 pub mod orbit;
 pub mod runner;
+pub mod sobel;
 pub mod terrain;
 pub mod wrf;
 
-pub use runner::{all_benchmarks, mean_relative_error, run_on_design, BenchScale, Workload};
+pub use runner::{
+    all_benchmarks, mean_relative_error, run_grid, run_on_design, run_suite_on_pool, BenchScale,
+    GridRun, Workload,
+};

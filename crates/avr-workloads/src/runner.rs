@@ -5,7 +5,7 @@
 //! the output vector is compared element-wise against a golden run on
 //! [`ExactVm`] to produce Table 3's mean-relative-error metric.
 
-use avr_core::{DesignKind, ExactVm, System, SystemConfig, Vm};
+use avr_core::{DesignKind, ExactVm, SimPool, System, SystemConfig, Vm};
 use avr_sim::RunMetrics;
 
 /// A benchmark program.
@@ -64,8 +64,8 @@ pub fn run_on_design(
     metrics
 }
 
-/// The full benchmark suite at the requested scale, in the paper's figure
-/// order.
+/// The full benchmark suite at the requested scale: the paper's seven in
+/// figure order, then the two extension workloads (`sobel`, `fft`).
 pub fn all_benchmarks(scale: BenchScale) -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(crate::heat::Heat::at_scale(scale)),
@@ -75,7 +75,45 @@ pub fn all_benchmarks(scale: BenchScale) -> Vec<Box<dyn Workload>> {
         Box::new(crate::kmeans::KMeans::at_scale(scale)),
         Box::new(crate::bscholes::BlackScholes::at_scale(scale)),
         Box::new(crate::wrf::Wrf::at_scale(scale)),
+        Box::new(crate::sobel::Sobel::at_scale(scale)),
+        Box::new(crate::fft::Fft::at_scale(scale)),
     ]
+}
+
+/// One cell of a pooled (workload × design) grid run.
+#[derive(Clone, Debug)]
+pub struct GridRun {
+    pub workload: &'static str,
+    pub design: DesignKind,
+    pub metrics: RunMetrics,
+}
+
+/// Run the full (workload × design) grid on `pool`, returning cells in
+/// workload-major, design-minor order. Each cell is an independent
+/// deterministic simulation, so the results are bit-identical for any pool
+/// width (`tests/determinism.rs` pins this).
+pub fn run_grid(
+    pool: &SimPool,
+    suite: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    designs: &[DesignKind],
+) -> Vec<GridRun> {
+    let cells = suite.len() * designs.len();
+    pool.run_jobs(cells, |ctx| {
+        let w = &suite[ctx.index / designs.len()];
+        let design = designs[ctx.index % designs.len()];
+        GridRun { workload: w.name(), design, metrics: run_on_design(w.as_ref(), cfg, design) }
+    })
+}
+
+/// Convenience: build the suite at `scale` and run the grid on `pool`.
+pub fn run_suite_on_pool(
+    pool: &SimPool,
+    scale: BenchScale,
+    cfg: &SystemConfig,
+    designs: &[DesignKind],
+) -> Vec<GridRun> {
+    run_grid(pool, &all_benchmarks(scale), cfg, designs)
 }
 
 #[cfg(test)]
@@ -115,9 +153,35 @@ mod tests {
     }
 
     #[test]
-    fn suite_has_seven_benchmarks_in_paper_order() {
+    fn suite_has_nine_benchmarks_paper_order_then_extensions() {
         let suite = all_benchmarks(BenchScale::Tiny);
         let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
-        assert_eq!(names, ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"]);
+        assert_eq!(
+            names,
+            ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf", "sobel", "fft"]
+        );
+    }
+
+    #[test]
+    fn grid_cells_come_back_in_workload_major_order() {
+        use avr_core::SimPool;
+        let suite = all_benchmarks(BenchScale::Tiny);
+        let short: Vec<Box<dyn Workload>> =
+            suite.into_iter().filter(|w| matches!(w.name(), "bscholes" | "kmeans")).collect();
+        let designs = [DesignKind::Baseline, DesignKind::Avr];
+        let grid = run_grid(&SimPool::new(2), &short, &avr_core::SystemConfig::tiny(), &designs);
+        let labels: Vec<_> = grid.iter().map(|c| (c.workload, c.design)).collect();
+        assert_eq!(
+            labels,
+            [
+                ("kmeans", DesignKind::Baseline),
+                ("kmeans", DesignKind::Avr),
+                ("bscholes", DesignKind::Baseline),
+                ("bscholes", DesignKind::Avr),
+            ]
+        );
+        for c in &grid {
+            assert!(c.metrics.cycles > 0);
+        }
     }
 }

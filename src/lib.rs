@@ -18,7 +18,8 @@
 //! * [`sim`] — interval core model, backing-store VM, energy model, stats
 //! * [`baselines`] — Truncate and Doppelgänger comparison designs (§4.1)
 //! * [`arch`] — the assembled systems and memory operations (§3.5)
-//! * [`workloads`] — the seven benchmarks of Table 2
+//! * [`workloads`] — the nine benchmarks (Table 2's seven + two AxBench
+//!   extensions)
 //!
 //! ## Quickstart
 //!
