@@ -2,10 +2,14 @@
 # CI gate, split into the stages .github/workflows/ci.yml runs as a matrix
 # (so lint failures report in minutes, not after a full release build):
 #
-#   ./ci.sh               full gate: lint + debug tests + release tests + perf
+#   ./ci.sh               full gate: lint + debug tests + release tests +
+#                         scalar-fallback tests + perf
 #   ./ci.sh lint          rustfmt + clippy -D warnings
 #   ./ci.sh test-debug    debug build + full test suite
 #   ./ci.sh test-release  release build + full test suite
+#   ./ci.sh test-scalar   release test suite with AVR_NO_SIMD=1 — forces
+#                         the portable scalar codec arm so the non-dispatch
+#                         path can never rot
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
 #                         committed BENCH_PR2.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
@@ -41,6 +45,14 @@ test_release() {
     cargo test --release --workspace -q
 }
 
+test_scalar() {
+    echo "==> cargo test --release with AVR_NO_SIMD=1 (scalar codec arm)"
+    # The dispatcher honors AVR_NO_SIMD at first use, so the whole suite —
+    # including the reference-oracle and determinism tests — runs on the
+    # portable scalar kernels, exactly what a non-x86 host would execute.
+    AVR_NO_SIMD=1 cargo test --release --workspace -q
+}
+
 perf() {
     echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR2.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
@@ -58,6 +70,7 @@ case "${1:-all}" in
     lint) lint ;;
     test-debug) test_debug ;;
     test-release) test_release ;;
+    test-scalar) test_scalar ;;
     perf) perf ;;
     quick)
         lint
@@ -67,10 +80,11 @@ case "${1:-all}" in
         lint
         test_debug
         test_release
+        test_scalar
         perf
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test-debug|test-release|perf|quick|all]" >&2
+        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|perf|quick|all]" >&2
         exit 2
         ;;
 esac

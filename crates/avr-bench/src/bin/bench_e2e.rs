@@ -29,7 +29,11 @@
 //!   the gate fires on *differential* regressions — one workload's engine
 //!   path getting slower — which is what a committed-baseline gate can
 //!   actually detect across machines. A uniform drift beyond the budget is
-//!   reported loudly but does not fail the gate.
+//!   reported loudly but does not fail the gate. Workloads are paired
+//!   **by name**: entries present on only one side (a PR adding or
+//!   retiring a workload) are excluded from the calibrated comparison
+//!   with a loud warning, and a baseline entry of 0 blocks/s fails the
+//!   gate as a corrupt trajectory file instead of being divided by.
 //!
 //! The Table 4 sweep (all nine workloads × AVR) is also timed on one
 //! thread vs. the pool so the engine's scaling is part of the record.
@@ -288,20 +292,41 @@ fn main() {
             eprintln!("error: no smoke-section workloads found in {baseline_path}");
             std::process::exit(1);
         }
-        // Raw current/baseline ratios, then the machine-speed calibration:
-        // the median ratio is the fleet-wide speed factor of this host vs.
-        // the baseline host; dividing it out leaves per-workload deltas.
+        // Pair current and baseline workloads by name. Workload-set drift
+        // (a PR adding or retiring a workload) is expected and must not
+        // fail the gate, but it must never pass *silently* either: every
+        // unmatched entry on either side is reported. A baseline of 0
+        // blocks/s is a corrupt trajectory file, not a slow host — fail
+        // loudly instead of dividing by it.
         let mut ratios: Vec<(String, f64, f64)> = Vec::new(); // (name, base, raw ratio)
-        let mut missing = false;
         for (name, base_bps) in &baseline {
             match smoke.workloads.iter().find(|w| w.workload == *name) {
                 Some(cur) => {
+                    if *base_bps <= 0.0 {
+                        eprintln!(
+                            "GATE: baseline {name} records {base_bps} blocks/s — corrupt \
+                             baseline file ({baseline_path})"
+                        );
+                        std::process::exit(1);
+                    }
                     ratios.push((name.clone(), *base_bps, cur.blocks_per_sec() / base_bps))
                 }
                 None => {
-                    eprintln!("GATE: workload {name} missing from this run");
-                    missing = true;
+                    eprintln!(
+                        "GATE: WARNING — baseline workload {name} is absent from this run \
+                         (retired workload? excluded from calibration)"
+                    );
                 }
+            }
+        }
+        for w in &smoke.workloads {
+            if !baseline.iter().any(|(name, _)| name == w.workload) {
+                eprintln!(
+                    "GATE: WARNING — workload {} is not in the baseline (new workload? \
+                     excluded from calibration; regenerate the committed BENCH_PRn.json \
+                     to start gating it)",
+                    w.workload
+                );
             }
         }
         if ratios.is_empty() {
@@ -319,7 +344,7 @@ fn main() {
                 (1.0 - machine_speed) * 100.0
             );
         }
-        let mut failed = missing;
+        let mut failed = false;
         for (name, base_bps, raw) in &ratios {
             let calibrated = raw / machine_speed;
             let verdict = if calibrated < GATE_FRACTION { "REGRESSED" } else { "ok" };

@@ -26,7 +26,11 @@
 //! * all scratch storage lives in a reusable [`CompressScratch`] (owned by
 //!   [`Compressor`]) and outliers pack into the inline
 //!   [`OutlierVec`](crate::outlier::OutlierVec): the steady-state path
-//!   performs **zero heap allocations**.
+//!   performs **zero heap allocations**;
+//! * the four hot loops (conversion, dual downsample, reconstruction,
+//!   chunked error check) dispatch once per call to the active explicit
+//!   SIMD arm ([`crate::simd`]): SSE2/AVX2 on x86-64, the scalar loops
+//!   everywhere else — all arms bit-identical.
 //!
 //! Failure-order semantics: the size cap is checked before the average
 //! error (the cap is what the early abort can decide without finishing the
@@ -34,12 +38,12 @@
 
 use crate::bias::choose_bias;
 use crate::block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};
-use crate::convert::{Fixed, FRAC_BITS};
-use crate::downsample::downsample_both;
+use crate::convert::{unbias, Fixed, FRAC_BITS};
 use crate::error::Thresholds;
-use crate::interp::{reconstruct_into, reconstruct_into_clamped};
+use crate::interp::reconstruct_into;
 use crate::latency::Latency;
 use crate::outlier::{compact_outliers_into, scatter_outliers, OutlierVec, BITMAP_WORDS};
+use crate::simd;
 use avr_types::{BlockData, DataType, CL_BYTES, VALUES_PER_BLOCK};
 
 /// Why a compression attempt was rejected.
@@ -148,62 +152,6 @@ pub(crate) fn lines_for_outliers(n: usize) -> usize {
     bytes.div_ceil(CL_BYTES)
 }
 
-/// Branchless batch float→fixed conversion of the whole block — the fused
-/// path's replacement for 256 scalar `to_fixed` calls. Semantics are
-/// identical for every (block, bias) pair the compressor produces: the
-/// bias comes from `choose_bias` on the same block, so a nonzero bias
-/// implies the block holds no NaN/Inf (rule (a)) and the biased exponent
-/// can never reach the special range (the ≥255 case clamps to max finite).
-fn to_fixed_block_f32(
-    words: &[u32; VALUES_PER_BLOCK],
-    bias: i8,
-    out: &mut [i32; VALUES_PER_BLOCK],
-) {
-    #[inline(always)]
-    fn round_clamp(f: f32) -> i32 {
-        // Same RNE magic-constant rounding as `to_fixed`, pure f32/i32
-        // lanes; the saturating cast handles the Inf overflow of the scale.
-        crate::convert::round_ties_even_f32(f * (1u64 << FRAC_BITS) as f32) as i32
-    }
-    if bias == 0 {
-        for (o, &bits) in out.iter_mut().zip(words) {
-            let f = f32::from_bits(bits);
-            *o = if f.is_finite() { round_clamp(f) } else { 0 };
-        }
-    } else {
-        // apply_bias, flattened to eager selects (no specials can be
-        // present when bias != 0; see above).
-        let b = bias as i32;
-        for (o, &bits) in out.iter_mut().zip(words) {
-            *o = round_clamp(f32::from_bits(shift_exponent(bits, b)));
-        }
-    }
-}
-
-/// Add `delta` to an f32 word's exponent field — the branch-reduced body of
-/// `bias::apply_bias`, as eager selects so the per-value loops vectorize.
-/// Valid when a zero exponent implies the whole word is ±0 (true for
-/// `from_fixed` outputs and for the no-specials blocks the biased path
-/// sees), where the general routine's denormal-flush and `bias == 0`
-/// early-return coincide with the arithmetic path.
-#[inline(always)]
-fn shift_exponent(bits: u32, delta: i32) -> u32 {
-    let e = ((bits >> 23) & 0xFF) as i32;
-    let sign = bits & 0x8000_0000;
-    let e2 = e + delta;
-    let mut r = (bits & 0x807F_FFFF) | (((e2 as u32) & 0xFF) << 23);
-    r = if e2 >= 255 { sign | 0x7F7F_FFFF } else { r };
-    r = if (e == 0) | (e2 <= 0) { sign } else { r };
-    r
-}
-
-/// Remove the block bias from a fixed→float conversion result:
-/// `apply_bias(bits, bias.wrapping_neg())`, branch-reduced.
-#[inline(always)]
-fn unbias(bits: u32, neg_bias: i32) -> u32 {
-    shift_exponent(bits, neg_bias)
-}
-
 /// Running totals of one variant's error check.
 #[derive(Clone, Copy, Default)]
 struct VariantCheck {
@@ -236,17 +184,12 @@ impl VariantCheck {
     }
 }
 
-/// `F32_SCALE` in the f32 domain: `(v as f32) * 2^-23` is bit-identical to
-/// `((v as f64) * 2^-23) as f32` — the i32→float rounding makes the same
-/// mantissa decision either way, and the power-of-two scale shifts only
-/// the exponent (no overflow/subnormal crossing for |v| ≤ 2^31).
-const F32_SCALE_F: f32 = 1.0 / (1u64 << FRAC_BITS) as f32;
-
 /// Fused fixed→float + unbias + error-check over one 64-value chunk of one
-/// variant (F32), structured as three flat passes (convert map, classify
-/// map, reduce) so each loop is branch-free and vectorizable.
+/// variant (F32) — dispatched to the active SIMD arm (the scalar arm is
+/// [`crate::simd::scalar::check_chunk_f32`]; all arms are bit-identical).
 #[inline]
 fn check_chunk_f32(
+    kern: &simd::CodecKernels,
     words: &[u32; VALUES_PER_BLOCK],
     var: &mut VariantScratch,
     chunk: usize,
@@ -254,40 +197,15 @@ fn check_chunk_f32(
     mantissa_limit: u32,
     check: &mut VariantCheck,
 ) {
-    let base = chunk * 64;
-    let rf: &[i32; 64] = var.recon_fixed[base..base + 64].try_into().unwrap();
-    let rw: &mut [u32; 64] = (&mut var.recon_words[base..base + 64]).try_into().unwrap();
-    let ow: &[u32; 64] = words[base..base + 64].try_into().unwrap();
-    // Pass 1 — from_fixed: scale to float and unbias (pure 32-bit map).
-    for (w, &v) in rw.iter_mut().zip(rf) {
-        let f = v as f32 * F32_SCALE_F;
-        *w = unbias(f.to_bits(), neg_bias);
-    }
-    // Pass 2 — classify: outlier flag + error contribution per value.
-    let mut flags = [0u8; 64];
-    let mut errs = [0u32; 64];
-    for j in 0..64 {
-        let orig = ow[j];
-        let recon = rw[j];
-        let exp_o = (orig >> 23) & 0xFF;
-        let diff = (orig & 0x7F_FFFF).abs_diff(recon & 0x7F_FFFF);
-        let se_match = (orig >> 23) == (recon >> 23);
-        let both_zero = (orig | recon) & 0x7FFF_FFFF == 0;
-        // Eager bitwise logic (no short-circuit branches) so the whole
-        // classification if-converts and vectorizes.
-        let outlier = (orig != recon)
-            & ((exp_o == 255) | (!se_match & !both_zero) | (se_match & (diff >= mantissa_limit)));
-        flags[j] = outlier as u8;
-        errs[j] = if outlier { 0 } else { diff };
-    }
-    // Pass 3 — reduce: bitmap word, outlier count, error sum.
-    let mut bits_out = 0u64;
-    for (j, &f) in flags.iter().enumerate() {
-        bits_out |= (f as u64) << j;
-    }
-    var.bitmap[chunk] = bits_out;
-    check.outliers += flags.iter().map(|&f| f as u32).sum::<u32>();
-    check.err_int += errs.iter().map(|&e| e as u64).sum::<u64>();
+    let base = chunk * simd::CHUNK;
+    let rf: &[i32; simd::CHUNK] = var.recon_fixed[base..base + simd::CHUNK].try_into().unwrap();
+    let rw: &mut [u32; simd::CHUNK] =
+        (&mut var.recon_words[base..base + simd::CHUNK]).try_into().unwrap();
+    let ow: &[u32; simd::CHUNK] = words[base..base + simd::CHUNK].try_into().unwrap();
+    let verdict = (kern.check_chunk_f32)(ow, rf, rw, neg_bias, mantissa_limit);
+    var.bitmap[chunk] = verdict.bitmap;
+    check.outliers += verdict.outliers;
+    check.err_int += verdict.err_sum;
 }
 
 /// Fused fixed→float + error-check over one 64-value chunk (Fixed32).
@@ -347,12 +265,14 @@ pub fn compress_with(
     // The format cannot express more than a whole block of lines, and the
     // inline outlier buffer is sized to that bound.
     assert!(max_lines <= avr_types::LINES_PER_BLOCK, "max_lines {max_lines} > 16");
+    // The single dispatch point: every hot loop below runs on this arm.
+    let kern = simd::kernels();
     let bias = match dt {
         DataType::F32 => choose_bias(&block.words).value(),
         DataType::Fixed32 => 0,
     };
     match dt {
-        DataType::F32 => to_fixed_block_f32(&block.words, bias, &mut scratch.fixed),
+        DataType::F32 => (kern.to_fixed_f32)(&block.words, bias, &mut scratch.fixed),
         DataType::Fixed32 => {
             // Native fixed data converts by reinterpretation.
             for (f, &w) in scratch.fixed.iter_mut().zip(&block.words) {
@@ -361,14 +281,18 @@ pub fn compress_with(
         }
     }
 
-    // Both summaries in one sweep, then both reconstructions.
+    // Both summaries in one sweep, then both reconstructions — straight
+    // through the fetched kernel table (not the public wrappers), so one
+    // compress never re-dispatches or mixes arms. The wide reconstruction
+    // arms' i32-range precondition holds by construction here: every
+    // summary value is a sub-block average of i32 fixed values.
     let (v0, v1) = {
         let [a, b] = &mut scratch.vars;
         (a, b)
     };
-    downsample_both(&scratch.fixed, &mut v0.summary, &mut v1.summary);
-    reconstruct_into_clamped(Layout::Linear1D, &v0.summary, &mut v0.recon_fixed);
-    reconstruct_into_clamped(Layout::Square2D, &v1.summary, &mut v1.recon_fixed);
+    (kern.downsample_both)(&scratch.fixed, &mut v0.summary, &mut v1.summary);
+    (kern.reconstruct_1d)(&v0.summary, &mut v0.recon_fixed);
+    (kern.reconstruct_2d)(&v1.summary, &mut v1.recon_fixed);
 
     // Interleaved error checks with early abort at the outlier cap.
     let cap = outlier_cap(max_lines) as u32;
@@ -381,9 +305,15 @@ pub fn compress_with(
                 continue;
             }
             match dt {
-                DataType::F32 => {
-                    check_chunk_f32(&block.words, var, chunk, neg_bias, th.mantissa_limit(), c)
-                }
+                DataType::F32 => check_chunk_f32(
+                    kern,
+                    &block.words,
+                    var,
+                    chunk,
+                    neg_bias,
+                    th.mantissa_limit(),
+                    c,
+                ),
                 DataType::Fixed32 => check_chunk_fixed(&block.words, var, chunk, th.n_msbit, c),
             }
             if c.outliers > cap {

@@ -27,6 +27,36 @@ const FIXED_MIN: i64 = i32::MIN as i64;
 /// place (valid for |x| < 2^23; larger magnitudes are already integral).
 const RNE_MAGIC: f32 = (1u64 << FRAC_BITS) as f32;
 
+/// `2^-23` in the f32 domain: `(v as f32) * 2^-23` is bit-identical to
+/// `((v as f64) * 2^-23) as f32` — the i32→float rounding makes the same
+/// mantissa decision either way, and the power-of-two scale shifts only
+/// the exponent (no overflow/subnormal crossing for |v| ≤ 2^31).
+pub(crate) const F32_SCALE_F: f32 = 1.0 / (1u64 << FRAC_BITS) as f32;
+
+/// Add `delta` to an f32 word's exponent field — the branch-reduced body of
+/// `bias::apply_bias`, as eager selects so the per-value loops vectorize.
+/// Valid when a zero exponent implies the whole word is ±0 (true for
+/// `from_fixed` outputs and for the no-specials blocks the biased path
+/// sees), where the general routine's denormal-flush and `bias == 0`
+/// early-return coincide with the arithmetic path.
+#[inline(always)]
+pub(crate) fn shift_exponent(bits: u32, delta: i32) -> u32 {
+    let e = ((bits >> 23) & 0xFF) as i32;
+    let sign = bits & 0x8000_0000;
+    let e2 = e + delta;
+    let mut r = (bits & 0x807F_FFFF) | (((e2 as u32) & 0xFF) << 23);
+    r = if e2 >= 255 { sign | 0x7F7F_FFFF } else { r };
+    r = if (e == 0) | (e2 <= 0) { sign } else { r };
+    r
+}
+
+/// Remove the block bias from a fixed→float conversion result:
+/// `apply_bias(bits, bias.wrapping_neg())`, branch-reduced.
+#[inline(always)]
+pub(crate) fn unbias(bits: u32, neg_bias: i32) -> u32 {
+    shift_exponent(bits, neg_bias)
+}
+
 /// Round an f32 to an integer-valued f32, ties to even — the IEEE default
 /// the hardware converter would use, and branch-free/vectorizable (no f64,
 /// no libm `round` call).

@@ -37,7 +37,7 @@ pub fn sub_block_of(layout: Layout, idx: usize) -> usize {
 /// Round-to-nearest (ties away from zero) divide of a sub-block sum by 16,
 /// as the fixed-point averaging tree would.
 #[inline]
-fn round_avg(s: i64) -> i64 {
+pub(crate) fn round_avg(s: i64) -> i64 {
     let half = if s >= 0 { SUB_BLOCK as i64 / 2 } else { -(SUB_BLOCK as i64) / 2 };
     (s + half) / SUB_BLOCK as i64
 }
@@ -60,8 +60,18 @@ pub fn downsample(layout: Layout, fixed: &[Fixed; VALUES_PER_BLOCK]) -> [Fixed; 
 /// hardware evaluates the variants in parallel; in software one sweep fills
 /// both sum arrays with pure strided indexing (no per-value div/mod). The
 /// input is the fixed-domain block as i32 (every `to_fixed` output fits);
-/// sums widen to i64.
+/// sums widen to i64. Dispatches to the active SIMD arm
+/// ([`crate::simd::kernels`]); all arms are bit-identical.
 pub fn downsample_both(
+    fixed: &[i32; VALUES_PER_BLOCK],
+    out_1d: &mut [Fixed; SUMMARY_VALUES],
+    out_2d: &mut [Fixed; SUMMARY_VALUES],
+) {
+    (crate::simd::kernels().downsample_both)(fixed, out_1d, out_2d)
+}
+
+/// The portable single-sweep loop ([`downsample_both`]'s scalar arm).
+pub(crate) fn downsample_both_scalar(
     fixed: &[i32; VALUES_PER_BLOCK],
     out_1d: &mut [Fixed; SUMMARY_VALUES],
     out_2d: &mut [Fixed; SUMMARY_VALUES],

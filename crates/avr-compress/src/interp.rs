@@ -144,7 +144,12 @@ pub fn reconstruct_into(
 /// write-out: every reconstructed value lands in i32 range (`from_fixed`
 /// clamps anyway), so narrowing at store costs nothing and hands the
 /// codec's conversion loops packed 32-bit lanes.
-pub fn reconstruct_into_clamped(
+///
+/// This is the **scalar arm** of the codec's reconstruction dispatch
+/// (handling the full i64 summary domain); the codec reaches it — or its
+/// SSE2/AVX2 twins, which require i32-range summaries — through the
+/// kernel table ([`crate::simd::kernels`]). All arms are bit-identical.
+pub(crate) fn reconstruct_into_clamped_scalar(
     layout: Layout,
     summary: &[Fixed; SUMMARY_VALUES],
     out: &mut [i32; VALUES_PER_BLOCK],

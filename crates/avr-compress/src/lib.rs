@@ -25,6 +25,7 @@ pub mod interp;
 pub mod latency;
 pub mod outlier;
 pub mod reference;
+pub mod simd;
 
 pub use bias::choose_bias;
 pub use block::{CompressedBlock, Layout, Method, SUMMARY_VALUES};

@@ -93,11 +93,10 @@ impl System {
             energy_model: EnergyModel::default(),
             honor_approx: !matches!(design, DesignKind::Baseline | DesignKind::ZeroAvr),
             llc_line_touches: 0,
-            summary_threads: std::env::var("AVR_SUMMARY_THREADS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .filter(|&n: &usize| n >= 1)
-                .unwrap_or(1),
+            // Same parse-and-fallback semantics as AVR_THREADS (one shared
+            // helper); the documented default is 1 — grid-level
+            // parallelism usually owns the cores.
+            summary_threads: crate::pool::env_threads("AVR_SUMMARY_THREADS", 1),
             design,
             cfg,
         }

@@ -18,9 +18,28 @@ use avr_types::{DataType, PhysAddr};
 /// Number of output frequency bands.
 const BANDS: usize = 16;
 
+/// Sample index carrying the tiny-scale pulse (see [`Fft::pulse_amp`]):
+/// close to t = 0, so the pulse's spectral phase `e^{-2πik·t₀/n}` turns
+/// slowly in k and the spectrum is locally smooth.
+const PULSE_T: usize = 8;
+
 /// The FFT spectral-analysis benchmark. `log2_n` fixes the transform size.
 pub struct Fft {
     pub log2_n: u32,
+    /// `BenchScale`-aware input shaping: amplitude of a single-sample
+    /// pulse superposed on the chirp (`0.0` = pure chirp, the bench-scale
+    /// input, bit-identical to before the knob existed). A chirp's
+    /// spectrum has pseudo-random phase bin-to-bin, so the tiny-scale
+    /// re/im arrays ended their run 100 % outlier blocks and smoke runs
+    /// never exercised the compressor (ROADMAP PR-2 note). The pulse adds
+    /// a flat, slowly-turning spectral floor of amplitude `pulse_amp`;
+    /// against it the chirp's ~√n-magnitude bins read as relative noise,
+    /// so `pulse_amp` is sized (empirically, via `diag_compressibility`)
+    /// to land blocks *around* the T1 boundary: partially compressible
+    /// final/in-flight states without collapsing the simulated traffic.
+    /// Band powers stay flat (the pulse is all-band), keeping the output
+    /// metric well-conditioned.
+    pub pulse_amp: f32,
 }
 
 impl Fft {
@@ -28,9 +47,9 @@ impl Fft {
         match scale {
             // 16 K points: 128 KB of planar re/im against the 64 KB tiny
             // LLC, so every pass spills and recompresses.
-            BenchScale::Tiny => Fft { log2_n: 14 },
+            BenchScale::Tiny => Fft { log2_n: 14, pulse_amp: 16384.0 },
             // 512 K points: 4 MB against the 1 MB per-core LLC share.
-            BenchScale::Bench => Fft { log2_n: 19 },
+            BenchScale::Bench => Fft { log2_n: 19, pulse_amp: 0.0 },
         }
     }
 
@@ -66,8 +85,13 @@ impl Workload for Fft {
             let t = i as f64 / nf;
             let phase = std::f64::consts::PI * nf * 0.5 * t * t;
             let rev = (i as u64).reverse_bits() >> (64 - self.log2_n);
+            let chirp = phase.cos() as f32;
+            // Tiny-scale pulse (see `pulse_amp`); the bench-scale branch
+            // (pulse_amp == 0) writes the exact pre-knob chirp stream.
+            let v =
+                if self.pulse_amp != 0.0 && i == PULSE_T { chirp + self.pulse_amp } else { chirp };
             vm.compute(14);
-            vm.write_f32(addr(re, rev as usize), phase.cos() as f32);
+            vm.write_f32(addr(re, rev as usize), v);
             vm.write_f32(addr(im, rev as usize), 0.0);
         }
 

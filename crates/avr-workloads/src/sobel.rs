@@ -7,6 +7,15 @@
 //! The image is fractal terrain texture over two Gaussian highlights, so
 //! blocks are locally smooth (compressible) while gradients stay well away
 //! from zero, keeping the mean-relative-error metric meaningful.
+//!
+//! The texture amplitude is `BenchScale`-aware: midpoint displacement
+//! halves its step count with the image side, so a 128-px tiny image at
+//! the bench amplitude carries ~5× the per-pixel noise of the 1312-px
+//! bench image — past AVR's T1 threshold, which made every tiny block an
+//! outlier block and left the compressor unexercised by smoke runs
+//! (ROADMAP PR-2 note). The tiny scale now uses an amplitude that lands
+//! the finest-step noise in the same relative band as the bench image;
+//! the bench-scale input is untouched.
 
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::fractal_terrain;
@@ -17,15 +26,21 @@ use avr_types::{DataType, PhysAddr};
 pub struct Sobel {
     pub width: usize,
     pub height: usize,
+    /// Fractal texture amplitude (scale-aware; see module docs).
+    pub texture_amp: f32,
 }
 
 impl Sobel {
     pub fn at_scale(scale: BenchScale) -> Self {
         match scale {
-            BenchScale::Tiny => Sobel { width: 128, height: 128 },
+            // Amplitude rescaled for the shallower midpoint-displacement
+            // recursion (see module docs): comparable per-pixel relief to
+            // the bench image, so tiny blocks straddle the T1 boundary
+            // instead of all blowing past it.
+            BenchScale::Tiny => Sobel { width: 128, height: 128, texture_amp: 19.0 },
             // ~6.9 MB approximable image against the 1 MB per-core LLC
             // share, matching the other bench-scale footprints.
-            BenchScale::Bench => Sobel { width: 1312, height: 1312 },
+            BenchScale::Bench => Sobel { width: 1312, height: 1312, texture_amp: 60.0 },
         }
     }
 
@@ -62,8 +77,8 @@ impl Workload for Sobel {
         let grad = vm.malloc(4 * n).base;
 
         // Texture: smooth fractal relief along each axis (deterministic).
-        let tx = fractal_terrain(w, 0.0, 60.0, 0.45, 11);
-        let ty = fractal_terrain(h, 0.0, 60.0, 0.45, 23);
+        let tx = fractal_terrain(w, 0.0, self.texture_amp, 0.45, 11);
+        let ty = fractal_terrain(h, 0.0, self.texture_amp, 0.45, 23);
         for y in 0..h {
             for x in 0..w {
                 vm.compute(10);

@@ -3,6 +3,7 @@
 //! splitmix64 stream (the build environment is offline, so no proptest);
 //! every failure reports the case seed for replay.
 
+use avr::compress::simd;
 use avr::compress::{compress, compress_reference, decompress, CompressFailure, Thresholds};
 use avr::types::{BlockData, DataType, VALUES_PER_BLOCK};
 
@@ -235,11 +236,76 @@ fn oracle_fixed_block(rng: &mut Rng) -> BlockData {
     BlockData { words }
 }
 
+/// Assert one fused outcome matches the reference outcome bit-for-bit
+/// (success payloads identical, failures agreeing on mode and reported
+/// average error).
+#[track_caller]
+fn assert_matches_reference(
+    fused: &Result<avr::compress::CompressOutcome, CompressFailure>,
+    reference: &Result<avr::compress::CompressOutcome, CompressFailure>,
+    ctx: &str,
+) {
+    match (fused, reference) {
+        (Ok(f), Ok(r)) => {
+            assert_eq!(f.compressed, r.compressed, "{ctx}: block");
+            assert_eq!(f.reconstructed, r.reconstructed, "{ctx}: reconstruction");
+            assert_eq!(f.avg_err.to_bits(), r.avg_err.to_bits(), "{ctx}: avg_err");
+            assert_eq!(f.outlier_count, r.outlier_count, "{ctx}: outlier count");
+        }
+        (Err(f), Err(r)) => {
+            assert_eq!(
+                std::mem::discriminant(f),
+                std::mem::discriminant(r),
+                "{ctx}: failure mode {f:?} vs {r:?}"
+            );
+            if let (
+                CompressFailure::AvgErrorTooHigh { avg_err: fa },
+                CompressFailure::AvgErrorTooHigh { avg_err: ra },
+            ) = (f, r)
+            {
+                assert_eq!(fa.to_bits(), ra.to_bits(), "{ctx}: avg_err");
+            }
+        }
+        other => panic!("{ctx}: outcome diverged: {other:?}"),
+    }
+}
+
+/// `simd::force_arm` is process-global: the two per-arm oracle tests must
+/// not interleave, or an iteration labeled for one arm would silently run
+/// on another. Each takes this lock for its whole duration.
+static ARM_PIN: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn pin_arms() -> std::sync::MutexGuard<'static, ()> {
+    // A panic in the other test (poison) must not hide this test's result.
+    ARM_PIN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Compress `block` on every dispatch arm the CPU supports and assert each
+/// outcome is bit-identical to the reference implementation. Restores
+/// auto-dispatch before returning. Caller must hold [`ARM_PIN`].
+fn assert_all_arms_match_reference(
+    block: &BlockData,
+    dt: DataType,
+    th: &Thresholds,
+    max_lines: usize,
+    ctx: &str,
+) {
+    let reference = compress_reference(block, dt, th, max_lines);
+    for arm in simd::supported_arms() {
+        assert!(simd::force_arm(Some(arm)), "{ctx}: cannot force {arm:?}");
+        let fused = compress(block, dt, th, max_lines);
+        assert_matches_reference(&fused, &reference, &format!("{ctx} [{}]", arm.name()));
+    }
+    simd::force_arm(None);
+}
+
 /// The oracle: the fused hot path is **bit-identical** to the retained
 /// pre-refactor reference on success, and agrees on the failure mode, over
-/// ≥1000 randomized blocks per data type (and several `max_lines` caps).
+/// ≥1000 randomized blocks per data type (and several `max_lines` caps) —
+/// on **every** dispatch arm the host supports (scalar, SSE2, AVX2).
 #[test]
 fn fused_codec_is_bit_identical_to_reference() {
+    let _pin = pin_arms();
     let th = Thresholds::paper_default();
     for (dt, cases) in [(DataType::F32, 1200u64), (DataType::Fixed32, 1200u64)] {
         for case in 0..cases {
@@ -249,34 +315,97 @@ fn fused_codec_is_bit_identical_to_reference() {
                 DataType::Fixed32 => oracle_fixed_block(&mut rng),
             };
             let max_lines = [8usize, 4, 16][(case % 3) as usize];
-            let fused = compress(&block, dt, &th, max_lines);
-            let reference = compress_reference(&block, dt, &th, max_lines);
-            match (fused, reference) {
-                (Ok(f), Ok(r)) => {
-                    assert_eq!(f.compressed, r.compressed, "{dt:?} case {case}: block");
-                    assert_eq!(
-                        f.reconstructed, r.reconstructed,
-                        "{dt:?} case {case}: reconstruction"
-                    );
-                    assert_eq!(f.avg_err.to_bits(), r.avg_err.to_bits(), "{dt:?} case {case}");
-                    assert_eq!(f.outlier_count, r.outlier_count, "{dt:?} case {case}");
-                }
-                (Err(f), Err(r)) => {
-                    assert_eq!(
-                        std::mem::discriminant(&f),
-                        std::mem::discriminant(&r),
-                        "{dt:?} case {case}: failure mode {f:?} vs {r:?}"
-                    );
-                    if let (
-                        CompressFailure::AvgErrorTooHigh { avg_err: fa },
-                        CompressFailure::AvgErrorTooHigh { avg_err: ra },
-                    ) = (f, r)
-                    {
-                        assert_eq!(fa.to_bits(), ra.to_bits(), "{dt:?} case {case}");
-                    }
-                }
-                other => panic!("{dt:?} case {case}: outcome diverged: {other:?}"),
-            }
+            assert_all_arms_match_reference(
+                &block,
+                dt,
+                &th,
+                max_lines,
+                &format!("{dt:?} case {case}"),
+            );
+        }
+    }
+}
+
+/// Adversarial IEEE-754 corner blocks: all-NaN, mixed ±Inf, subnormal
+/// fields, sign-flip boundaries and special-studded smooth data — every
+/// dispatch arm must agree with the reference bit-for-bit on all of them.
+#[test]
+fn adversarial_blocks_are_bit_identical_on_every_arm() {
+    let _pin = pin_arms();
+    let th = Thresholds::paper_default();
+    let mut blocks: Vec<(&'static str, BlockData)> = Vec::new();
+
+    let from_fn = |f: &dyn Fn(usize) -> u32| {
+        let mut words = [0u32; VALUES_PER_BLOCK];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = f(i);
+        }
+        BlockData { words }
+    };
+
+    // Every value NaN (varied payloads and signs).
+    blocks.push((
+        "all_nan",
+        from_fn(&|i| f32::NAN.to_bits() | ((i as u32) << 13) | ((i as u32 & 1) << 31)),
+    ));
+    // Alternating ±Inf, with a smooth backdrop every fourth value.
+    blocks.push((
+        "mixed_inf",
+        from_fn(&|i| match i % 4 {
+            0 => f32::INFINITY.to_bits(),
+            1 => f32::NEG_INFINITY.to_bits(),
+            _ => (100.0 + i as f32 * 0.01).to_bits(),
+        }),
+    ));
+    // A smooth, strictly subnormal field (max subnormal down-ramp).
+    blocks.push(("subnormal_ramp", from_fn(&|i| 0x007F_FFFF - (i as u32 * 0x2000))));
+    // Subnormals of both signs around zero.
+    blocks.push((
+        "subnormal_signs",
+        from_fn(&|i| (i as u32 * 0x1003) & 0x007F_FFFF | (((i / 3) as u32 & 1) << 31)),
+    ));
+    // Sign-flip boundary: values hugging ±0 with alternating signs.
+    blocks.push((
+        "signflip_zeros",
+        from_fn(&|i| match i % 4 {
+            0 => 0x0000_0000,           // +0
+            1 => 0x8000_0000,           // -0
+            2 => 1e-30f32.to_bits(),    // tiny +
+            _ => (-1e-30f32).to_bits(), // tiny -
+        }),
+    ));
+    // Sign flips at full magnitude (alternating ±same value).
+    blocks.push((
+        "signflip_large",
+        from_fn(&|i| (if i % 2 == 0 { 750.25f32 } else { -750.25 }).to_bits()),
+    ));
+    // Smooth block with one special of each kind (the bias path must
+    // still collapse to bias 0 and keep every special an exact outlier).
+    blocks.push((
+        "smooth_with_specials",
+        from_fn(&|i| match i {
+            17 => f32::NAN.to_bits(),
+            99 => f32::INFINITY.to_bits(),
+            200 => f32::NEG_INFINITY.to_bits(),
+            231 => 0x0000_0001, // min subnormal
+            _ => (3000.0 + i as f32 * 0.125).to_bits(),
+        }),
+    ));
+    // Extremes: ±f32::MAX checkerboard (bias overflow clamping).
+    blocks.push((
+        "max_magnitude",
+        from_fn(&|i| (if (i / 16 + i) % 2 == 0 { f32::MAX } else { -f32::MAX }).to_bits()),
+    ));
+
+    for (name, block) in &blocks {
+        for max_lines in [4usize, 8, 16] {
+            assert_all_arms_match_reference(
+                block,
+                DataType::F32,
+                &th,
+                max_lines,
+                &format!("adversarial {name} max_lines {max_lines}"),
+            );
         }
     }
 }
