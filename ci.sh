@@ -4,14 +4,16 @@
 #
 #   ./ci.sh               full gate: lint + debug tests + release tests +
 #                         scalar-fallback tests + perf
-#   ./ci.sh lint          rustfmt + clippy -D warnings
+#   ./ci.sh lint          rustfmt + clippy -D warnings + cargo doc --no-deps
+#                         (rustdoc warnings denied: the redesigned public
+#                         bulk Vm API stays documented)
 #   ./ci.sh test-debug    debug build + full test suite
 #   ./ci.sh test-release  release build + full test suite
 #   ./ci.sh test-scalar   release test suite with AVR_NO_SIMD=1 — forces
 #                         the portable scalar codec arm so the non-dispatch
 #                         path can never rot
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR2.json + codec kernel smoke
+#                         committed BENCH_PR4.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Everything builds with the repo's .cargo/config.toml (host-native
@@ -27,6 +29,11 @@ lint() {
 
     echo "==> cargo clippy -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "==> cargo doc --no-deps (rustdoc warnings denied)"
+    # The bulk Vm API is the public workload-facing surface; broken intra-doc
+    # links or undocumented public items fail the gate.
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 }
 
 test_debug() {
@@ -54,12 +61,13 @@ test_scalar() {
 }
 
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR2.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR4.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
-    # speed cancels); the JSON is uploaded as a CI artifact.
+    # speed cancels); the JSON is uploaded as a CI artifact. The baseline
+    # is BENCH_PR4.json — the first one measured on the bulk Vm API.
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR2.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR4.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json

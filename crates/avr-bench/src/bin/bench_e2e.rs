@@ -84,7 +84,15 @@ fn config_for(scale: BenchScale) -> SystemConfig {
 /// 0.7 ms tiny-scale run measured only twice would dominate the gate's
 /// flakiness on shared CI runners.
 const MIN_MEASURE_MS: f64 = 60.0;
-const MAX_REPS: u32 = 12;
+/// The *sub-3 ms* tiny workloads (`orbit`, `kmeans`) are the gate's
+/// flakiest point: even best-of-N over 60 ms, their raw ratios swung
+/// ±15 % run-to-run on a busy 1-core host (ROADMAP PR-3 note). Runs that
+/// short accumulate a longer window instead of a bigger budget.
+const TINY_RUN_MS: f64 = 3.0;
+const TINY_MIN_MEASURE_MS: f64 = 240.0;
+/// Hard rep cap: bounds wall time if a workload is pathologically fast
+/// (240 ms / 0.5 ms ≈ 480 would otherwise be possible).
+const MAX_REPS: u32 = 400;
 
 fn measure_workloads(
     suite: &[Box<dyn Workload>],
@@ -96,16 +104,25 @@ fn measure_workloads(
         .map(|w| {
             let mut best_ms = f64::MAX;
             let mut total_ms = 0.0;
-            let mut blocks = 0u64;
+            let blocks;
             let mut rep = 0;
-            while rep < reps || (total_ms < MIN_MEASURE_MS && rep < MAX_REPS) {
+            loop {
                 let t0 = Instant::now();
                 let m = run_on_design(w.as_ref(), cfg, DesignKind::Avr);
                 let ms = t0.elapsed().as_secs_f64() * 1e3;
-                blocks = m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
                 best_ms = best_ms.min(ms);
                 total_ms += ms;
                 rep += 1;
+                // Sub-3 ms runs keep accumulating to the longer window.
+                let min_ms =
+                    if best_ms < TINY_RUN_MS { TINY_MIN_MEASURE_MS } else { MIN_MEASURE_MS };
+                if rep >= reps && (total_ms >= min_ms || rep >= MAX_REPS) {
+                    // The simulated traffic is deterministic per (workload,
+                    // design, scale): any rep's count is the count.
+                    blocks =
+                        m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
+                    break;
+                }
             }
             WorkloadRate { workload: w.name(), sim_blocks: blocks, wall_ms: best_ms }
         })

@@ -14,7 +14,7 @@
 //!
 //! * the float→fixed conversion runs once and is shared by both variants;
 //! * both layouts' summaries are computed in a single pass
-//!   ([`downsample_both`]);
+//!   ([`crate::downsample`]);
 //! * reconstruction uses compile-time (anchor, weight) tables
 //!   ([`reconstruct_into`]);
 //! * the fixed→float conversion and the error check are fused into flat
@@ -25,7 +25,7 @@
 //!   paying for the full evaluation;
 //! * all scratch storage lives in a reusable [`CompressScratch`] (owned by
 //!   [`Compressor`]) and outliers pack into the inline
-//!   [`OutlierVec`](crate::outlier::OutlierVec): the steady-state path
+//!   [`OutlierVec`]: the steady-state path
 //!   performs **zero heap allocations**;
 //! * the four hot loops (conversion, dual downsample, reconstruction,
 //!   chunked error check) dispatch once per call to the active explicit

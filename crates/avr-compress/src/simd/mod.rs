@@ -106,8 +106,8 @@ pub type CheckChunkF32Fn =
 /// the codec body stays arm-agnostic.
 pub struct CodecKernels {
     pub arm: SimdArm,
-    /// Batch float→fixed conversion of a whole block (see
-    /// [`scalar::to_fixed_block_f32`] for the exact semantics).
+    /// Batch float→fixed conversion of a whole block (see the crate-
+    /// private `scalar::to_fixed_block_f32` for the exact semantics).
     pub to_fixed_f32: fn(&[u32; VALUES_PER_BLOCK], i8, &mut [i32; VALUES_PER_BLOCK]),
     /// Both layouts' sub-block averages in one sweep.
     pub downsample_both:
@@ -155,6 +155,25 @@ static AVX2_KERNELS: CodecKernels = CodecKernels {
     check_chunk_f32: x86::check_chunk_f32_avx2,
 };
 
+/// The *dispatch* table for SSE2-only hosts: a per-kernel arm mix. The
+/// SSE2 `reconstruct_1d` (a 2-lane f64 lerp) measures *slower* than the
+/// scalar arm's autovectorized integer loop (PERFORMANCE.md, ROADMAP
+/// PR-3 note), so the mix keeps every other kernel on the explicit
+/// 128-bit path and routes the 1-D reconstruction to the scalar loop.
+/// Irrelevant on AVX2 hosts — their dispatch table is pure AVX2. All arms
+/// are bit-identical, so the mix changes performance only; the per-arm
+/// oracle in `tests/codec_properties.rs` and the `equivalence` module
+/// below cover the mixed table alongside the pure ones.
+#[cfg(target_arch = "x86_64")]
+static SSE2_DISPATCH_KERNELS: CodecKernels = CodecKernels {
+    arm: SimdArm::Sse2,
+    to_fixed_f32: x86::to_fixed_f32_sse2,
+    downsample_both: x86::downsample_both_sse2,
+    reconstruct_1d: scalar::reconstruct_1d,
+    reconstruct_2d: x86::reconstruct_2d_sse2,
+    check_chunk_f32: x86::check_chunk_f32_sse2,
+};
+
 /// Does the running CPU support `arm`? (Scalar always does.)
 pub fn arm_supported(arm: SimdArm) -> bool {
     match arm {
@@ -173,9 +192,11 @@ pub fn supported_arms() -> impl Iterator<Item = SimdArm> {
     SimdArm::ALL.into_iter().filter(|&a| arm_supported(a))
 }
 
-/// The kernel table of a specific arm, if the CPU supports it. This
-/// ignores `AVR_NO_SIMD` and any [`force_arm`] override — it is the
-/// tests'/benches' direct line to one arm.
+/// The *pure* kernel table of a specific arm, if the CPU supports it —
+/// every slot on that arm's explicit kernels. This ignores `AVR_NO_SIMD`
+/// and any [`force_arm`] override — it is the tests'/benches' direct line
+/// to one arm's kernels (including the SSE2 1-D lerp the dispatch mix
+/// avoids).
 pub fn kernels_for(arm: SimdArm) -> Option<&'static CodecKernels> {
     if !arm_supported(arm) {
         return None;
@@ -184,6 +205,25 @@ pub fn kernels_for(arm: SimdArm) -> Option<&'static CodecKernels> {
         SimdArm::Scalar => &SCALAR_KERNELS,
         #[cfg(target_arch = "x86_64")]
         SimdArm::Sse2 => &SSE2_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Avx2 => &AVX2_KERNELS,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("arm_supported() admits only Scalar off x86-64"),
+    })
+}
+
+/// The *dispatch* table of a specific arm: what [`kernels`] actually
+/// serves when that arm is active. Scalar and AVX2 dispatch their pure
+/// tables; SSE2 dispatches the per-kernel mix (scalar 1-D reconstruction,
+/// explicit 128-bit everything else).
+pub fn dispatch_kernels_for(arm: SimdArm) -> Option<&'static CodecKernels> {
+    if !arm_supported(arm) {
+        return None;
+    }
+    Some(match arm {
+        SimdArm::Scalar => &SCALAR_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Sse2 => &SSE2_DISPATCH_KERNELS,
         #[cfg(target_arch = "x86_64")]
         SimdArm::Avx2 => &AVX2_KERNELS,
         #[cfg(not(target_arch = "x86_64"))]
@@ -243,12 +283,14 @@ pub fn active_arm() -> SimdArm {
     }
 }
 
-/// The single dispatch point: the kernel table of the active arm.
+/// The single dispatch point: the *dispatch* table of the active arm —
+/// a per-kernel arm mix where a wide kernel loses to the scalar loop
+/// (today: the SSE2 1-D reconstruction).
 #[inline]
 pub fn kernels() -> &'static CodecKernels {
     // A forced/unsupported combination cannot exist (force_arm refuses),
     // so this lookup never fails.
-    kernels_for(active_arm()).expect("active arm is always supported")
+    dispatch_kernels_for(active_arm()).expect("active arm is always supported")
 }
 
 #[cfg(test)]
@@ -270,6 +312,8 @@ mod tests {
         for arm in supported_arms() {
             let k = kernels_for(arm).expect("supported arm must have a table");
             assert_eq!(k.arm, arm);
+            let d = dispatch_kernels_for(arm).expect("supported arm must have a dispatch table");
+            assert_eq!(d.arm, arm);
         }
     }
 
@@ -278,6 +322,37 @@ mod tests {
     fn sse2_is_baseline_on_x86_64() {
         assert!(arm_supported(SimdArm::Sse2));
         assert!(kernels_for(SimdArm::Sse2).is_some());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_dispatch_is_the_documented_per_kernel_mix() {
+        let pure = kernels_for(SimdArm::Sse2).unwrap();
+        let mix = dispatch_kernels_for(SimdArm::Sse2).unwrap();
+        // The 1-D reconstruction routes to the scalar loop (the SSE2 f64
+        // lerp is slower — ROADMAP PR-3 note)...
+        assert_eq!(mix.reconstruct_1d as usize, SCALAR_KERNELS.reconstruct_1d as usize);
+        assert_ne!(mix.reconstruct_1d as usize, pure.reconstruct_1d as usize);
+        // ...while every other slot keeps the explicit 128-bit kernel.
+        assert_eq!(mix.to_fixed_f32 as usize, pure.to_fixed_f32 as usize);
+        assert_eq!(mix.downsample_both as usize, pure.downsample_both as usize);
+        assert_eq!(mix.reconstruct_2d as usize, pure.reconstruct_2d as usize);
+        assert_eq!(mix.check_chunk_f32 as usize, pure.check_chunk_f32 as usize);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn scalar_and_avx2_dispatch_tables_are_their_pure_tables() {
+        assert!(std::ptr::eq(
+            dispatch_kernels_for(SimdArm::Scalar).unwrap(),
+            kernels_for(SimdArm::Scalar).unwrap()
+        ));
+        if arm_supported(SimdArm::Avx2) {
+            assert!(std::ptr::eq(
+                dispatch_kernels_for(SimdArm::Avx2).unwrap(),
+                kernels_for(SimdArm::Avx2).unwrap()
+            ));
+        }
     }
 }
 
@@ -306,11 +381,21 @@ mod equivalence {
         }
     }
 
+    /// Every non-scalar table the host can execute: each wide arm's pure
+    /// kernels *and* its dispatch mix (deduplicated), so the mixed SSE2
+    /// table is oracled exactly like the pure ones.
     fn wide_arms() -> Vec<&'static CodecKernels> {
-        supported_arms()
-            .filter(|&a| a != SimdArm::Scalar)
-            .map(|a| kernels_for(a).expect("supported"))
-            .collect()
+        let mut tables: Vec<&'static CodecKernels> = Vec::new();
+        for a in supported_arms().filter(|&a| a != SimdArm::Scalar) {
+            for t in
+                [kernels_for(a).expect("supported"), dispatch_kernels_for(a).expect("supported")]
+            {
+                if !tables.iter().any(|have| std::ptr::eq(*have, t)) {
+                    tables.push(t);
+                }
+            }
+        }
+        tables
     }
 
     /// Random raw words with a heavy dose of specials: NaN payloads, ±Inf,

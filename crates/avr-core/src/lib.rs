@@ -7,9 +7,12 @@
 //! compressor/decompressor layer, CMT, DBUF and prefetch engine between the
 //! LLC and the memory controller (Fig. 1).
 //!
-//! Workloads drive a system through the [`Vm`] trait (reads, writes,
-//! compute) and the system produces a [`avr_sim::RunMetrics`] with every
-//! statistic the paper's tables and figures need.
+//! Workloads drive a system through the [`Vm`] trait — word accesses,
+//! batched/strided/gathered bulk transfers, compute accounting — and the
+//! system produces a [`avr_sim::RunMetrics`] with every statistic the
+//! paper's tables and figures need. [`System`] serves the bulk operations
+//! through cacheline-coalesced fast paths that are bit-identical (values,
+//! timing, traffic) to the word-at-a-time decomposition.
 
 pub mod avr_ops;
 pub mod multicore;
@@ -23,6 +26,6 @@ pub use multicore::{run_multicore, run_multicore_on, MulticoreRun, ShardedWorklo
 pub use overhead::OverheadReport;
 pub use pool::{shard_seed, JobCtx, SimPool};
 pub use system::System;
-pub use vm_api::{ExactVm, Vm};
+pub use vm_api::{ExactVm, Vm, WordAtATime};
 
 pub use avr_types::{DesignKind, SystemConfig};

@@ -111,15 +111,23 @@ mod tests {
         fn run_shard(&self, core: usize, _total: usize, vm: &mut dyn Vm) -> Vec<f64> {
             let n = self.strip_len;
             let a = vm.approx_malloc(4 * n, DataType::F32).base;
-            for i in 0..n as u64 {
-                // Each core's data differs so shard outputs differ.
-                let v = 100.0 + core as f32 * 10.0 + (i as f32) * 0.001;
-                vm.write_f32(PhysAddr(a.0 + 4 * i), v);
+            // Each core's data differs so shard outputs differ. The strip
+            // streams through the bulk API in chunks.
+            const CHUNK: usize = 4096;
+            let mut buf = vec![0f32; CHUNK];
+            for start in (0..n).step_by(CHUNK) {
+                let len = CHUNK.min(n - start);
+                for (o, v) in buf[..len].iter_mut().enumerate() {
+                    *v = 100.0 + core as f32 * 10.0 + ((start + o) as f32) * 0.001;
+                }
+                vm.write_f32s(PhysAddr(a.0 + 4 * start as u64), &buf[..len]);
             }
             let mut acc = 0.0f64;
-            for i in 0..n as u64 {
-                acc += vm.read_f32(PhysAddr(a.0 + 4 * i)) as f64;
-                vm.compute(4);
+            for start in (0..n).step_by(CHUNK) {
+                let len = CHUNK.min(n - start);
+                vm.read_f32s(PhysAddr(a.0 + 4 * start as u64), &mut buf[..len]);
+                vm.compute(4 * len as u64);
+                acc += buf[..len].iter().map(|&v| v as f64).sum::<f64>();
             }
             vec![acc / n as f64]
         }

@@ -264,7 +264,8 @@ impl RunMetrics {
 }
 
 /// Aggregate over many (workload × configuration) runs — what a
-/// [`SimPool`]-style parallel engine reports after merging its shards.
+/// `SimPool`-style parallel engine (in `avr-core`) reports after merging
+/// its shards.
 ///
 /// Conventions follow the paper's multicore accounting: event counters,
 /// traffic and energy *sum* across runs, while cycles report the *makespan*

@@ -53,6 +53,53 @@ impl PhysMem {
         self.words[i] = val;
     }
 
+    /// Read `out.len()` consecutive words starting at `addr` with a single
+    /// address translation (unwritten tails read zero, like
+    /// [`PhysMem::read_u32`]).
+    pub fn read_words(&self, addr: PhysAddr, out: &mut [u32]) {
+        let base = Self::word_index(addr);
+        let have = self.words.len().saturating_sub(base).min(out.len());
+        if have > 0 {
+            out[..have].copy_from_slice(&self.words[base..base + have]);
+        }
+        out[have..].fill(0);
+    }
+
+    /// Write `vals.len()` consecutive words starting at `addr` with a single
+    /// address translation.
+    pub fn write_words(&mut self, addr: PhysAddr, vals: &[u32]) {
+        if vals.is_empty() {
+            return;
+        }
+        let base = Self::word_index(addr);
+        self.ensure(base + vals.len() - 1);
+        self.words[base..base + vals.len()].copy_from_slice(vals);
+    }
+
+    /// [`PhysMem::read_words`] reinterpreted as IEEE-754 f32 bit patterns.
+    pub fn read_words_f32(&self, addr: PhysAddr, out: &mut [f32]) {
+        let base = Self::word_index(addr);
+        let have = self.words.len().saturating_sub(base).min(out.len());
+        if have > 0 {
+            for (o, w) in out[..have].iter_mut().zip(&self.words[base..base + have]) {
+                *o = f32::from_bits(*w);
+            }
+        }
+        out[have..].fill(0.0);
+    }
+
+    /// [`PhysMem::write_words`] from f32 values (bit-pattern stores).
+    pub fn write_words_f32(&mut self, addr: PhysAddr, vals: &[f32]) {
+        if vals.is_empty() {
+            return;
+        }
+        let base = Self::word_index(addr);
+        self.ensure(base + vals.len() - 1);
+        for (w, v) in self.words[base..base + vals.len()].iter_mut().zip(vals) {
+            *w = v.to_bits();
+        }
+    }
+
     /// Read a whole cacheline.
     pub fn read_line(&self, line: LineAddr) -> CacheLine {
         let base = Self::word_index(line.base());
@@ -223,6 +270,38 @@ mod tests {
         assert_eq!(m.read_line(line), cl);
         // Word view agrees with line view.
         assert_eq!(m.read_u32(PhysAddr(line.base().0 + 8)), 9);
+    }
+
+    #[test]
+    fn bulk_words_match_word_at_a_time() {
+        let mut m = PhysMem::new();
+        let base = PhysAddr(0x2004); // deliberately line-unaligned
+        let vals: Vec<u32> = (0..37).map(|i| i * 0x101 + 5).collect();
+        m.write_words(base, &vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(m.read_u32(PhysAddr(base.0 + 4 * i as u64)), v);
+        }
+        let mut back = vec![0u32; vals.len()];
+        m.read_words(base, &mut back);
+        assert_eq!(back, vals);
+        // Reads past the grown capacity come back zero, like read_u32.
+        let mut tail = [1u32; 8];
+        m.read_words(PhysAddr(1 << 30), &mut tail);
+        assert_eq!(tail, [0u32; 8]);
+    }
+
+    #[test]
+    fn bulk_f32_words_are_bit_pattern_stores() {
+        let mut m = PhysMem::new();
+        let base = PhysAddr(0x3000);
+        let vals = [1.5f32, -0.0, f32::NAN, 3.25e-9];
+        m.write_words_f32(base, &vals);
+        let mut back = [0f32; 4];
+        m.read_words_f32(base, &mut back);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(m.read_u32(PhysAddr(base.0 + 4)), (-0.0f32).to_bits());
     }
 
     #[test]

@@ -65,49 +65,82 @@ impl Workload for BlackScholes {
 
         // Inputs: clustered around a handful of underlyings, so many
         // entries share identical field values (AxBench-style data).
-        for i in 0..n {
-            // Underlying groups are block-aligned (256 entries = one AVR
-            // memory block), entries within a group drift gently, and a
-            // sprinkle of idiosyncratic quotes provides the outliers that
-            // hold the ratio near the paper's 4.7:1.
-            let underlying = 40.0 + 20.0 * ((i / 256) % 8) as f32;
-            let mut s = underlying + (i % 256) as f32 * 0.002;
-            if i % 16 == 7 {
-                s += 4.0 + 8.0 * hash01(i as u64, 0xB5);
+        // Chunked generation: one bulk store per field per chunk.
+        const CHUNK: usize = 2048;
+        let mut buf_s = vec![0f32; CHUNK];
+        let mut buf_k = vec![0f32; CHUNK];
+        let mut buf_t = vec![0f32; CHUNK];
+        let mut buf_r = vec![0f32; CHUNK];
+        let mut buf_v = vec![0f32; CHUNK];
+        for start in (0..n).step_by(CHUNK) {
+            let len = CHUNK.min(n - start);
+            for o in 0..len {
+                let i = start + o;
+                // Underlying groups are block-aligned (256 entries = one
+                // AVR memory block), entries within a group drift gently,
+                // and a sprinkle of idiosyncratic quotes provides the
+                // outliers that hold the ratio near the paper's 4.7:1.
+                let underlying = 40.0 + 20.0 * ((i / 256) % 8) as f32;
+                let mut s = underlying + (i % 256) as f32 * 0.002;
+                if i % 16 == 7 {
+                    s += 4.0 + 8.0 * hash01(i as u64, 0xB5);
+                }
+                buf_s[o] = s;
+                buf_k[o] = underlying * 0.85 + 0.3 * ((i / 64) % 4) as f32;
+                buf_t[o] = 0.25 + 0.25 * ((i / 256) % 4) as f32;
+                buf_r[o] = 0.02 + 0.0 * hash01(i as u64, 3);
+                buf_v[o] = 0.20 + 0.10 * ((i / 32) % 3) as f32;
             }
-            let k = underlying * 0.85 + 0.3 * ((i / 64) % 4) as f32;
-            vm.write_f32(Self::at(spot, i), s);
-            vm.write_f32(Self::at(strike, i), k);
-            vm.write_f32(Self::at(expiry, i), 0.25 + 0.25 * ((i / 256) % 4) as f32);
-            vm.write_f32(Self::at(rate, i), 0.02 + 0.0 * hash01(i as u64, 3));
-            vm.write_f32(Self::at(vol, i), 0.20 + 0.10 * ((i / 32) % 3) as f32);
-            vm.compute(24);
+            vm.compute(24 * len as u64);
+            vm.write_f32s(Self::at(spot, start), &buf_s[..len]);
+            vm.write_f32s(Self::at(strike, start), &buf_k[..len]);
+            vm.write_f32s(Self::at(expiry, start), &buf_t[..len]);
+            vm.write_f32s(Self::at(rate, start), &buf_r[..len]);
+            vm.write_f32s(Self::at(vol, start), &buf_v[..len]);
         }
 
-        // Price every option.
-        for i in 0..n {
-            let s = vm.read_f32(Self::at(spot, i)) as f64;
-            let k = vm.read_f32(Self::at(strike, i)) as f64;
-            let t = vm.read_f32(Self::at(expiry, i)) as f64;
-            let r = vm.read_f32(Self::at(rate, i)) as f64;
-            let v = vm.read_f32(Self::at(vol, i)) as f64;
-            let sqrt_t = t.sqrt();
-            let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * sqrt_t);
-            let d2 = d1 - v * sqrt_t;
-            let c = s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2);
-            let p = k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1);
+        // Price every option: stream the five input fields chunk-wise and
+        // store each chunk's call/put prices with two bulk writes.
+        let mut buf_c = vec![0f32; CHUNK];
+        let mut buf_p = vec![0f32; CHUNK];
+        for start in (0..n).step_by(CHUNK) {
+            let len = CHUNK.min(n - start);
+            vm.read_f32s(Self::at(spot, start), &mut buf_s[..len]);
+            vm.read_f32s(Self::at(strike, start), &mut buf_k[..len]);
+            vm.read_f32s(Self::at(expiry, start), &mut buf_t[..len]);
+            vm.read_f32s(Self::at(rate, start), &mut buf_r[..len]);
+            vm.read_f32s(Self::at(vol, start), &mut buf_v[..len]);
+            for o in 0..len {
+                let s = buf_s[o] as f64;
+                let k = buf_k[o] as f64;
+                let t = buf_t[o] as f64;
+                let r = buf_r[o] as f64;
+                let v = buf_v[o] as f64;
+                let sqrt_t = t.sqrt();
+                let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * sqrt_t);
+                let d2 = d1 - v * sqrt_t;
+                let c = s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2);
+                let p = k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1);
+                buf_c[o] = c as f32;
+                buf_p[o] = p as f32;
+            }
             // The kernel costs ~200 scalar ops (ln, exp, sqrt, divisions,
             // two CDF polynomials): this is what makes it compute-bound.
-            vm.compute(420);
-            vm.write_f32(Self::at(call, i), c as f32);
-            vm.write_f32(Self::at(put, i), p as f32);
+            vm.compute(420 * len as u64);
+            vm.write_f32s(Self::at(call, start), &buf_c[..len]);
+            vm.write_f32s(Self::at(put, start), &buf_p[..len]);
         }
 
-        // Output: the predicted prices.
-        let mut out = Vec::with_capacity(2 * n / 16);
-        for i in (0..n).step_by(16) {
-            out.push(vm.read_f32(Self::at(call, i)) as f64);
-            out.push(vm.read_f32(Self::at(put, i)) as f64);
+        // Output: the predicted prices (a decimated strided view).
+        let samples = n.div_ceil(16);
+        let mut out_c = vec![0f32; samples];
+        let mut out_p = vec![0f32; samples];
+        vm.read_f32s_strided(call, 64, &mut out_c);
+        vm.read_f32s_strided(put, 64, &mut out_p);
+        let mut out = Vec::with_capacity(2 * samples);
+        for (c, p) in out_c.iter().zip(&out_p) {
+            out.push(*c as f64);
+            out.push(*p as f64);
         }
         out
     }

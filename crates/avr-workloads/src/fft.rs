@@ -76,65 +76,96 @@ impl Workload for Fft {
         let im = vm.approx_malloc(4 * n, DataType::F32).base;
 
         // Input: a full-band linear chirp sweeping DC → Nyquist, written
-        // directly in bit-reversed positions so the passes run in order.
-        // No amplitude window: a windowed chirp's band powers follow the
-        // window's envelope, which would starve the edge bands; the bare
-        // chirp keeps all 16 output bands comparably powered.
+        // directly in bit-reversed positions so the passes run in order —
+        // a textbook scatter, issued in index chunks. No amplitude window:
+        // a windowed chirp's band powers follow the window's envelope,
+        // which would starve the edge bands; the bare chirp keeps all 16
+        // output bands comparably powered.
+        const CHUNK: usize = 1024;
         let nf = n as f64;
-        for i in 0..n {
-            let t = i as f64 / nf;
-            let phase = std::f64::consts::PI * nf * 0.5 * t * t;
-            let rev = (i as u64).reverse_bits() >> (64 - self.log2_n);
-            let chirp = phase.cos() as f32;
-            // Tiny-scale pulse (see `pulse_amp`); the bench-scale branch
-            // (pulse_amp == 0) writes the exact pre-knob chirp stream.
-            let v =
-                if self.pulse_amp != 0.0 && i == PULSE_T { chirp + self.pulse_amp } else { chirp };
-            vm.compute(14);
-            vm.write_f32(addr(re, rev as usize), v);
-            vm.write_f32(addr(im, rev as usize), 0.0);
+        let mut sc_idx = vec![0u32; CHUNK];
+        let mut sc_val = vec![0f32; CHUNK];
+        for start in (0..n).step_by(CHUNK) {
+            let len = CHUNK.min(n - start);
+            for o in 0..len {
+                let i = start + o;
+                let t = i as f64 / nf;
+                let phase = std::f64::consts::PI * nf * 0.5 * t * t;
+                let chirp = phase.cos() as f32;
+                // Tiny-scale pulse (see `pulse_amp`); the bench-scale
+                // branch (pulse_amp == 0) writes the exact pre-knob chirp
+                // stream.
+                sc_idx[o] = ((i as u64).reverse_bits() >> (64 - self.log2_n)) as u32;
+                sc_val[o] = if self.pulse_amp != 0.0 && i == PULSE_T {
+                    chirp + self.pulse_amp
+                } else {
+                    chirp
+                };
+            }
+            vm.compute(14 * len as u64);
+            vm.write_f32s_scatter(re, &sc_idx[..len], &sc_val[..len]);
         }
+        // The imaginary plane starts at zero everywhere.
+        let zeros = vec![0f32; n];
+        vm.write_f32s(im, &zeros);
 
         // Iterative Cooley–Tukey: log2(n) passes over the full arrays.
+        // Each butterfly group's a/b halves are contiguous, so one group
+        // is four bulk loads + four bulk stores.
+        let mut ar = vec![0f32; n / 2];
+        let mut ai = vec![0f32; n / 2];
+        let mut br = vec![0f32; n / 2];
+        let mut bi = vec![0f32; n / 2];
         let mut len = 2usize;
         while len <= n {
+            let half = len / 2;
             let ang = -2.0 * std::f64::consts::PI / len as f64;
             for start in (0..n).step_by(len) {
-                for k in 0..len / 2 {
+                vm.read_f32s(addr(re, start), &mut ar[..half]);
+                vm.read_f32s(addr(im, start), &mut ai[..half]);
+                vm.read_f32s(addr(re, start + half), &mut br[..half]);
+                vm.read_f32s(addr(im, start + half), &mut bi[..half]);
+                for k in 0..half {
                     let (wr, wi) = {
                         let a = ang * k as f64;
                         (a.cos() as f32, a.sin() as f32)
                     };
-                    let i0 = start + k;
-                    let i1 = start + k + len / 2;
-                    let ar = vm.read_f32(addr(re, i0));
-                    let ai = vm.read_f32(addr(im, i0));
-                    let br = vm.read_f32(addr(re, i1));
-                    let bi = vm.read_f32(addr(im, i1));
-                    let tr = wr * br - wi * bi;
-                    let ti = wr * bi + wi * br;
-                    vm.compute(12);
-                    vm.write_f32(addr(re, i0), ar + tr);
-                    vm.write_f32(addr(im, i0), ai + ti);
-                    vm.write_f32(addr(re, i1), ar - tr);
-                    vm.write_f32(addr(im, i1), ai - ti);
+                    let tr = wr * br[k] - wi * bi[k];
+                    let ti = wr * bi[k] + wi * br[k];
+                    let (a_r, a_i) = (ar[k], ai[k]);
+                    ar[k] = a_r + tr;
+                    ai[k] = a_i + ti;
+                    br[k] = a_r - tr;
+                    bi[k] = a_i - ti;
                 }
+                vm.compute(12 * half as u64);
+                vm.write_f32s(addr(re, start), &ar[..half]);
+                vm.write_f32s(addr(im, start), &ai[..half]);
+                vm.write_f32s(addr(re, start + half), &br[..half]);
+                vm.write_f32s(addr(im, start + half), &bi[..half]);
             }
             len <<= 1;
         }
 
-        // Output: power per frequency band over the positive spectrum.
+        // Output: power per frequency band over the positive spectrum,
+        // read band-by-band with two bulk loads.
         let half = n / 2;
         let per_band = half / BANDS;
         let mut out = Vec::with_capacity(BANDS);
+        let mut re_band = vec![0f32; per_band];
+        let mut im_band = vec![0f32; per_band];
         for b in 0..BANDS {
-            let mut acc = 0.0f64;
-            for k in b * per_band..(b + 1) * per_band {
-                let r = vm.read_f32(addr(re, k)) as f64;
-                let i = vm.read_f32(addr(im, k)) as f64;
-                acc += r * r + i * i;
-                vm.compute(3);
-            }
+            vm.read_f32s(addr(re, b * per_band), &mut re_band);
+            vm.read_f32s(addr(im, b * per_band), &mut im_band);
+            vm.compute(3 * per_band as u64);
+            let acc: f64 = re_band
+                .iter()
+                .zip(&im_band)
+                .map(|(&r, &i)| {
+                    let (r, i) = (r as f64, i as f64);
+                    r * r + i * i
+                })
+                .sum();
             out.push(acc / per_band as f64);
         }
         out

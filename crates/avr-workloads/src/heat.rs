@@ -46,10 +46,13 @@ impl Workload for Heat {
         let rowsum = vm.malloc(4 * h).base;
 
         // Initial condition: two Gaussian hot spots on a cool plate, plus a
-        // hot west wall — smooth, like a physical temperature field.
+        // hot west wall — smooth, like a physical temperature field. Rows
+        // are generated into a buffer and stored with one bulk write each.
+        let mut row = vec![0f32; w];
         for y in 0..h {
-            for x in 0..w {
-                let (xf, yf) = (x as f32, y as f32);
+            let yf = y as f32;
+            for (x, t) in row.iter_mut().enumerate() {
+                let xf = x as f32;
                 let spot = |cx: f32, cy: f32, s: f32, amp: f32| {
                     let d2 = (xf - cx).powi(2) + (yf - cy).powi(2);
                     amp * (-d2 / (2.0 * s * s)).exp()
@@ -57,58 +60,60 @@ impl Workload for Heat {
                 // Spot widths scale with the grid so the field stays smooth
                 // relative to the fixed 1 KB block granularity (as the
                 // paper's 8.2 MB/core grids are).
-                let mut t = 20.0;
-                t += spot(w as f32 * 0.3, h as f32 * 0.4, w as f32 * 0.3, 450.0);
-                t += spot(w as f32 * 0.7, h as f32 * 0.65, w as f32 * 0.35, 300.0);
+                let mut v = 20.0;
+                v += spot(w as f32 * 0.3, h as f32 * 0.4, w as f32 * 0.3, 450.0);
+                v += spot(w as f32 * 0.7, h as f32 * 0.65, w as f32 * 0.35, 300.0);
                 if x == 0 {
-                    t = 500.0;
+                    v = 500.0;
                 }
-                vm.compute(12);
-                vm.write_f32(Self::addr(a, y * w + x), t);
+                *t = v;
             }
+            vm.compute(12 * w as u64);
+            vm.write_f32s(Self::addr(a, y * w), &row);
         }
 
-        // Jacobi sweeps (fixed boundaries).
+        // Jacobi sweeps (fixed boundaries): each destination row reads the
+        // row above, the row below and its own row as three contiguous
+        // slices — the 5-point stencil expressed at cacheline granularity.
+        let mut up = vec![0f32; w];
+        let mut cur = vec![0f32; w];
+        let mut down = vec![0f32; w];
+        let mut next = vec![0f32; w - 2];
+        let mut col = vec![0f32; h];
         let (mut src, mut dst) = (a, b);
         for _ in 0..self.iters {
             for y in 1..h - 1 {
+                vm.read_f32s(Self::addr(src, (y - 1) * w), &mut up);
+                vm.read_f32s(Self::addr(src, (y + 1) * w), &mut down);
+                vm.read_f32s(Self::addr(src, y * w), &mut cur);
                 let mut acc = 0.0f32;
                 for x in 1..w - 1 {
-                    let up = vm.read_f32(Self::addr(src, (y - 1) * w + x));
-                    let down = vm.read_f32(Self::addr(src, (y + 1) * w + x));
-                    let left = vm.read_f32(Self::addr(src, y * w + x - 1));
-                    let right = vm.read_f32(Self::addr(src, y * w + x + 1));
-                    let t = 0.25 * (up + down + left + right);
-                    vm.compute(6);
-                    vm.write_f32(Self::addr(dst, y * w + x), t);
+                    let t = 0.25 * (up[x] + down[x] + cur[x - 1] + cur[x + 1]);
+                    next[x - 1] = t;
                     acc += t;
                 }
-                vm.compute(2);
+                vm.compute(6 * (w - 2) as u64 + 2);
+                vm.write_f32s(Self::addr(dst, y * w + 1), &next);
                 vm.write_f32(Self::addr(rowsum, y), acc);
             }
             // Copy the fixed boundary rows/cols into dst so reads next
             // iteration see them.
-            for x in 0..w {
-                let top = vm.read_f32(Self::addr(src, x));
-                vm.write_f32(Self::addr(dst, x), top);
-                let bot = vm.read_f32(Self::addr(src, (h - 1) * w + x));
-                vm.write_f32(Self::addr(dst, (h - 1) * w + x), bot);
-            }
-            for y in 0..h {
-                let l = vm.read_f32(Self::addr(src, y * w));
-                vm.write_f32(Self::addr(dst, y * w), l);
-                let r = vm.read_f32(Self::addr(src, y * w + w - 1));
-                vm.write_f32(Self::addr(dst, y * w + w - 1), r);
-            }
+            vm.read_f32s(Self::addr(src, 0), &mut cur);
+            vm.write_f32s(Self::addr(dst, 0), &cur);
+            vm.read_f32s(Self::addr(src, (h - 1) * w), &mut cur);
+            vm.write_f32s(Self::addr(dst, (h - 1) * w), &cur);
+            let stride = 4 * w as u64;
+            vm.read_f32s_strided(Self::addr(src, 0), stride, &mut col);
+            vm.write_f32s_strided(Self::addr(dst, 0), stride, &col);
+            vm.read_f32s_strided(Self::addr(src, w - 1), stride, &mut col);
+            vm.write_f32s_strided(Self::addr(dst, w - 1), stride, &col);
             std::mem::swap(&mut src, &mut dst);
         }
 
         // Output: the final temperature field.
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            out.push(vm.read_f32(Self::addr(src, i)) as f64);
-        }
-        out
+        let mut field = vec![0f32; n];
+        vm.read_f32s(Self::addr(src, 0), &mut field);
+        field.iter().map(|&t| t as f64).collect()
     }
 }
 

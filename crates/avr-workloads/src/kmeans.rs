@@ -73,45 +73,51 @@ impl Workload for KMeans {
                 c + fine_amp * (a * (1.0 - frac) + b * frac)
             })
             .collect();
-        for (i, &e) in terrain.iter().enumerate() {
-            vm.write_f32(Self::at(pts, i), e);
-        }
+        vm.write_f32s(pts, &terrain);
 
         // Initialize centroids evenly over the value range.
         let (lo, hi) =
             terrain.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-        for c in 0..k {
-            let v = lo + (hi - lo) * (c as f32 + 0.5) / k as f32;
-            vm.write_f32(Self::at(cent, c), v);
-        }
+        let init: Vec<f32> = (0..k).map(|c| lo + (hi - lo) * (c as f32 + 0.5) / k as f32).collect();
+        vm.write_f32s(cent, &init);
 
+        // The assign pass streams the elevations in chunks: one bulk read
+        // per chunk, plus one packed bulk write of the chunk's assignments.
+        const CHUNK: usize = 1024;
+        let mut elev = vec![0f32; CHUNK];
+        let mut packed = vec![0u32; CHUNK / 4];
+        let mut c = vec![0f32; k];
         let mut iterations = 0usize;
         for _ in 0..self.max_iters {
             iterations += 1;
             // Load centroids into registers (they are tiny + precise).
-            let mut c: Vec<f32> = (0..k).map(|i| vm.read_f32(Self::at(cent, i))).collect();
+            vm.read_f32s(cent, &mut c);
             let mut sums = vec![0f64; k];
             let mut counts = vec![0u64; k];
 
             // Assign.
-            for i in 0..n {
-                let e = vm.read_f32(Self::at(pts, i));
-                let mut best = 0usize;
-                let mut best_d = f32::MAX;
-                for (j, &cv) in c.iter().enumerate() {
-                    let d = (e - cv).abs();
-                    if d < best_d {
-                        best_d = d;
-                        best = j;
+            for start in (0..n).step_by(CHUNK) {
+                let len = CHUNK.min(n - start);
+                vm.read_f32s(Self::at(pts, start), &mut elev[..len]);
+                for (o, &e) in elev[..len].iter().enumerate() {
+                    let mut best = 0usize;
+                    let mut best_d = f32::MAX;
+                    for (j, &cv) in c.iter().enumerate() {
+                        let d = (e - cv).abs();
+                        if d < best_d {
+                            best_d = d;
+                            best = j;
+                        }
+                    }
+                    sums[best] += e as f64;
+                    counts[best] += 1;
+                    // Pack the assignment byte.
+                    if o % 4 == 0 {
+                        packed[o / 4] = best as u32;
                     }
                 }
-                vm.compute(3 * k as u64);
-                sums[best] += e as f64;
-                counts[best] += 1;
-                // Pack the assignment byte.
-                if i % 4 == 0 {
-                    vm.write_u32(Self::at(asg, i / 4), best as u32);
-                }
+                vm.compute(3 * k as u64 * len as u64);
+                vm.write_u32s(Self::at(asg, start / 4), &packed[..len.div_ceil(4)]);
             }
 
             // Update.
@@ -121,9 +127,9 @@ impl Workload for KMeans {
                     let nv = (sums[j] / counts[j] as f64) as f32;
                     moved += (nv - c[j]).abs();
                     c[j] = nv;
-                    vm.write_f32(Self::at(cent, j), nv);
                 }
             }
+            vm.write_f32s(cent, &c);
             vm.compute(8 * k as u64);
             if moved < self.eps {
                 break;
@@ -134,7 +140,9 @@ impl Workload for KMeans {
         // The iteration count (workload inflation under approximation) is
         // visible through the instruction counters, not the output error.
         let _ = iterations;
-        let mut out: Vec<f64> = (0..k).map(|i| vm.read_f32(Self::at(cent, i)) as f64).collect();
+        let mut fin = vec![0f32; k];
+        vm.read_f32s(cent, &mut fin);
+        let mut out: Vec<f64> = fin.iter().map(|&v| v as f64).collect();
         out.sort_by(|a, b| a.partial_cmp(b).unwrap());
         out
     }

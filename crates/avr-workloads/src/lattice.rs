@@ -81,32 +81,35 @@ impl Workload for Lattice {
         let p_out = vm.malloc(4 * cells).base;
 
         let solid = car_silhouette(w, h);
-        for (idx, &s) in solid.iter().enumerate() {
-            vm.write_u32(Self::at(mask, idx), s as u32);
-        }
+        let mask_words: Vec<u32> = solid.iter().map(|&s| s as u32).collect();
+        vm.write_u32s(mask, &mask_words);
 
         // Equilibrium init at uniform inflow — both buffers, so boundary
-        // entries the streaming step never writes hold sane values.
-        for idx in 0..cells {
-            for i in 0..9 {
-                let v = Self::feq(i, 1.0, self.u0, 0.0);
-                vm.compute(10);
-                vm.write_f32(Self::f_at(f, i, idx, cells), v);
-                vm.write_f32(Self::f_at(f2, i, idx, cells), v);
-            }
+        // entries the streaming step never writes hold sane values. Each
+        // distribution plane is a constant, stored with one bulk write.
+        let eq0: [f32; 9] = std::array::from_fn(|i| Self::feq(i, 1.0, self.u0, 0.0));
+        let mut plane = vec![0f32; cells];
+        for (i, &v) in eq0.iter().enumerate() {
+            plane.fill(v);
+            vm.compute(10 * cells as u64);
+            vm.write_f32s(Self::f_at(f, i, 0, cells), &plane);
+            vm.write_f32s(Self::f_at(f2, i, 0, cells), &plane);
         }
 
+        // The planar distribution layout makes the per-cell gather a
+        // strided read (plane pitch) and the streaming step a scatter.
+        let plane_stride = 4 * cells as u64;
+        let mut mask_row = vec![0u32; w];
         let (mut src, mut dst) = (f, f2);
         for _step in 0..self.iters {
             for y in 0..h {
+                vm.read_u32s(Self::at(mask, y * w), &mut mask_row);
                 for x in 0..w {
                     let idx = y * w + x;
-                    let is_solid = vm.read_u32(Self::at(mask, idx)) != 0;
-                    // Gather distributions.
+                    let is_solid = mask_row[x] != 0;
+                    // Gather distributions across the nine planes.
                     let mut fi = [0f32; 9];
-                    for i in 0..9 {
-                        fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
-                    }
+                    vm.read_f32s_strided(Self::at(src, idx), plane_stride, &mut fi);
                     let mut post = [0f32; 9];
                     if is_solid {
                         // Full bounce-back.
@@ -128,7 +131,11 @@ impl Workload for Lattice {
                         vm.compute(90);
                     }
                     // Streaming (periodic wrap vertically, clamped
-                    // horizontally; the inlet/outlet overwrite below).
+                    // horizontally; the inlet/outlet overwrite below): one
+                    // scatter over the in-bounds directions.
+                    let mut sc_idx = [0u32; 9];
+                    let mut sc_val = [0f32; 9];
+                    let mut m = 0;
                     for i in 0..9 {
                         let nx = x as i32 + EX[i];
                         let ny = (y as i32 + EY[i]).rem_euclid(h as i32) as usize;
@@ -136,40 +143,48 @@ impl Workload for Lattice {
                             continue;
                         }
                         let nidx = ny * w + nx as usize;
-                        vm.write_f32(Self::f_at(dst, i, nidx, cells), post[i]);
+                        sc_idx[m] = (i * cells + nidx) as u32;
+                        sc_val[m] = post[i];
+                        m += 1;
                     }
+                    vm.write_f32s_scatter(dst, &sc_idx[..m], &sc_val[..m]);
                 }
             }
-            // Inlet (west): equilibrium at u0. Outlet (east): copy.
+            // Inlet (west): equilibrium at u0. Outlet (east): copy — each
+            // one strided access across the nine planes.
+            let mut inner = [0f32; 9];
             for y in 0..h {
-                for i in 0..9 {
-                    let v = Self::feq(i, 1.0, self.u0, 0.0);
-                    vm.write_f32(Self::f_at(dst, i, y * w, cells), v);
-                    let inner = vm.read_f32(Self::f_at(dst, i, y * w + w - 2, cells));
-                    vm.write_f32(Self::f_at(dst, i, y * w + w - 1, cells), inner);
-                }
+                vm.write_f32s_strided(Self::at(dst, y * w), plane_stride, &eq0);
+                vm.read_f32s_strided(Self::at(dst, y * w + w - 2), plane_stride, &mut inner);
+                vm.write_f32s_strided(Self::at(dst, y * w + w - 1), plane_stride, &inner);
                 vm.compute(40);
             }
             std::mem::swap(&mut src, &mut dst);
         }
 
-        // Output pass: velocity magnitude and pressure (rho / 3).
+        // Output pass: velocity magnitude and pressure (rho / 3), stored
+        // row-wise with two bulk writes per row.
         let mut out = Vec::with_capacity(2 * cells);
-        for idx in 0..cells {
-            let mut fi = [0f32; 9];
-            for i in 0..9 {
-                fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
+        let mut vel_row = vec![0f32; w];
+        let mut p_row = vec![0f32; w];
+        for y in 0..h {
+            for x in 0..w {
+                let idx = y * w + x;
+                let mut fi = [0f32; 9];
+                vm.read_f32s_strided(Self::at(src, idx), plane_stride, &mut fi);
+                let rho: f32 = fi.iter().sum();
+                let ux = fi.iter().enumerate().map(|(i, &v)| EX[i] as f32 * v).sum::<f32>() / rho;
+                let uy = fi.iter().enumerate().map(|(i, &v)| EY[i] as f32 * v).sum::<f32>() / rho;
+                let vmag = (ux * ux + uy * uy).sqrt();
+                let p = rho / 3.0;
+                vm.compute(30);
+                vel_row[x] = vmag;
+                p_row[x] = p;
+                out.push(vmag as f64);
+                out.push(p as f64);
             }
-            let rho: f32 = fi.iter().sum();
-            let ux = fi.iter().enumerate().map(|(i, &v)| EX[i] as f32 * v).sum::<f32>() / rho;
-            let uy = fi.iter().enumerate().map(|(i, &v)| EY[i] as f32 * v).sum::<f32>() / rho;
-            let vmag = (ux * ux + uy * uy).sqrt();
-            let p = rho / 3.0;
-            vm.compute(30);
-            vm.write_f32(Self::at(vel_out, idx), vmag);
-            vm.write_f32(Self::at(p_out, idx), p);
-            out.push(vmag as f64);
-            out.push(p as f64);
+            vm.write_f32s(Self::at(vel_out, y * w), &vel_row);
+            vm.write_f32s(Self::at(p_out, y * w), &p_row);
         }
         out
     }

@@ -90,44 +90,52 @@ impl Workload for Lbm {
         // Precise: sphere mask.
         let mask = vm.malloc(4 * cells).base;
 
-        // A solid sphere in the front third of the duct.
+        // A solid sphere in the front third of the duct, rasterized one
+        // x-row at a time (one bulk mask store per row).
         let (cx, cy, cz) = (nx as f32 / 2.0, ny as f32 / 2.0, nz as f32 / 3.0);
         let r = nx as f32 / 4.5;
+        let mut mask_row = vec![0u32; nx];
         for z in 0..nz {
             for y in 0..ny {
-                for x in 0..nx {
+                for (x, m) in mask_row.iter_mut().enumerate() {
                     let d2 =
                         (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2) + (z as f32 - cz).powi(2);
-                    let solid = (d2 <= r * r) as u32;
-                    vm.compute(8);
-                    vm.write_u32(PhysAddr(mask.0 + 4 * idx_of(x, y, z) as u64), solid);
+                    *m = (d2 <= r * r) as u32;
                 }
+                vm.compute(8 * nx as u64);
+                vm.write_u32s(PhysAddr(mask.0 + 4 * idx_of(0, y, z) as u64), &mask_row);
             }
         }
 
         // Equilibrium init: uniform flow along +z — both buffers, so
         // boundary entries the streaming step never writes hold sane
-        // values.
-        for idx in 0..cells {
-            for i in 0..19 {
-                let v = Self::feq(i, 1.0, (0.0, 0.0, self.u0));
-                vm.compute(12);
-                vm.write_f32(Self::f_at(f, i, idx, cells), v);
-                vm.write_f32(Self::f_at(f2, i, idx, cells), v);
-            }
+        // values. Each distribution plane is constant: one bulk store.
+        let eq0: [f32; 19] = std::array::from_fn(|i| Self::feq(i, 1.0, (0.0, 0.0, self.u0)));
+        let mut plane = vec![0f32; cells];
+        for (i, &v) in eq0.iter().enumerate() {
+            plane.fill(v);
+            vm.compute(12 * cells as u64);
+            vm.write_f32s(Self::f_at(f, i, 0, cells), &plane);
+            vm.write_f32s(Self::f_at(f2, i, 0, cells), &plane);
         }
 
+        // Planar layout: the per-cell distribution gather is one strided
+        // read across the 19 planes; streaming is one scatter.
+        let plane_stride = 4 * cells as u64;
         let (mut src, mut dst) = (f, f2);
         for _ in 0..self.iters {
             for z in 0..nz {
                 for y in 0..ny {
+                    vm.read_u32s(PhysAddr(mask.0 + 4 * idx_of(0, y, z) as u64), &mut mask_row);
                     for x in 0..nx {
                         let idx = idx_of(x, y, z);
-                        let solid = vm.read_u32(PhysAddr(mask.0 + 4 * idx as u64)) != 0;
+                        let solid = mask_row[x] != 0;
                         let mut fi = [0f32; 19];
-                        for i in 0..19 {
-                            fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
-                        }
+                        vm.read_f32s_strided(
+                            PhysAddr(src.0 + 4 * idx as u64),
+                            plane_stride,
+                            &mut fi,
+                        );
                         let mut post = [0f32; 19];
                         if solid {
                             for i in 0..19 {
@@ -149,6 +157,9 @@ impl Workload for Lbm {
                             }
                             vm.compute(200);
                         }
+                        let mut sc_idx = [0u32; 19];
+                        let mut sc_val = [0f32; 19];
+                        let mut m = 0;
                         for i in 0..19 {
                             let nxp = x as i32 + E[i].0;
                             let nyp = y as i32 + E[i].1;
@@ -163,20 +174,34 @@ impl Workload for Lbm {
                                 continue;
                             }
                             let nidx = idx_of(nxp as usize, nyp as usize, nzp as usize);
-                            vm.write_f32(Self::f_at(dst, i, nidx, cells), post[i]);
+                            sc_idx[m] = (i * cells + nidx) as u32;
+                            sc_val[m] = post[i];
+                            m += 1;
                         }
+                        vm.write_f32s_scatter(dst, &sc_idx[..m], &sc_val[..m]);
                     }
                 }
             }
-            // Inflow (z = 0) and outflow (z = nz-1).
+            // Inflow (z = 0) and outflow (z = nz-1): strided stores across
+            // the 19 planes per column.
+            let mut inner = [0f32; 19];
             for y in 0..ny {
                 for x in 0..nx {
-                    for i in 0..19 {
-                        let v = Self::feq(i, 1.0, (0.0, 0.0, self.u0));
-                        vm.write_f32(Self::f_at(dst, i, idx_of(x, y, 0), cells), v);
-                        let inner = vm.read_f32(Self::f_at(dst, i, idx_of(x, y, nz - 2), cells));
-                        vm.write_f32(Self::f_at(dst, i, idx_of(x, y, nz - 1), cells), inner);
-                    }
+                    vm.write_f32s_strided(
+                        PhysAddr(dst.0 + 4 * idx_of(x, y, 0) as u64),
+                        plane_stride,
+                        &eq0,
+                    );
+                    vm.read_f32s_strided(
+                        PhysAddr(dst.0 + 4 * idx_of(x, y, nz - 2) as u64),
+                        plane_stride,
+                        &mut inner,
+                    );
+                    vm.write_f32s_strided(
+                        PhysAddr(dst.0 + 4 * idx_of(x, y, nz - 1) as u64),
+                        plane_stride,
+                        &inner,
+                    );
                     vm.compute(80);
                 }
             }
@@ -188,9 +213,7 @@ impl Workload for Lbm {
         let mut out = Vec::with_capacity(cells);
         for idx in 0..cells {
             let mut fi = [0f32; 19];
-            for i in 0..19 {
-                fi[i] = vm.read_f32(Self::f_at(src, i, idx, cells));
-            }
+            vm.read_f32s_strided(PhysAddr(src.0 + 4 * idx as u64), plane_stride, &mut fi);
             let rho: f32 = fi.iter().sum();
             let mut u = (0f32, 0f32, 0f32);
             for (i, &v) in fi.iter().enumerate() {

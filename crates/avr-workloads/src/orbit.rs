@@ -77,21 +77,23 @@ impl Workload for Orbit {
         let gas_coupling = 0.8f32;
 
         let mut trajectory = Vec::new();
+        let mut gas_row = vec![0f32; nx];
         for _step in 0..self.steps {
-            // (1) Tabulate the gas density on the grid.
+            // (1) Tabulate the gas density on the grid, one bulk row store
+            // per x-row.
             for z in 0..nz {
                 for y in 0..ny {
-                    for x in 0..nx {
-                        let (xf, yf, zf) = (x as f32, y as f32, z as f32);
+                    let (yf, zf) = (y as f32, z as f32);
+                    for (x, g) in gas_row.iter_mut().enumerate() {
+                        let xf = x as f32;
                         let r1 = (xf - p1.0).powi(2) + (yf - p1.1).powi(2) + (zf - p1.2).powi(2);
                         let r2 = (xf - p2.0).powi(2) + (yf - p2.1).powi(2) + (zf - p2.2).powi(2);
                         let s1 = 2.0 * sigma1 * sigma1;
                         let s2 = 2.0 * sigma2 * sigma2;
-                        let rho_gas =
-                            rho0 * (1.0 + amp1 * (-r1 / s1).exp() + amp2 * (-r2 / s2).exp());
-                        vm.compute(24);
-                        vm.write_f32(Self::at(gas, idx_of(x, y, z)), rho_gas);
+                        *g = rho0 * (1.0 + amp1 * (-r1 / s1).exp() + amp2 * (-r2 / s2).exp());
                     }
+                    vm.compute(24 * nx as u64);
+                    vm.write_f32s(Self::at(gas, idx_of(0, y, z)), &gas_row);
                 }
             }
             // (2) Deposit particle mass into the precise density grid.
@@ -120,12 +122,18 @@ impl Workload for Orbit {
                     (pos.1.round() as i64).clamp(1, ny as i64 - 2) as usize,
                     (pos.2.round() as i64).clamp(1, nz as i64 - 2) as usize,
                 );
-                let gx1 = vm.read_f32(Self::at(gas, idx_of(xi + 1, yi, zi)));
-                let gx0 = vm.read_f32(Self::at(gas, idx_of(xi - 1, yi, zi)));
-                let gy1 = vm.read_f32(Self::at(gas, idx_of(xi, yi + 1, zi)));
-                let gy0 = vm.read_f32(Self::at(gas, idx_of(xi, yi - 1, zi)));
-                let gz1 = vm.read_f32(Self::at(gas, idx_of(xi, yi, zi + 1)));
-                let gz0 = vm.read_f32(Self::at(gas, idx_of(xi, yi, zi - 1)));
+                // The 6-point central-difference stencil is one gather.
+                let idx = [
+                    idx_of(xi + 1, yi, zi) as u32,
+                    idx_of(xi - 1, yi, zi) as u32,
+                    idx_of(xi, yi + 1, zi) as u32,
+                    idx_of(xi, yi - 1, zi) as u32,
+                    idx_of(xi, yi, zi + 1) as u32,
+                    idx_of(xi, yi, zi - 1) as u32,
+                ];
+                let mut g = [0f32; 6];
+                vm.read_f32s_gather(gas, &idx, &mut g);
+                let [gx1, gx0, gy1, gy0, gz1, gz0] = g;
                 vm.compute(30);
                 // Gas pushes bodies down-gradient, scaled by the coupling.
                 (
@@ -156,11 +164,11 @@ impl Workload for Orbit {
         }
 
         // Output: trajectories + a sample of the final field (the paper's
-        // output is the physics data itself).
+        // output is the physics data itself) — one strided bulk read.
         let mut out = trajectory;
-        for idx in (0..cells).step_by(7) {
-            out.push(vm.read_f32(Self::at(gas, idx)) as f64);
-        }
+        let mut sample = vec![0f32; cells.div_ceil(7)];
+        vm.read_f32s_strided(gas, 4 * 7, &mut sample);
+        out.extend(sample.iter().map(|&v| v as f64));
         out
     }
 }

@@ -76,42 +76,48 @@ impl Workload for Sobel {
         let img = vm.approx_malloc(4 * n, DataType::F32).base;
         let grad = vm.malloc(4 * n).base;
 
-        // Texture: smooth fractal relief along each axis (deterministic).
+        // Texture: smooth fractal relief along each axis (deterministic),
+        // stored one bulk row at a time.
         let tx = fractal_terrain(w, 0.0, self.texture_amp, 0.45, 11);
         let ty = fractal_terrain(h, 0.0, self.texture_amp, 0.45, 23);
+        let mut row = vec![0f32; w];
         for y in 0..h {
-            for x in 0..w {
-                vm.compute(10);
-                vm.write_f32(Self::addr(img, y * w + x), self.pixel(&tx, &ty, x, y));
+            for (x, px) in row.iter_mut().enumerate() {
+                *px = self.pixel(&tx, &ty, x, y);
             }
+            vm.compute(10 * w as u64);
+            vm.write_f32s(Self::addr(img, y * w), &row);
         }
 
-        // 3×3 Sobel over the interior; borders carry zero gradient.
+        // 3×3 Sobel over the interior; borders carry zero gradient. The
+        // neighborhood reads become three contiguous row loads per output
+        // row — the 8-point stencil at cacheline granularity.
+        let mut above = vec![0f32; w];
+        let mut cur = vec![0f32; w];
+        let mut below = vec![0f32; w];
+        let mut grad_row = vec![0f32; w - 2];
         for y in 1..h - 1 {
+            vm.read_f32s(Self::addr(img, (y - 1) * w), &mut above);
+            vm.read_f32s(Self::addr(img, y * w), &mut cur);
+            vm.read_f32s(Self::addr(img, (y + 1) * w), &mut below);
             for x in 1..w - 1 {
-                let mut p = |dx: isize, dy: isize| {
-                    let xi = (x as isize + dx) as usize;
-                    let yi = (y as isize + dy) as usize;
-                    vm.read_f32(Self::addr(img, yi * w + xi))
-                };
-                let gx =
-                    (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
-                let gy =
-                    (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
-                vm.compute(14);
-                vm.write_f32(Self::addr(grad, y * w + x), (gx * gx + gy * gy).sqrt());
+                let gx = (above[x + 1] + 2.0 * cur[x + 1] + below[x + 1])
+                    - (above[x - 1] + 2.0 * cur[x - 1] + below[x - 1]);
+                let gy = (below[x - 1] + 2.0 * below[x] + below[x + 1])
+                    - (above[x - 1] + 2.0 * above[x] + above[x + 1]);
+                grad_row[x - 1] = (gx * gx + gy * gy).sqrt();
             }
+            vm.compute(14 * (w - 2) as u64);
+            vm.write_f32s(Self::addr(grad, y * w + 1), &grad_row);
         }
 
         // Output: per-row mean gradient magnitude over the interior (the
         // edge-density profile a consumer would threshold).
         let mut out = Vec::with_capacity(h - 2);
         for y in 1..h - 1 {
-            let mut acc = 0.0f64;
-            for x in 1..w - 1 {
-                acc += vm.read_f32(Self::addr(grad, y * w + x)) as f64;
-                vm.compute(1);
-            }
+            vm.read_f32s(Self::addr(grad, y * w + 1), &mut grad_row);
+            vm.compute((w - 2) as u64);
+            let acc: f64 = grad_row.iter().map(|&g| g as f64).sum();
             out.push(acc / (w - 2) as f64);
         }
         out

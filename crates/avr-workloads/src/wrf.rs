@@ -63,121 +63,150 @@ impl Workload for Wrf {
         let scratch2 = vm.malloc(4 * cells).base;
         let terr = vm.malloc(4 * nx * ny).base; // surface elevation (2-D)
 
-        // Terrain: two orthogonal fractal profiles blended.
+        // Terrain: two orthogonal fractal profiles blended, stored one
+        // bulk row at a time.
         let tx = fractal_terrain(nx, 300.0, 180.0, 0.7, 0xA11CE);
         let ty = fractal_terrain(ny, 300.0, 180.0, 0.7, 0xB0B);
+        let mut row = vec![0f32; nx];
         for y in 0..ny {
-            for x in 0..nx {
-                let e = 0.5 * (tx[x] + ty[y]);
-                vm.write_f32(Self::at(terr, y * nx + x), e);
+            for (x, e) in row.iter_mut().enumerate() {
+                *e = 0.5 * (tx[x] + ty[y]);
             }
+            vm.write_f32s(Self::at(terr, y * nx), &row);
         }
 
         // Initial atmosphere: lapse rate with altitude, terrain heating,
-        // and weak fine structure (what keeps the ratio near 3.4:1).
+        // and weak fine structure (what keeps the ratio near 3.4:1). Each
+        // of the 11 fields takes one bulk row store per x-row.
+        let mut rows: Vec<Vec<f32>> = (0..9).map(|_| vec![0f32; nx]).collect();
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
                     let elev = 0.5 * (tx[x] + ty[y]);
                     let alt = z as f32 * 500.0 + elev;
                     let fine = ((x as f32 * 1.9).sin() + (y as f32 * 2.3).cos()) * 0.8;
-                    let temp = 288.0 - 0.0065 * alt + fine;
                     // Multiplicative fine structure keeps the *relative*
                     // roughness of humidity uniform across altitudes.
-                    let hum = (0.8 - 0.00009 * alt).max(0.2) * (1.0 + 0.009 * fine);
-                    let idx = idx_of(x, y, z);
-                    vm.compute(16);
-                    vm.write_f32(Self::at(t, idx), temp);
-                    vm.write_f32(Self::at(q, idx), hum);
-                    vm.write_f32(Self::at(p, idx), 1013.0 * (-alt / 8000.0).exp());
-                    vm.write_f32(Self::at(u, idx), 3.0 + 0.01 * y as f32);
-                    vm.write_f32(Self::at(v, idx), 1.0);
-                    vm.write_f32(Self::at(wz, idx), 0.0);
-                    vm.write_f32(Self::at(rho_a, idx), 1.2 * (-alt / 9000.0).exp());
-                    vm.write_f32(Self::at(rain, idx), 0.0);
-                    vm.write_f32(Self::at(srad, idx), (elev / 500.0).min(1.5));
-                    vm.write_f32(Self::at(scratch1, idx), 0.0);
-                    vm.write_f32(Self::at(scratch2, idx), 0.0);
+                    rows[0][x] = 288.0 - 0.0065 * alt + fine;
+                    rows[1][x] = (0.8 - 0.00009 * alt).max(0.2) * (1.0 + 0.009 * fine);
+                    rows[2][x] = 1013.0 * (-alt / 8000.0).exp();
+                    rows[3][x] = 3.0 + 0.01 * y as f32;
+                    rows[4][x] = 1.0;
+                    rows[5][x] = 0.0;
+                    rows[6][x] = 1.2 * (-alt / 9000.0).exp();
+                    rows[7][x] = 0.0;
+                    rows[8][x] = (elev / 500.0).min(1.5);
                 }
+                let idx = idx_of(0, y, z);
+                vm.compute(16 * nx as u64);
+                vm.write_f32s(Self::at(t, idx), &rows[0]);
+                vm.write_f32s(Self::at(q, idx), &rows[1]);
+                vm.write_f32s(Self::at(p, idx), &rows[2]);
+                vm.write_f32s(Self::at(u, idx), &rows[3]);
+                vm.write_f32s(Self::at(v, idx), &rows[4]);
+                vm.write_f32s(Self::at(wz, idx), &rows[5]);
+                vm.write_f32s(Self::at(rho_a, idx), &rows[6]);
+                vm.write_f32s(Self::at(rain, idx), &rows[7]);
+                vm.write_f32s(Self::at(srad, idx), &rows[8]);
+                rows[5].fill(0.0);
+                vm.write_f32s(Self::at(scratch1, idx), &rows[5]);
+                vm.write_f32s(Self::at(scratch2, idx), &rows[5]);
             }
         }
 
         let dt = 0.2f32;
+        // Row buffers for the stencil passes: each destination row reads
+        // its field rows (own row + the upwind/neighbor rows) as
+        // contiguous slices.
+        let mut t_cur = vec![0f32; nx];
+        let mut t_prev = vec![0f32; nx];
+        let mut q_cur = vec![0f32; nx];
+        let mut q_prev = vec![0f32; nx];
+        let mut u_row = vec![0f32; nx];
+        let mut v_row = vec![0f32; nx];
+        let mut heat_row = vec![0f32; nx];
+        let mut nt_row = vec![0f32; nx - 2];
+        let mut nq_row = vec![0f32; nx - 2];
+        let mut p_n = vec![0f32; nx];
+        let mut p_s = vec![0f32; nx];
+        let mut p_cur = vec![0f32; nx];
         for _step in 0..self.steps {
             for z in 0..nz {
                 for y in 1..ny - 1 {
+                    let idx = idx_of(0, y, z);
+                    vm.read_f32s(Self::at(t, idx), &mut t_cur);
+                    vm.read_f32s(Self::at(t, idx_of(0, y - 1, z)), &mut t_prev);
+                    vm.read_f32s(Self::at(q, idx), &mut q_cur);
+                    vm.read_f32s(Self::at(q, idx_of(0, y - 1, z)), &mut q_prev);
+                    vm.read_f32s(Self::at(u, idx), &mut u_row);
+                    vm.read_f32s(Self::at(v, idx), &mut v_row);
+                    vm.read_f32s(Self::at(srad, idx), &mut heat_row);
                     for x in 1..nx - 1 {
-                        let idx = idx_of(x, y, z);
-                        let tc = vm.read_f32(Self::at(t, idx));
-                        let qc = vm.read_f32(Self::at(q, idx));
-                        let uw = vm.read_f32(Self::at(u, idx));
-                        let vw = vm.read_f32(Self::at(v, idx));
-                        let heat = vm.read_f32(Self::at(srad, idx));
+                        let (tc, qc) = (t_cur[x], q_cur[x]);
+                        let (uw, vw, heat) = (u_row[x], v_row[x], heat_row[x]);
                         // Upwind advection.
-                        let tx_up = vm.read_f32(Self::at(t, idx_of(x - 1, y, z)));
-                        let ty_up = vm.read_f32(Self::at(t, idx_of(x, y - 1, z)));
-                        let qx_up = vm.read_f32(Self::at(q, idx_of(x - 1, y, z)));
-                        let qy_up = vm.read_f32(Self::at(q, idx_of(x, y - 1, z)));
-                        let adv_t = uw * (tc - tx_up) * 0.02 + vw * (tc - ty_up) * 0.02;
-                        let adv_q = uw * (qc - qx_up) * 0.02 + vw * (qc - qy_up) * 0.02;
+                        let adv_t = uw * (tc - t_cur[x - 1]) * 0.02 + vw * (tc - t_prev[x]) * 0.02;
+                        let adv_q = uw * (qc - q_cur[x - 1]) * 0.02 + vw * (qc - q_prev[x]) * 0.02;
                         // Condensation: saturated humidity rains out and
                         // releases latent heat.
                         let sat = 0.02 * (tc - 250.0).max(1.0) * 0.01;
                         let excess = (qc - sat).max(0.0);
                         let cond = excess * 0.3;
-                        let new_t = tc - adv_t * dt + heat * 0.05 * dt + cond * 20.0 * dt;
-                        let new_q = (qc - adv_q * dt - cond * dt).max(0.0);
-                        vm.compute(150);
-                        vm.write_f32(Self::at(t_new, idx), new_t);
-                        vm.write_f32(Self::at(q_new, idx), new_q);
+                        nt_row[x - 1] = tc - adv_t * dt + heat * 0.05 * dt + cond * 20.0 * dt;
+                        nq_row[x - 1] = (qc - adv_q * dt - cond * dt).max(0.0);
                         if cond > 0.0 {
-                            let a = Self::at(rain, idx);
+                            let a = Self::at(rain, idx_of(x, y, z));
                             let r0 = vm.read_f32(a);
                             vm.write_f32(a, r0 + cond * dt);
                         }
                     }
+                    vm.compute(150 * (nx - 2) as u64);
+                    vm.write_f32s(Self::at(t_new, idx_of(1, y, z)), &nt_row);
+                    vm.write_f32s(Self::at(q_new, idx_of(1, y, z)), &nq_row);
                 }
             }
-            // Commit T/Q and relax pressure/winds toward the new state.
+            // Commit T/Q and relax pressure toward the new state: the
+            // pressure update is a compute-fused read-modify-write sweep.
             for z in 0..nz {
                 for y in 1..ny - 1 {
-                    for x in 1..nx - 1 {
-                        let idx = idx_of(x, y, z);
-                        let nt = vm.read_f32(Self::at(t_new, idx));
-                        let nq = vm.read_f32(Self::at(q_new, idx));
-                        vm.write_f32(Self::at(t, idx), nt);
-                        vm.write_f32(Self::at(q, idx), nq);
-                        // Pressure responds to temperature.
-                        let pa = Self::at(p, idx);
-                        let pv = vm.read_f32(pa);
-                        vm.write_f32(pa, pv * (1.0 + (nt - 288.0) * 1e-5));
-                        vm.compute(45);
-                    }
+                    let idx1 = idx_of(1, y, z);
+                    vm.read_f32s(Self::at(t_new, idx1), &mut nt_row);
+                    vm.read_f32s(Self::at(q_new, idx1), &mut nq_row);
+                    vm.write_f32s(Self::at(t, idx1), &nt_row);
+                    vm.write_f32s(Self::at(q, idx1), &nq_row);
+                    // Pressure responds to temperature.
+                    let nt = &nt_row;
+                    vm.for_each_f32_mut(Self::at(p, idx1), nx - 2, 45, &mut |k, pv| {
+                        pv * (1.0 + (nt[k] - 288.0) * 1e-5)
+                    });
                 }
             }
             // Winds follow the pressure gradient (geostrophic-lite).
             for z in 0..nz {
                 for y in 1..ny - 1 {
+                    let idx = idx_of(0, y, z);
+                    vm.read_f32s(Self::at(p, idx), &mut p_cur);
+                    vm.read_f32s(Self::at(p, idx_of(0, y + 1, z)), &mut p_n);
+                    vm.read_f32s(Self::at(p, idx_of(0, y - 1, z)), &mut p_s);
+                    vm.read_f32s(Self::at(u, idx), &mut u_row);
+                    vm.read_f32s(Self::at(v, idx), &mut v_row);
                     for x in 1..nx - 1 {
-                        let idx = idx_of(x, y, z);
-                        let pe = vm.read_f32(Self::at(p, idx_of(x + 1, y, z)));
-                        let pw = vm.read_f32(Self::at(p, idx_of(x - 1, y, z)));
-                        let pn = vm.read_f32(Self::at(p, idx_of(x, y + 1, z)));
-                        let ps = vm.read_f32(Self::at(p, idx_of(x, y - 1, z)));
-                        let ua = Self::at(u, idx);
-                        let va = Self::at(v, idx);
-                        let u0 = vm.read_f32(ua);
-                        let v0 = vm.read_f32(va);
-                        vm.compute(50);
-                        vm.write_f32(ua, u0 - (pe - pw) * 0.01 * dt);
-                        vm.write_f32(va, v0 - (pn - ps) * 0.01 * dt);
+                        let (pe, pw) = (p_cur[x + 1], p_cur[x - 1]);
+                        let (pn, ps) = (p_n[x], p_s[x]);
+                        nt_row[x - 1] = u_row[x] - (pe - pw) * 0.01 * dt;
+                        nq_row[x - 1] = v_row[x] - (pn - ps) * 0.01 * dt;
                     }
+                    vm.compute(50 * (nx - 2) as u64);
+                    vm.write_f32s(Self::at(u, idx_of(1, y, z)), &nt_row);
+                    vm.write_f32s(Self::at(v, idx_of(1, y, z)), &nq_row);
                 }
             }
         }
 
         // Output: the forecast temperature field.
-        (0..cells).map(|i| vm.read_f32(Self::at(t, i)) as f64).collect()
+        let mut field = vec![0f32; cells];
+        vm.read_f32s(Self::at(t, 0), &mut field);
+        field.iter().map(|&v| v as f64).collect()
     }
 }
 

@@ -2,6 +2,20 @@
 //! AVR: a moving-average filter over a sensor trace — the kind of
 //! approximation-tolerant kernel AVR targets.
 //!
+//! The workload speaks the **bulk** `Vm` API: the trace is generated and
+//! filtered in chunked slice transfers (`write_f32s` / `read_f32s`), and
+//! the decimated output is one strided load. Each bulk call costs a single
+//! dispatch into the simulator, which serves it through a cacheline-
+//! coalesced fast path that is bit-identical — in values, cycles and
+//! traffic — to issuing the equivalent word-at-a-time loop.
+//!
+//! Migration note for `Vm` implementors: every bulk method has a default
+//! that decomposes into `read_u32`/`write_u32`, so a `Vm` written against
+//! the original five-method interface (or any workload still issuing
+//! per-word accesses) keeps compiling and behaves identically. Wrap a VM
+//! in `avr::arch::WordAtATime` to force those defaults when you want to
+//! check a bulk fast path against the per-word reference.
+//!
 //! ```text
 //! cargo run --release --example custom_workload
 //! ```
@@ -15,6 +29,9 @@ struct MovingAverage {
     samples: usize,
 }
 
+const TAPS: usize = 64;
+const CHUNK: usize = 4096;
+
 impl Workload for MovingAverage {
     fn name(&self) -> &'static str {
         "moving_average"
@@ -27,34 +44,55 @@ impl Workload for MovingAverage {
         let raw = vm.approx_malloc(4 * n, DataType::F32).base;
         let filtered = vm.malloc(4 * n).base;
 
-        // A drifting baseline with sensor jitter.
-        for i in 0..n {
-            let t = i as f32 * 0.001;
-            let v = 48.0 + 6.0 * t.sin() + 0.02 * ((i * 2654435761) % 97) as f32;
-            vm.compute(8);
-            vm.write_f32(PhysAddr(raw.0 + 4 * i as u64), v);
-        }
-
-        // 64-tap running mean (sliding window).
-        let taps = 64usize;
-        let mut acc = 0f64;
-        for i in 0..n {
-            let x = vm.read_f32(PhysAddr(raw.0 + 4 * i as u64)) as f64;
-            acc += x;
-            if i >= taps {
-                let old = vm.read_f32(PhysAddr(raw.0 + 4 * (i - taps) as u64)) as f64;
-                acc -= old;
+        // A drifting baseline with sensor jitter, streamed to memory in
+        // chunked bulk stores.
+        let mut buf = vec![0f32; CHUNK];
+        for start in (0..n).step_by(CHUNK) {
+            let len = CHUNK.min(n - start);
+            for (o, v) in buf[..len].iter_mut().enumerate() {
+                let i = start + o;
+                let t = i as f32 * 0.001;
+                *v = 48.0 + 6.0 * t.sin() + 0.02 * ((i * 2654435761) % 97) as f32;
             }
-            let denom = taps.min(i + 1) as f64;
-            vm.compute(6);
-            vm.write_f32(PhysAddr(filtered.0 + 4 * i as u64), (acc / denom) as f32);
+            vm.compute(8 * len as u64);
+            vm.write_f32s(PhysAddr(raw.0 + 4 * start as u64), &buf[..len]);
         }
 
-        // Output: a decimated view of the filtered signal.
-        (0..n)
-            .step_by(16)
-            .map(|i| vm.read_f32(PhysAddr(filtered.0 + 4 * i as u64)) as f64)
-            .collect()
+        // 64-tap running mean: the window's leading edge and trailing edge
+        // are two chunked read streams over the same trace.
+        let mut lead = vec![0f32; CHUNK];
+        let mut trail = vec![0f32; CHUNK];
+        let mut out_buf = vec![0f32; CHUNK];
+        let mut acc = 0f64;
+        for start in (0..n).step_by(CHUNK) {
+            let len = CHUNK.min(n - start);
+            vm.read_f32s(PhysAddr(raw.0 + 4 * start as u64), &mut lead[..len]);
+            // Trailing reads exist only once the window has filled.
+            let t0 = start.saturating_sub(TAPS);
+            let t_len = if start >= TAPS { len } else { (start + len).saturating_sub(TAPS) };
+            if t_len > 0 {
+                vm.read_f32s(PhysAddr(raw.0 + 4 * t0 as u64), &mut trail[..t_len]);
+            }
+            for o in 0..len {
+                let i = start + o;
+                acc += lead[o] as f64;
+                if i >= TAPS {
+                    // trail holds samples starting at max(start-TAPS, 0).
+                    let off = i - TAPS - t0;
+                    acc -= trail[off] as f64;
+                }
+                let denom = TAPS.min(i + 1) as f64;
+                out_buf[o] = (acc / denom) as f32;
+            }
+            vm.compute(6 * len as u64);
+            vm.write_f32s(PhysAddr(filtered.0 + 4 * start as u64), &out_buf[..len]);
+        }
+
+        // Output: a decimated view of the filtered signal — one strided
+        // bulk load.
+        let mut sample = vec![0f32; n.div_ceil(16)];
+        vm.read_f32s_strided(filtered, 4 * 16, &mut sample);
+        sample.iter().map(|&v| v as f64).collect()
     }
 }
 

@@ -27,31 +27,38 @@ impl ShardedWorkload for HeatShard {
         let a = vm.approx_malloc(4 * n, DataType::F32).base;
         let b = vm.approx_malloc(4 * n, DataType::F32).base;
         let at = |base: PhysAddr, i: usize| PhysAddr(base.0 + 4 * i as u64);
+        // Initialize row-by-row through the bulk API.
+        let mut row = vec![0f32; w];
         for y in 0..h {
-            for x in 0..w {
-                let t = 20.0
+            for (x, t) in row.iter_mut().enumerate() {
+                *t = 20.0
                     + 300.0
                         * (-((x as f32 - w as f32 * 0.5).powi(2)
                             + (y as f32 - h as f32 * 0.5).powi(2))
                             / (w as f32 * 6.0))
                             .exp()
                     + core as f32;
-                vm.compute(10);
-                vm.write_f32(at(a, y * w + x), t);
             }
+            vm.compute(10 * w as u64);
+            vm.write_f32s(at(a, y * w), &row);
         }
+        // Jacobi sweeps: the 5-point stencil as three contiguous row loads
+        // per destination row.
+        let mut up = vec![0f32; w];
+        let mut cur = vec![0f32; w];
+        let mut down = vec![0f32; w];
+        let mut next = vec![0f32; w - 2];
         let (mut src, mut dst) = (a, b);
         for _ in 0..self.iters {
             for y in 1..h - 1 {
+                vm.read_f32s(at(src, (y - 1) * w), &mut up);
+                vm.read_f32s(at(src, (y + 1) * w), &mut down);
+                vm.read_f32s(at(src, y * w), &mut cur);
                 for x in 1..w - 1 {
-                    let s = 0.25
-                        * (vm.read_f32(at(src, (y - 1) * w + x))
-                            + vm.read_f32(at(src, (y + 1) * w + x))
-                            + vm.read_f32(at(src, y * w + x - 1))
-                            + vm.read_f32(at(src, y * w + x + 1)));
-                    vm.compute(6);
-                    vm.write_f32(at(dst, y * w + x), s);
+                    next[x - 1] = 0.25 * (up[x] + down[x] + cur[x - 1] + cur[x + 1]);
                 }
+                vm.compute(6 * (w - 2) as u64);
+                vm.write_f32s(at(dst, y * w + 1), &next);
             }
             std::mem::swap(&mut src, &mut dst);
         }

@@ -6,7 +6,7 @@
 //! ```
 
 use avr::arch::{DesignKind, System, SystemConfig, Vm};
-use avr::types::{DataType, PhysAddr};
+use avr::types::DataType;
 
 fn main() {
     // A small system so the working set spills out of the LLC and the AVR
@@ -20,23 +20,21 @@ fn main() {
     let field = sys.approx_malloc(4 * n, DataType::F32);
     println!("allocated {} KB approximable at {:?}", 4 * n / 1024, field.base);
 
-    // Write a smooth field (a temperature-like profile), then stream some
-    // precise data to push it out of the cache hierarchy.
-    for i in 0..n as u64 {
-        let v = 300.0 + 25.0 * ((i as f32) * 1e-4).sin();
-        sys.write_f32(PhysAddr(field.base.0 + 4 * i), v);
-    }
+    // Write a smooth field (a temperature-like profile) with one bulk
+    // store, then stream some precise data (a strided line walk) to push
+    // it out of the cache hierarchy.
+    let profile: Vec<f32> = (0..n).map(|i| 300.0 + 25.0 * ((i as f32) * 1e-4).sin()).collect();
+    sys.write_f32s(field.base, &profile);
     let scratch = sys.malloc(512 * 1024);
-    for off in (0..512 * 1024).step_by(64) {
-        sys.read_u32(PhysAddr(scratch.base.0 + off as u64));
-    }
+    let mut lines = vec![0f32; 512 * 1024 / 64];
+    sys.read_f32s_strided(scratch.base, 64, &mut lines);
 
-    // Read the field back: compressed blocks return approximately
-    // reconstructed values.
+    // Read the field back (one bulk load): compressed blocks return
+    // approximately reconstructed values.
+    let mut back = vec![0f32; n];
+    sys.read_f32s(field.base, &mut back);
     let mut worst: f32 = 0.0;
-    for i in 0..n as u64 {
-        let expect = 300.0 + 25.0 * ((i as f32) * 1e-4).sin();
-        let got = sys.read_f32(PhysAddr(field.base.0 + 4 * i));
+    for (got, expect) in back.iter().zip(&profile) {
         worst = worst.max(((got - expect) / expect).abs());
     }
     println!("worst relative read-back error: {:.4} % (T1 = 2 %)", worst * 100.0);

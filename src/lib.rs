@@ -23,18 +23,47 @@
 //!
 //! ## Quickstart
 //!
+//! The workload–machine interface is the bulk [`arch::Vm`] API: memory
+//! moves in batched slice transfers (with strided, gathered and
+//! compute-fused variants), matching the 64 B-line / 1 KB-block
+//! granularity the architecture itself works at. One bulk call costs one
+//! dispatch into the simulator; the timed [`arch::System`] serves it
+//! through cacheline-coalesced fast paths that are bit-identical — in
+//! values, cycles and traffic — to the equivalent word-at-a-time loop.
+//!
 //! ```
 //! use avr::arch::{DesignKind, System, SystemConfig, Vm};
-//! use avr::types::{DataType, PhysAddr};
+//! use avr::types::DataType;
 //!
 //! let mut sys = System::new(SystemConfig::tiny(), DesignKind::Avr);
 //! let region = sys.approx_malloc(64 << 10, DataType::F32);
-//! for i in 0..1024u64 {
-//!     sys.write_f32(PhysAddr(region.base.0 + 4 * i), 20.0 + i as f32 * 0.01);
-//! }
+//!
+//! // One bulk store of a smooth field, one bulk load back.
+//! let field: Vec<f32> = (0..1024).map(|i| 20.0 + i as f32 * 0.01).collect();
+//! sys.write_f32s(region.base, &field);
+//! let mut back = vec![0f32; 1024];
+//! sys.read_f32s(region.base, &mut back);
+//!
+//! // A compute-fused in-place sweep: load, transform, account ALU work,
+//! // store — per element, in one call.
+//! sys.for_each_f32_mut(region.base, 1024, 4, &mut |_, v| v * 1.01);
+//!
 //! let metrics = sys.finish("demo");
 //! assert!(metrics.cycles > 0);
 //! ```
+//!
+//! ### Migrating a pre-bulk `Vm` implementation
+//!
+//! Every bulk method on [`arch::Vm`] has a default that decomposes into
+//! the original word-at-a-time primitives (`read_u32`, `write_u32`,
+//! `compute`), so a third-party `Vm` written against the five-method
+//! interface keeps compiling — and keeps working, at per-word cost —
+//! without any change. Override individual bulk methods only where the
+//! backend can serve them faster; the contract for an override is
+//! bit-identical observable behavior to the default decomposition.
+//! [`arch::WordAtATime`] wraps any `Vm` and masks its bulk overrides,
+//! which is how `tests/bulk_api.rs` pins the `System` fast paths to the
+//! per-word reference for every workload × design.
 
 pub use avr_baselines as baselines;
 pub use avr_cache as cache;

@@ -1,0 +1,201 @@
+//! The bulk `Vm` API's two contracts, pinned end-to-end:
+//!
+//! 1. **Determinism / bit-identity** — running a workload through the
+//!    timed `System`'s bulk fast paths produces *exactly* the metrics
+//!    (cycles, traffic, instructions, LLC misses) and *exactly* the output
+//!    bits of the same workload forced through the trait's word-at-a-time
+//!    default decompositions ([`WordAtATime`]), for **every workload ×
+//!    every design**. The fast paths are a host-speed optimization, never
+//!    a simulation change.
+//!
+//! 2. **Slice semantics** — partial, unaligned and cross-block bulk
+//!    slices move exactly the words the equivalent per-word loop would,
+//!    on both `System` and `ExactVm`, over randomized offset/length
+//!    combinations.
+
+use avr::arch::{DesignKind, ExactVm, System, SystemConfig, Vm, WordAtATime};
+use avr::types::{DataType, PhysAddr};
+use avr::workloads::{all_benchmarks, BenchScale};
+
+mod common;
+use common::Rng;
+
+#[test]
+fn bulk_fast_paths_match_word_at_a_time_for_every_workload_and_design() {
+    let cfg = SystemConfig::tiny();
+    for w in all_benchmarks(BenchScale::Tiny) {
+        for design in DesignKind::ALL {
+            let mut fast_sys = System::new(cfg.clone(), design);
+            let fast_out = w.run(&mut fast_sys);
+            let fast = fast_sys.finish(w.name());
+
+            let mut word_sys = System::new(cfg.clone(), design);
+            let word_out = w.run(&mut WordAtATime(&mut word_sys));
+            let word = word_sys.finish(w.name());
+
+            let ctx = format!("{} on {design:?}", w.name());
+            assert_eq!(fast.cycles, word.cycles, "{ctx}: cycles");
+            assert_eq!(fast.counters.traffic, word.counters.traffic, "{ctx}: traffic");
+            assert_eq!(
+                fast.counters.instructions, word.counters.instructions,
+                "{ctx}: instructions"
+            );
+            assert_eq!(fast.counters.loads, word.counters.loads, "{ctx}: loads");
+            assert_eq!(fast.counters.stores, word.counters.stores, "{ctx}: stores");
+            assert_eq!(fast.counters.l1_hits, word.counters.l1_hits, "{ctx}: L1 hits");
+            assert_eq!(fast.counters.l2_hits, word.counters.l2_hits, "{ctx}: L2 hits");
+            assert_eq!(
+                fast.counters.llc_misses_total, word.counters.llc_misses_total,
+                "{ctx}: LLC misses"
+            );
+            assert_eq!(
+                fast.compression_ratio.to_bits(),
+                word.compression_ratio.to_bits(),
+                "{ctx}: compression summary"
+            );
+            assert_eq!(fast_out.len(), word_out.len(), "{ctx}: output shape");
+            for (i, (a, b)) in fast_out.iter().zip(&word_out).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: output bit-diverges at {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_vm_bulk_matches_word_at_a_time_for_every_workload() {
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let mut fast_vm = ExactVm::new();
+        let fast_out = w.run(&mut fast_vm);
+        let mut word_vm = ExactVm::new();
+        let word_out = w.run(&mut WordAtATime(&mut word_vm));
+        assert_eq!(
+            fast_vm.instructions,
+            word_vm.instructions,
+            "{}: golden instruction accounting diverged",
+            w.name()
+        );
+        assert_eq!(fast_out.len(), word_out.len(), "{}: output shape", w.name());
+        for (i, (a, b)) in fast_out.iter().zip(&word_out).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{}: golden output differs at {i}", w.name());
+        }
+    }
+}
+
+/// One randomized bulk call against its per-word equivalent on a pair of
+/// identically driven VMs. Returns the words the call touched so the
+/// caller can compare backing stores.
+fn random_slice_case(rng: &mut Rng, region_words: usize) -> (usize, usize) {
+    // Offsets and lengths chosen to hit line-interior starts, line
+    // crossings and 1 KB block crossings.
+    let off = (rng.next_u64() as usize) % (region_words - 1);
+    let max_len = (region_words - off).min(3000);
+    let len = 1 + (rng.next_u64() as usize) % max_len;
+    (off, len)
+}
+
+#[test]
+fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_system() {
+    let mut rng = Rng(0xB01D_FACE);
+    let cfg = SystemConfig::tiny();
+    for design in [DesignKind::Avr, DesignKind::Truncate, DesignKind::Baseline] {
+        let mut fast = System::new(cfg.clone(), design);
+        let mut word = System::new(cfg.clone(), design);
+        let region_words = (96 << 10) / 4;
+        let fast_base = fast.approx_malloc(96 << 10, DataType::F32).base;
+        let word_base = word.approx_malloc(96 << 10, DataType::F32).base;
+        assert_eq!(fast_base, word_base);
+
+        let mut buf_a = vec![0f32; 3000];
+        let mut buf_b = vec![0f32; 3000];
+        for case in 0..60 {
+            let (off, len) = random_slice_case(&mut rng, region_words);
+            let addr = PhysAddr(fast_base.0 + 4 * off as u64);
+            match case % 4 {
+                0 => {
+                    let vals: Vec<f32> =
+                        (0..len).map(|k| 50.0 + (off + k) as f32 * 0.003).collect();
+                    fast.write_f32s(addr, &vals);
+                    WordAtATime(&mut word).write_f32s(addr, &vals);
+                }
+                1 => {
+                    fast.read_f32s(addr, &mut buf_a[..len]);
+                    WordAtATime(&mut word).read_f32s(addr, &mut buf_b[..len]);
+                    for (a, b) in buf_a[..len].iter().zip(&buf_b[..len]) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "read_f32s values diverge");
+                    }
+                }
+                2 => {
+                    fast.for_each_f32_mut(addr, len, 2, &mut |k, v| v * 0.5 + k as f32);
+                    WordAtATime(&mut word)
+                        .for_each_f32_mut(addr, len, 2, &mut |k, v| v * 0.5 + k as f32);
+                }
+                _ => {
+                    // Strided walk crossing lines and blocks.
+                    let stride = 4 * (1 + (rng.next_u64() % 40));
+                    let count = len.min(500);
+                    fast.read_f32s_strided(addr, stride, &mut buf_a[..count]);
+                    WordAtATime(&mut word).read_f32s_strided(addr, stride, &mut buf_b[..count]);
+                    for (a, b) in buf_a[..count].iter().zip(&buf_b[..count]) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "strided values diverge");
+                    }
+                }
+            }
+            assert_eq!(
+                fast.counters.amat_cycles_sum, word.counters.amat_cycles_sum,
+                "{design:?} case {case}: access latencies"
+            );
+            assert_eq!(
+                fast.counters.traffic, word.counters.traffic,
+                "{design:?} case {case}: traffic"
+            );
+        }
+        // Full backing-store sweep at the end.
+        for k in 0..region_words as u64 {
+            let a = PhysAddr(fast_base.0 + 4 * k);
+            assert_eq!(fast.mem.read_u32(a), word.mem.read_u32(a), "{design:?}: mem at {a:?}");
+        }
+        let fm = fast.finish("slices");
+        let wm = word.finish("slices");
+        assert_eq!(fm.cycles, wm.cycles, "{design:?}: final cycles");
+        assert_eq!(fm.counters.instructions, wm.counters.instructions, "{design:?}: instructions");
+    }
+}
+
+#[test]
+fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_exact_vm() {
+    let mut rng = Rng(0xFEED_5EED);
+    let mut fast = ExactVm::new();
+    let mut word = ExactVm::new();
+    let region_words = (64 << 10) / 4;
+    let base = fast.approx_malloc(64 << 10, DataType::F32).base;
+    assert_eq!(base, word.approx_malloc(64 << 10, DataType::F32).base);
+
+    let mut buf_a = vec![0f32; 3000];
+    let mut buf_b = vec![0f32; 3000];
+    for case in 0..80 {
+        let (off, len) = random_slice_case(&mut rng, region_words);
+        let addr = PhysAddr(base.0 + 4 * off as u64);
+        match case % 3 {
+            0 => {
+                let vals: Vec<f32> = (0..len).map(|k| (off * 7 + k) as f32 * 0.01).collect();
+                fast.write_f32s(addr, &vals);
+                WordAtATime(&mut word).write_f32s(addr, &vals);
+            }
+            1 => {
+                fast.read_f32s(addr, &mut buf_a[..len]);
+                WordAtATime(&mut word).read_f32s(addr, &mut buf_b[..len]);
+                assert_eq!(buf_a[..len], buf_b[..len]);
+            }
+            _ => {
+                fast.for_each_f32_mut(addr, len, 1, &mut |k, v| v + (k % 13) as f32);
+                WordAtATime(&mut word)
+                    .for_each_f32_mut(addr, len, 1, &mut |k, v| v + (k % 13) as f32);
+            }
+        }
+        assert_eq!(fast.instructions, word.instructions, "case {case}: instructions");
+    }
+    for k in 0..region_words as u64 {
+        let a = PhysAddr(base.0 + 4 * k);
+        assert_eq!(fast.mem.read_u32(a), word.mem.read_u32(a), "mem at {a:?}");
+    }
+}

@@ -281,8 +281,12 @@ fn pin_arms() -> std::sync::MutexGuard<'static, ()> {
 }
 
 /// Compress `block` on every dispatch arm the CPU supports and assert each
-/// outcome is bit-identical to the reference implementation. Restores
-/// auto-dispatch before returning. Caller must hold [`ARM_PIN`].
+/// outcome is bit-identical to the reference implementation. Forcing an
+/// arm exercises its *dispatch* table — for SSE2 that is the per-kernel
+/// mix (scalar 1-D reconstruction, 128-bit everything else), so the mixed
+/// table is oracled end-to-end; the pure SSE2 1-D kernel keeps its own
+/// oracle in `avr_compress::simd::equivalence`. Restores auto-dispatch
+/// before returning. Caller must hold [`ARM_PIN`].
 fn assert_all_arms_match_reference(
     block: &BlockData,
     dt: DataType,

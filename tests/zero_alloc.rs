@@ -172,6 +172,45 @@ fn steady_state_hot_paths_do_not_allocate() {
     );
 
     // ------------------------------------------------------------------
+    // Bulk Vm API: the System fast paths (contiguous, strided, gather/
+    // scatter, fused sweep) must not allocate in steady state either —
+    // they coalesce into stack buffers and the existing access machinery.
+    // ------------------------------------------------------------------
+    let mut vals = vec![0f32; 4096];
+    let mut back = vec![0f32; 4096];
+    let mut col = vec![0f32; 256];
+    let idx: Vec<u32> = (0..256u32).map(|i| (i * 131) % 4096).collect();
+    let mut gathered = vec![0f32; 256];
+    let bulk_pass = |sys: &mut AvrSystem,
+                     vals: &mut [f32],
+                     back: &mut [f32],
+                     col: &mut [f32],
+                     gathered: &mut [f32],
+                     seed: f32| {
+        for (k, v) in vals.iter_mut().enumerate() {
+            *v = seed + k as f32 * 0.01;
+        }
+        sys.write_f32s(PhysAddr(region.base.0 + 8), vals);
+        sys.read_f32s(PhysAddr(region.base.0 + 8), back);
+        sys.read_f32s_strided(region.base, 256, col);
+        sys.write_f32s_strided(region.base, 256, col);
+        sys.write_f32s_scatter(region.base, &idx, &vals[..256]);
+        sys.read_f32s_gather(region.base, &idx, gathered);
+        sys.for_each_f32_mut(PhysAddr(region.base.0 + 1024), 2048, 2, &mut |k, v| {
+            v + (k % 3) as f32
+        });
+        for off in (0..1 << 18).step_by(64) {
+            sys.read_u32(PhysAddr(flush.base.0 + off as u64));
+        }
+    };
+    bulk_pass(&mut sys, &mut vals, &mut back, &mut col, &mut gathered, 300.0); // warm
+    bulk_pass(&mut sys, &mut vals, &mut back, &mut col, &mut gathered, 301.0);
+    let before = allocations();
+    bulk_pass(&mut sys, &mut vals, &mut back, &mut col, &mut gathered, 302.0);
+    let bulk_allocs = allocations() - before;
+    assert_eq!(bulk_allocs, 0, "steady-state bulk-API traffic allocated {bulk_allocs} times");
+
+    // ------------------------------------------------------------------
     // Parallel compression summary: each worker's block-scan loop reuses
     // its own Compressor scratch, so once all workers are warmed the whole
     // pool performs zero allocations while scanning. Barriers carve out a
