@@ -12,8 +12,12 @@
 #   ./ci.sh test-scalar   release test suite with AVR_NO_SIMD=1 — forces
 #                         the portable scalar codec arm so the non-dispatch
 #                         path can never rot
+#   ./ci.sh test-perword  release test suite with AVR_NO_BATCHED_WALK=1 —
+#                         forces the per-word timed walk (the batched span
+#                         walk's reference semantics) so the equivalence
+#                         oracle keeps running against live code
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR4.json + codec kernel smoke
+#                         committed BENCH_PR5.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Everything builds with the repo's .cargo/config.toml (host-native
@@ -60,14 +64,26 @@ test_scalar() {
     AVR_NO_SIMD=1 cargo test --release --workspace -q
 }
 
+test_perword() {
+    echo "==> cargo test --release with AVR_NO_BATCHED_WALK=1 (per-word timed walk)"
+    # Every default-constructed System runs the retained per-word walk, so
+    # the whole suite — workloads, determinism, zero-alloc, figure smoke —
+    # exercises the reference semantics the batched walk is pinned against
+    # (tests/batched_walk.rs re-enables batching explicitly on one side of
+    # its oracle, so the equivalence check itself stays meaningful here).
+    AVR_NO_BATCHED_WALK=1 cargo test --release --workspace -q
+}
+
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR4.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR5.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
     # speed cancels); the JSON is uploaded as a CI artifact. The baseline
-    # is BENCH_PR4.json — the first one measured on the bulk Vm API.
+    # is BENCH_PR5.json — measured with the batched timed walk and the
+    # scale-aware heat initial condition (both shift the trajectory, so
+    # the ROADMAP re-gate rule applies).
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR4.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR5.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
@@ -79,6 +95,7 @@ case "${1:-all}" in
     test-debug) test_debug ;;
     test-release) test_release ;;
     test-scalar) test_scalar ;;
+    test-perword) test_perword ;;
     perf) perf ;;
     quick)
         lint
@@ -89,10 +106,11 @@ case "${1:-all}" in
         test_debug
         test_release
         test_scalar
+        test_perword
         perf
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|perf|quick|all]" >&2
+        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|perf|quick|all]" >&2
         exit 2
         ;;
 esac

@@ -112,6 +112,36 @@ impl SetAssocCache {
         false
     }
 
+    /// Closed-form batch of `n` guaranteed hits to a resident line: one
+    /// tag probe, the recency clock advanced by `n`, dirty set on writes,
+    /// `n` hits counted. Bit-identical final state to `n` sequential
+    /// [`Self::access`] calls — the loop would stamp the line with each
+    /// intermediate clock value, but only the last stamp survives, so
+    /// advancing the clock once and stamping once lands on the same LRU
+    /// state (and therefore the same eviction order forever after).
+    ///
+    /// Panics if the line is not resident: the caller owns the residency
+    /// proof (in the simulator, a span's leading access just touched it).
+    pub fn access_hit_n(&mut self, line: LineAddr, n: u64, write: bool) {
+        if n == 0 {
+            return;
+        }
+        self.clock += n;
+        let clock = self.clock;
+        let tag = self.tag_of(line);
+        let set = self.set_of(line);
+        let way = self
+            .set_slice(set)
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .expect("access_hit_n: line not resident");
+        way.lru = clock;
+        if write {
+            way.dirty = true;
+        }
+        self.stats.hits += n;
+    }
+
     /// Is the line present? No LRU update, no statistics.
     pub fn contains(&self, line: LineAddr) -> bool {
         let tag = self.tag_of(line);
@@ -272,6 +302,57 @@ mod tests {
         c.insert(LineAddr(0x5678 << 2 | 0x1), false);
         let ev = c.insert(LineAddr(0x9abc << 2 | 0x1), false).unwrap();
         assert_eq!(ev.line, a);
+    }
+
+    #[test]
+    fn batched_hits_match_sequential_hits_exactly() {
+        // Interleave batched and per-access hits across two caches and
+        // assert the *entire* metadata state (tags, dirty, lru, clock,
+        // stats) stays identical — this is what pins eviction order.
+        let (a, b, d) = (LineAddr(0x0), LineAddr(0x4), LineAddr(0x8));
+        let mut seq = tiny();
+        let mut bat = tiny();
+        for c in [&mut seq, &mut bat] {
+            c.insert(a, false);
+            c.insert(b, false);
+        }
+        for _ in 0..5 {
+            seq.access(a, false);
+        }
+        bat.access_hit_n(a, 5, false);
+        for _ in 0..3 {
+            seq.access(b, true);
+        }
+        bat.access_hit_n(b, 3, true);
+        seq.access(a, false);
+        bat.access_hit_n(a, 1, false);
+        assert_eq!(seq.clock, bat.clock);
+        assert_eq!(seq.stats, bat.stats);
+        let sl: Vec<_> = seq.entries.iter().map(|w| (w.valid, w.tag, w.dirty, w.lru)).collect();
+        let bl: Vec<_> = bat.entries.iter().map(|w| (w.valid, w.tag, w.dirty, w.lru)).collect();
+        assert_eq!(sl, bl, "way metadata diverged");
+        // The LRU victim (eviction order) must agree on both.
+        let ev_s = seq.insert(d, false).expect("eviction");
+        let ev_b = bat.insert(d, false).expect("eviction");
+        assert_eq!(ev_s, ev_b);
+        assert_eq!(ev_s.line, b, "a was refreshed last (lru 11 vs 10)");
+    }
+
+    #[test]
+    fn batched_hit_marks_dirty_once() {
+        let mut c = tiny();
+        let a = LineAddr(0x3);
+        c.insert(a, false);
+        c.access_hit_n(a, 4, true);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert_eq!(c.stats.hits, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn batched_hit_requires_residency() {
+        let mut c = tiny();
+        c.access_hit_n(LineAddr(0x40), 2, false);
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub struct System {
     pub(crate) llc_line_touches: u64,
     /// Approx annotations honored? (false for Baseline/ZeroAVR)
     honor_approx: bool,
+    /// Batched span-level timed walk enabled? Defaults to on;
+    /// `AVR_NO_BATCHED_WALK=1` (or [`System::set_batched_walk`]) forces
+    /// the retained per-word reference walk.
+    batched_walk: bool,
+}
+
+/// `AVR_NO_BATCHED_WALK` disables the batched timed walk (any value but
+/// `0`/empty), mirroring `AVR_NO_SIMD` for the codec kernels.
+fn batched_walk_disabled() -> bool {
+    matches!(std::env::var("AVR_NO_BATCHED_WALK"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 impl System {
@@ -97,9 +107,35 @@ impl System {
             // helper); the documented default is 1 — grid-level
             // parallelism usually owns the cores.
             summary_threads: crate::pool::env_threads("AVR_SUMMARY_THREADS", 1),
+            batched_walk: !batched_walk_disabled(),
             design,
             cfg,
         }
+    }
+
+    /// Force (or re-enable) the batched span-level timed walk. The
+    /// per-word walk is the reference semantics; the batched walk is
+    /// bit-identical to it (`tests/batched_walk.rs` pins this), so this
+    /// knob exists for the equivalence oracle and for debugging, not for
+    /// choosing a different simulation.
+    pub fn set_batched_walk(&mut self, on: bool) {
+        self.batched_walk = on;
+    }
+
+    /// Is the batched timed walk active? (Env default:
+    /// `AVR_NO_BATCHED_WALK=1` turns it off.)
+    pub fn batched_walk(&self) -> bool {
+        self.batched_walk
+    }
+
+    /// L1 metadata statistics (diagnostics / equivalence tests).
+    pub fn l1_stats(&self) -> avr_cache::set_assoc::CacheStats {
+        self.l1.stats
+    }
+
+    /// L2 metadata statistics (diagnostics / equivalence tests).
+    pub fn l2_stats(&self) -> avr_cache::set_assoc::CacheStats {
+        self.l2.stats
     }
 
     /// Set the worker count for the end-of-run compression summary.
@@ -134,18 +170,21 @@ impl System {
     }
 
     /// The timing half of one word access: core issue, cache walk,
-    /// counters — everything except the final value movement. Splitting
-    /// the two lets the bulk fast paths run the timed walk per word (so
-    /// every cycle and traffic counter stays bit-identical to the
-    /// word-at-a-time path) while hoisting translation and moving values
-    /// with one slice copy per cacheline span.
+    /// counters — everything except the final value movement. This is the
+    /// per-word reference walk: the bulk fast paths run it for every
+    /// span's *leading* word (and for every word under
+    /// `AVR_NO_BATCHED_WALK=1`), then fold the span's remaining
+    /// guaranteed-L1-hits into the closed-form [`Self::span_hits`] batch —
+    /// cycle-exact, so every counter stays bit-identical to the
+    /// word-at-a-time path while values move as one slice copy per span.
     ///
     /// Ordering contract the bulk paths rely on: only a *miss* can touch
     /// the backing store (fetch-triggered reconstruction, truncation,
     /// dedup, eviction writeback). After the first access to a line, the
     /// line is resident in L1 and further accesses to it are pure-metadata
     /// hits — so within one cacheline span, values can be moved once,
-    /// after the first timed access, without changing anything observable.
+    /// after the first timed access, without changing anything observable,
+    /// and the hit tail can be folded without changing any counter.
     fn access_timed(&mut self, line: LineAddr, is_write: bool) {
         let t0 = self.core.issue_memory();
         if is_write {
@@ -201,14 +240,73 @@ impl System {
         })
     }
 
-    /// Timed walk of a contiguous span (all words in one line), values
-    /// handled by the caller.
+    /// Do the batched-walk preconditions hold? Beyond the enable knob, the
+    /// closed form requires an L1 hit to be a *pure* slot/counter event in
+    /// `access_timed`: hidden by the OoO window (no `complete_memory`
+    /// side effects) and below the 50-cycle miss-latency diagnostic cut.
+    /// Every shipped configuration satisfies both; an exotic one falls
+    /// back to the per-word walk rather than approximating.
+    #[inline]
+    fn batch_hits_ok(&self) -> bool {
+        self.batched_walk
+            && self.cfg.l1.latency <= self.core.hide_window()
+            && self.cfg.l1.latency <= 50
+    }
+
+    /// `n` guaranteed-L1-hit accesses to `line`. Residency is the caller's
+    /// contract: the span's leading access (a full [`Self::access_timed`])
+    /// just touched the line, so it is resident in L1 and every further
+    /// access to it is a pure-metadata hit (see the ordering contract on
+    /// `access_timed`). The closed form folds all `n` per-word walks into
+    /// one interval-core batch, one L1 tag probe and one counter update —
+    /// bit-identical to `n` per-word walks, which remain reachable via
+    /// `AVR_NO_BATCHED_WALK=1`.
+    fn span_hits(&mut self, line: LineAddr, n: u64, is_write: bool) {
+        if n == 0 {
+            return;
+        }
+        if !self.batch_hits_ok() {
+            for _ in 0..n {
+                self.access_timed(line, is_write);
+            }
+            return;
+        }
+        let lat = self.cfg.l1.latency;
+        self.core.issue_complete_short_n(n, lat);
+        if is_write {
+            self.counters.stores += n;
+        } else {
+            self.counters.loads += n;
+        }
+        self.l1.access_hit_n(line, n, is_write);
+        self.counters.l1_hits += n;
+        self.counters.amat_cycles_sum += n * lat;
+        self.counters.amat_count += n;
+    }
+
+    /// Timed walk of a same-line span — `words` contiguous words starting
+    /// at `start`, or a [`Self::line_run`] of strided/gathered elements
+    /// whose leading element is `start`: full machinery for the leading
+    /// access, closed-form hit batch for the rest.
     #[inline]
     fn span_timed(&mut self, start: PhysAddr, words: usize, is_write: bool) {
         let line = start.line();
-        for _ in 0..words {
-            self.access_timed(line, is_write);
+        self.access_timed(line, is_write);
+        self.span_hits(line, words as u64 - 1, is_write);
+    }
+
+    /// Length of the run of consecutive elements starting at `k` (of
+    /// `len` total) whose addresses all fall on element `k`'s cacheline;
+    /// `addr_of` maps element index → address. Shared by the strided and
+    /// gather/scatter fast paths so every same-line run goes through the
+    /// one [`Self::span_timed`] leading-access + hit-tail protocol.
+    fn line_run(addr_of: impl Fn(usize) -> PhysAddr, k: usize, len: usize) -> usize {
+        let line = addr_of(k).line();
+        let mut run = 1;
+        while k + run < len && addr_of(k + run).line() == line {
+            run += 1;
         }
+        run
     }
 
     fn fill_l1(&mut self, line: LineAddr, dirty: bool, now: u64) {
@@ -511,10 +609,18 @@ impl Vm for System {
     }
 
     // ------------------------------------------------------------------
-    // Bulk fast paths: one dyn dispatch per batch, translation hoisted
-    // per cacheline, per-word timed walks feeding the existing access
-    // machinery so every metric stays bit-identical to the word-at-a-time
-    // decomposition (tests/bulk_api.rs pins this per workload × design).
+    // Bulk fast paths: one dyn dispatch per batch, then two batching
+    // levels per cacheline span, both bit-identical to the word-at-a-time
+    // decomposition (tests/bulk_api.rs and tests/batched_walk.rs pin this
+    // per workload × design):
+    //
+    // * value movement — translation hoisted per span, values moved as
+    //   one slice copy;
+    // * the timed walk — the span's leading word runs the full
+    //   `access_timed` machinery, the remaining words are guaranteed L1
+    //   hits folded into closed-form core/cache/counter updates
+    //   (`span_hits`; per-word walk retained behind
+    //   `AVR_NO_BATCHED_WALK=1`).
     //
     // Value-movement ordering: within one cacheline span, only the first
     // timed access can mutate the backing store (see `access_timed`), so
@@ -561,39 +667,67 @@ impl Vm for System {
     }
 
     fn read_f32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, out: &mut [f32]) {
-        // Strided elements rarely share a line; keep the per-word order
-        // (timed then value, each element) and win by skipping the
-        // per-element dyn dispatch.
-        for (k, o) in out.iter_mut().enumerate() {
-            let a = PhysAddr(base.0 + k as u64 * stride_bytes);
-            self.access_timed(a.line(), false);
-            *o = f32::from_bits(self.mem.read_u32(a));
+        // Consecutive elements share a line whenever the stride is small
+        // (planar sub-line walks, stride-0 broadcasts): batch each
+        // same-line run like a contiguous span. Hit accesses never touch
+        // the backing store and value moves never touch timing, so
+        // hoisting the run's timed walk ahead of its value reads is
+        // unobservable (the per-word reference interleaves them).
+        let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        let mut k = 0;
+        while k < out.len() {
+            let run = Self::line_run(addr_of, k, out.len());
+            self.span_timed(addr_of(k), run, false);
+            for (j, o) in out[k..k + run].iter_mut().enumerate() {
+                *o = f32::from_bits(self.mem.read_u32(addr_of(k + j)));
+            }
+            k += run;
         }
     }
 
     fn write_f32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, vals: &[f32]) {
-        for (k, v) in vals.iter().enumerate() {
-            let a = PhysAddr(base.0 + k as u64 * stride_bytes);
-            self.access_timed(a.line(), true);
-            self.mem.write_u32(a, v.to_bits());
+        let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        let mut k = 0;
+        while k < vals.len() {
+            let run = Self::line_run(addr_of, k, vals.len());
+            self.span_timed(addr_of(k), run, true);
+            for (j, v) in vals[k..k + run].iter().enumerate() {
+                self.mem.write_u32(addr_of(k + j), v.to_bits());
+            }
+            k += run;
         }
     }
 
     fn read_f32s_gather(&mut self, base: PhysAddr, idx: &[u32], out: &mut [f32]) {
         assert_eq!(idx.len(), out.len(), "gather index/output shapes must match");
-        for (i, o) in idx.iter().zip(out.iter_mut()) {
-            let a = PhysAddr(base.0 + 4 * *i as u64);
-            self.access_timed(a.line(), false);
-            *o = f32::from_bits(self.mem.read_u32(a));
+        // Gathers over clustered index sets (plane walks, stencil
+        // neighborhoods) visit the same line many times in a row —
+        // including duplicate indices; batch each same-line run.
+        let addr_of = |j: usize| PhysAddr(base.0 + 4 * idx[j] as u64);
+        let mut k = 0;
+        while k < idx.len() {
+            let run = Self::line_run(addr_of, k, idx.len());
+            self.span_timed(addr_of(k), run, false);
+            for j in k..k + run {
+                out[j] = f32::from_bits(self.mem.read_u32(addr_of(j)));
+            }
+            k += run;
         }
     }
 
     fn write_f32s_scatter(&mut self, base: PhysAddr, idx: &[u32], vals: &[f32]) {
         assert_eq!(idx.len(), vals.len(), "scatter index/value shapes must match");
-        for (i, v) in idx.iter().zip(vals.iter()) {
-            let a = PhysAddr(base.0 + 4 * *i as u64);
-            self.access_timed(a.line(), true);
-            self.mem.write_u32(a, v.to_bits());
+        let addr_of = |j: usize| PhysAddr(base.0 + 4 * idx[j] as u64);
+        let mut k = 0;
+        while k < idx.len() {
+            let run = Self::line_run(addr_of, k, idx.len());
+            self.span_timed(addr_of(k), run, true);
+            // Value writes stay in element order: duplicate indices keep
+            // last-write-wins semantics exactly like the per-word loop.
+            for j in k..k + run {
+                self.mem.write_u32(addr_of(j), vals[j].to_bits());
+            }
+            k += run;
         }
     }
 
@@ -617,16 +751,60 @@ impl Vm for System {
             // splice because nothing reads the backing store in between.
             self.access_timed(line, false);
             self.mem.read_words_f32(start, &mut old[..m]);
-            for k in 0..m {
-                if k > 0 {
-                    self.access_timed(line, false);
-                }
-                new[k] = f(done + k, old[k]);
+            if self.batch_hits_ok() {
+                // Per-word order is R0 C0 W0 R1 C1 W1 …; everything after
+                // R0 is an L1 hit. The one order-sensitive event is MSHR
+                // back-pressure, which can only fire at the first issue
+                // after R0 — that is W0, and it must see the cycle count
+                // *after* element 0's compute — so: compute, then one
+                // closed-form batch of the 2m-1 remaining hits (W0 plus
+                // m-1 R/W pairs), then the m-1 remaining computes (slot
+                // draining is an integer carry; the fold commutes).
+                new[0] = f(done, old[0]);
                 self.core.compute(compute_per_value);
-                self.access_timed(line, true);
+                let hits = 2 * m as u64 - 1;
+                let lat = self.cfg.l1.latency;
+                self.core.issue_complete_short_n(hits, lat);
+                self.core.compute(compute_per_value * (m as u64 - 1));
+                for k in 1..m {
+                    new[k] = f(done + k, old[k]);
+                }
+                self.counters.loads += m as u64 - 1;
+                self.counters.stores += m as u64;
+                self.l1.access_hit_n(line, hits, true);
+                self.counters.l1_hits += hits;
+                self.counters.amat_cycles_sum += hits * lat;
+                self.counters.amat_count += hits;
+            } else {
+                for k in 0..m {
+                    if k > 0 {
+                        self.access_timed(line, false);
+                    }
+                    new[k] = f(done + k, old[k]);
+                    self.core.compute(compute_per_value);
+                    self.access_timed(line, true);
+                }
             }
             self.mem.write_words_f32(start, &new[..m]);
             done += m;
+        }
+    }
+
+    fn read_i32s(&mut self, addr: PhysAddr, out: &mut [i32]) {
+        let mut done = 0;
+        for (start, n) in Self::line_spans(addr, out.len()) {
+            self.span_timed(start, n, false);
+            self.mem.read_words_i32(start, &mut out[done..done + n]);
+            done += n;
+        }
+    }
+
+    fn write_i32s(&mut self, addr: PhysAddr, vals: &[i32]) {
+        let mut done = 0;
+        for (start, n) in Self::line_spans(addr, vals.len()) {
+            self.span_timed(start, n, true);
+            self.mem.write_words_i32(start, &vals[done..done + n]);
+            done += n;
         }
     }
 }

@@ -37,6 +37,24 @@
 //!   checked against the word-at-a-time reference on the same workload
 //!   (`tests/bulk_api.rs` pins cycles, traffic and output bits for every
 //!   workload × design).
+//!
+//! # Two-level batching in the timed implementation
+//!
+//! The timed [`crate::System`] serves a bulk call with **two** independent
+//! batching levels, both bit-identical to the per-word decomposition:
+//!
+//! 1. **Value movement** (since the bulk API landed): translation is
+//!    hoisted per cacheline span and the span's values move as one slice
+//!    copy, legal because only a span's *leading* access can rewrite the
+//!    backing store (fetch-triggered reconstruction/truncation/dedup).
+//! 2. **The timed walk itself**: after the leading access, every further
+//!    word of the span is by construction a pure-metadata L1 hit, so the
+//!    remaining `n-1` accesses fold into closed-form updates of the
+//!    interval core (`IntervalCore::issue_complete_short_n`), the L1
+//!    recency state (`SetAssocCache::access_hit_n`) and the counters —
+//!    cycle-exact against the per-word walk, which is retained behind the
+//!    `AVR_NO_BATCHED_WALK=1` escape hatch (and a CI matrix leg) so the
+//!    equivalence oracle keeps running against real code forever.
 
 use avr_sim::vm::{AddressSpace, PhysMem, Region};
 use avr_types::{DataType, PhysAddr};
@@ -102,6 +120,24 @@ pub trait Vm {
     fn write_f32s(&mut self, addr: PhysAddr, vals: &[f32]) {
         for (k, v) in vals.iter().enumerate() {
             self.write_f32(PhysAddr(addr.0 + 4 * k as u64), *v);
+        }
+    }
+
+    /// Timed load of `out.len()` consecutive i32 values starting at `addr`
+    /// — bit-pattern identical to [`Vm::read_u32s`] (the Fixed32/Q16.16
+    /// consumers' view, so fixed-point workloads get the same bulk fast
+    /// paths as the float ones).
+    fn read_i32s(&mut self, addr: PhysAddr, out: &mut [i32]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.read_u32(PhysAddr(addr.0 + 4 * k as u64)) as i32;
+        }
+    }
+
+    /// Timed store of `vals.len()` consecutive i32 values starting at
+    /// `addr` — bit-pattern identical to [`Vm::write_u32s`].
+    fn write_i32s(&mut self, addr: PhysAddr, vals: &[i32]) {
+        for (k, v) in vals.iter().enumerate() {
+            self.write_u32(PhysAddr(addr.0 + 4 * k as u64), *v as u32);
         }
     }
 
@@ -269,6 +305,16 @@ impl Vm for ExactVm {
     fn write_f32s(&mut self, addr: PhysAddr, vals: &[f32]) {
         self.instructions += vals.len() as u64;
         self.mem.write_words_f32(addr, vals);
+    }
+
+    fn read_i32s(&mut self, addr: PhysAddr, out: &mut [i32]) {
+        self.instructions += out.len() as u64;
+        self.mem.read_words_i32(addr, out);
+    }
+
+    fn write_i32s(&mut self, addr: PhysAddr, vals: &[i32]) {
+        self.instructions += vals.len() as u64;
+        self.mem.write_words_i32(addr, vals);
     }
 
     fn read_f32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, out: &mut [f32]) {

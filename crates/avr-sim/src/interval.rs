@@ -110,6 +110,51 @@ impl IntervalCore {
         self.cycles
     }
 
+    /// Closed-form batch of `n` *short* memory accesses (all at `latency`
+    /// cycles, within the OoO hide window): bit-identical evolution of
+    /// `cycles`, `instructions`, `slot_backlog`, `stall_cycles` and the
+    /// outstanding-miss set to `n` sequential
+    /// [`Self::issue_memory`]/[`Self::complete_memory`] pairs.
+    ///
+    /// Why the closed form is exact:
+    ///
+    /// * a short access's `complete_memory` is a no-op (it returns inside
+    ///   the hide window and never enqueues), so the outstanding set can
+    ///   only *shrink* across the batch — MSHR back-pressure can therefore
+    ///   fire at most once, at the batch's first issue, which runs through
+    ///   the full single-access path below;
+    /// * dispatch-slot draining is an integer carry
+    ///   (`cycles += backlog / width; backlog %= width`), so folding the
+    ///   remaining `n-1` slots in one step lands on the same
+    ///   (`cycles`, `backlog`) as draining them one at a time;
+    /// * retirement (`pop` completions `<= cycles`) is monotone in
+    ///   `cycles`, so retiring once at the batch's final cycle pops
+    ///   exactly the entries the per-access loop would have popped by
+    ///   then.
+    pub fn issue_complete_short_n(&mut self, n: u64, latency: u64) {
+        assert!(
+            latency <= self.hide_window,
+            "issue_complete_short_n is for hidden accesses (latency {latency} > window {})",
+            self.hide_window
+        );
+        if n == 0 {
+            return;
+        }
+        // First access: full single-access semantics (the only issue in the
+        // batch that can observe MSHR pressure). Its completion is hidden,
+        // so `complete_memory` would change nothing.
+        let _ = self.issue_memory();
+        let rest = n - 1;
+        if rest > 0 {
+            self.instructions += rest;
+            self.slot_backlog += rest;
+            self.drain_slots();
+            while self.outstanding.front().is_some_and(|&t| t <= self.cycles) {
+                self.outstanding.pop_front();
+            }
+        }
+    }
+
     /// Account a completed memory access issued at `issued` (from
     /// [`Self::issue_memory`]) that finishes at absolute cycle `completion`.
     pub fn complete_memory(&mut self, issued: u64, completion: u64) {
@@ -254,6 +299,78 @@ mod tests {
         c.complete_memory(t2, t2 + 1000);
         c.drain();
         assert!(c.cycles >= t2 + 1000 - 33);
+    }
+
+    /// Full-state equality for the closed-form batch: every field that can
+    /// influence any future decision, including the outstanding queue and
+    /// the sub-cycle slot backlog.
+    fn assert_same_state(a: &IntervalCore, b: &IntervalCore, ctx: &str) {
+        assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
+        assert_eq!(a.instructions, b.instructions, "{ctx}: instructions");
+        assert_eq!(a.slot_backlog, b.slot_backlog, "{ctx}: slot_backlog");
+        assert_eq!(a.stall_cycles, b.stall_cycles, "{ctx}: stall_cycles");
+        assert_eq!(a.leading_misses, b.leading_misses, "{ctx}: leading misses");
+        assert_eq!(a.trailing_misses, b.trailing_misses, "{ctx}: trailing misses");
+        assert_eq!(a.last_long_miss_instr, b.last_long_miss_instr, "{ctx}: last long miss");
+        assert_eq!(a.outstanding, b.outstanding, "{ctx}: outstanding set");
+    }
+
+    #[test]
+    fn batched_short_accesses_match_sequential_exactly() {
+        // Sweep batch sizes, backlog phases and latencies; both cores see
+        // the identical instruction stream.
+        for lat in [1u64, 4, 31] {
+            for phase in 0..4u64 {
+                for n in [1u64, 2, 3, 15, 16, 17, 100] {
+                    let mut seq = core();
+                    let mut bat = core();
+                    seq.compute(phase);
+                    bat.compute(phase);
+                    for _ in 0..n {
+                        let t = seq.issue_memory();
+                        seq.complete_memory(t, t + lat);
+                    }
+                    bat.issue_complete_short_n(n, lat);
+                    assert_same_state(&seq, &bat, &format!("lat={lat} phase={phase} n={n}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_short_accesses_match_under_outstanding_misses() {
+        // Queue a long miss (and a full-MSHR variant) before the batch so
+        // the batch's first issue must handle retirement and back-pressure
+        // exactly like the loop.
+        for pending in [1usize, 8] {
+            let mut seq = core();
+            let mut bat = core();
+            for c in [&mut seq, &mut bat] {
+                for i in 0..pending {
+                    let t = c.issue_memory();
+                    c.complete_memory(t, t + 400 + 10 * i as u64);
+                }
+            }
+            for _ in 0..50 {
+                let t = seq.issue_memory();
+                seq.complete_memory(t, t + 1);
+            }
+            bat.issue_complete_short_n(50, 1);
+            assert_same_state(&seq, &bat, &format!("pending={pending}"));
+            // And the next long miss after the batch behaves identically.
+            let ts = seq.issue_memory();
+            seq.complete_memory(ts, ts + 300);
+            let tb = bat.issue_memory();
+            bat.complete_memory(tb, tb + 300);
+            assert_same_state(&seq, &bat, &format!("pending={pending}, post-miss"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden accesses")]
+    fn batched_short_accesses_reject_long_latency() {
+        let mut c = core();
+        c.issue_complete_short_n(4, 33); // hide window is 32
     }
 
     #[test]

@@ -3,25 +3,63 @@
 //! approximates "Temps"; output is also temperatures). The temperature
 //! field is spatially smooth, which is why the paper sees a 10.5:1
 //! compression ratio and an ~8× footprint reduction.
+//!
+//! The initial condition is `BenchScale`-aware (the sobel/fft treatment,
+//! ROADMAP PR-3): a 1 KB block is 256 consecutive f32 values regardless of
+//! grid size, so the 96-px tiny grid packs ~2.7 *rows* per block where the
+//! 928-px bench grid packs a third of one row — the tiny field's per-pixel
+//! gradients are ~10× steeper against the same fixed block granularity,
+//! and the hard `x == 0` hot-wall jump (500 vs. ~20) lands inside *every*
+//! tiny block instead of one block in four. Both together made 100 % of
+//! tiny blocks outlier-incompressible, so smoke runs never exercised the
+//! compressor path. The tiny scale therefore softens the per-pixel
+//! profile: gentler spot amplitudes and an exponentially tapered west
+//! wall (same 500-peak, decay length ≫ the 16-value anchor stride). The
+//! bench-scale field is bit-identical to what it always was (`wall_taper
+//! = 0` takes the exact hard-wall branch).
 
 use crate::runner::{BenchScale, Workload};
 use avr_core::Vm;
 use avr_types::{DataType, PhysAddr};
+
+/// Cool-plate base temperature.
+const PLATE: f32 = 20.0;
+/// West-wall peak temperature.
+const WALL: f32 = 500.0;
 
 /// The heat-diffusion benchmark.
 pub struct Heat {
     pub width: usize,
     pub height: usize,
     pub iters: usize,
+    /// Gaussian hot-spot amplitudes (scale-aware; see module docs).
+    pub spot_amp: (f32, f32),
+    /// West-wall profile: `0` = the paper-style hard `x == 0` wall at
+    /// `WALL` (bench); `> 0` = exponential taper with this pixel decay
+    /// length (tiny — smooth at the fixed 1 KB block granularity).
+    pub wall_taper: f32,
 }
 
 impl Heat {
     pub fn at_scale(scale: BenchScale) -> Self {
         match scale {
-            BenchScale::Tiny => Heat { width: 96, height: 96, iters: 4 },
+            // Spot amplitudes ×0.15 and a 48-px wall taper land tiny
+            // blocks *astride* the outlier threshold (diag_compressibility:
+            // a healthy compressible fraction with real outliers left), so
+            // smoke runs exercise compression, outlier packing and the
+            // failure path alike.
+            BenchScale::Tiny => {
+                Heat { width: 96, height: 96, iters: 4, spot_amp: (67.5, 45.0), wall_taper: 48.0 }
+            }
             // ~6.8 MB of approximable grids against the 1 MB per-core LLC
             // share: footprint >> LLC, like the paper's 8.2 MB/core.
-            BenchScale::Bench => Heat { width: 928, height: 928, iters: 4 },
+            BenchScale::Bench => Heat {
+                width: 928,
+                height: 928,
+                iters: 4,
+                spot_amp: (450.0, 300.0),
+                wall_taper: 0.0,
+            },
         }
     }
 
@@ -57,14 +95,16 @@ impl Workload for Heat {
                     let d2 = (xf - cx).powi(2) + (yf - cy).powi(2);
                     amp * (-d2 / (2.0 * s * s)).exp()
                 };
-                // Spot widths scale with the grid so the field stays smooth
-                // relative to the fixed 1 KB block granularity (as the
-                // paper's 8.2 MB/core grids are).
-                let mut v = 20.0;
-                v += spot(w as f32 * 0.3, h as f32 * 0.4, w as f32 * 0.3, 450.0);
-                v += spot(w as f32 * 0.7, h as f32 * 0.65, w as f32 * 0.35, 300.0);
-                if x == 0 {
-                    v = 500.0;
+                // Spot *widths* scale with the grid; the amplitudes and
+                // the wall profile are the scale-aware knobs (see module
+                // docs — bench takes the exact pre-knob computation).
+                let mut v = PLATE;
+                v += spot(w as f32 * 0.3, h as f32 * 0.4, w as f32 * 0.3, self.spot_amp.0);
+                v += spot(w as f32 * 0.7, h as f32 * 0.65, w as f32 * 0.35, self.spot_amp.1);
+                if self.wall_taper > 0.0 {
+                    v += (WALL - PLATE) * (-xf / self.wall_taper).exp();
+                } else if x == 0 {
+                    v = WALL;
                 }
                 *t = v;
             }

@@ -48,6 +48,21 @@ fn bulk_fast_paths_match_word_at_a_time_for_every_workload_and_design() {
                 fast.counters.llc_misses_total, word.counters.llc_misses_total,
                 "{ctx}: LLC misses"
             );
+            // The batched span walk folds L1 hits into closed-form core
+            // and recency updates; these pins are what make it an
+            // *optimization* instead of a model change.
+            assert_eq!(
+                fast_sys.core_diag(),
+                word_sys.core_diag(),
+                "{ctx}: (leading, trailing, stall) misses"
+            );
+            assert_eq!(
+                fast.counters.amat_cycles_sum, word.counters.amat_cycles_sum,
+                "{ctx}: AMAT cycle sum"
+            );
+            assert_eq!(fast.counters.amat_count, word.counters.amat_count, "{ctx}: AMAT count");
+            assert_eq!(fast_sys.l1_stats(), word_sys.l1_stats(), "{ctx}: L1 hit/miss/evictions");
+            assert_eq!(fast_sys.l2_stats(), word_sys.l2_stats(), "{ctx}: L2 hit/miss/evictions");
             assert_eq!(
                 fast.compression_ratio.to_bits(),
                 word.compression_ratio.to_bits(),
@@ -107,10 +122,10 @@ fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_system() {
 
         let mut buf_a = vec![0f32; 3000];
         let mut buf_b = vec![0f32; 3000];
-        for case in 0..60 {
+        for case in 0..90 {
             let (off, len) = random_slice_case(&mut rng, region_words);
             let addr = PhysAddr(fast_base.0 + 4 * off as u64);
-            match case % 4 {
+            match case % 6 {
                 0 => {
                     let vals: Vec<f32> =
                         (0..len).map(|k| 50.0 + (off + k) as f32 * 0.003).collect();
@@ -129,15 +144,52 @@ fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_system() {
                     WordAtATime(&mut word)
                         .for_each_f32_mut(addr, len, 2, &mut |k, v| v * 0.5 + k as f32);
                 }
-                _ => {
-                    // Strided walk crossing lines and blocks.
-                    let stride = 4 * (1 + (rng.next_u64() % 40));
+                3 => {
+                    // Strided walk: strides 0..160 B cover same-line runs,
+                    // line-interior hops and line/block crossings.
+                    let stride = 4 * (rng.next_u64() % 41);
                     let count = len.min(500);
                     fast.read_f32s_strided(addr, stride, &mut buf_a[..count]);
                     WordAtATime(&mut word).read_f32s_strided(addr, stride, &mut buf_b[..count]);
                     for (a, b) in buf_a[..count].iter().zip(&buf_b[..count]) {
                         assert_eq!(a.to_bits(), b.to_bits(), "strided values diverge");
                     }
+                }
+                4 => {
+                    // Gather/scatter over clustered indices with repeats:
+                    // long same-line runs with duplicate elements inside.
+                    let count = len.min(400);
+                    let idx: Vec<u32> = (0..count)
+                        .map(|k| {
+                            let cluster = (k / 7) * 5;
+                            (cluster + (rng.next_u64() as usize % 3)) as u32 % region_words as u32
+                        })
+                        .collect();
+                    let vals: Vec<f32> = (0..count).map(|k| -4.0 + (k as f32) * 0.125).collect();
+                    fast.write_f32s_scatter(addr, &idx, &vals);
+                    WordAtATime(&mut word).write_f32s_scatter(addr, &idx, &vals);
+                    fast.read_f32s_gather(addr, &idx, &mut buf_a[..count]);
+                    WordAtATime(&mut word).read_f32s_gather(addr, &idx, &mut buf_b[..count]);
+                    for (a, b) in buf_a[..count].iter().zip(&buf_b[..count]) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "gather values diverge");
+                    }
+                }
+                _ => {
+                    // Integer aliases: u32 and the bit-pattern-identical
+                    // i32 view over the same bytes.
+                    let count = len.min(800);
+                    let words: Vec<u32> =
+                        (0..count).map(|k| (off + k) as u32 * 0x9E37 + 11).collect();
+                    fast.write_u32s(addr, &words);
+                    WordAtATime(&mut word).write_u32s(addr, &words);
+                    let mut ia = vec![0i32; count];
+                    let mut ib = vec![0i32; count];
+                    fast.read_i32s(addr, &mut ia);
+                    WordAtATime(&mut word).read_i32s(addr, &mut ib);
+                    assert_eq!(ia, ib, "read_i32s values diverge");
+                    let ivals: Vec<i32> = words.iter().map(|w| !w as i32).collect();
+                    fast.write_i32s(addr, &ivals);
+                    WordAtATime(&mut word).write_i32s(addr, &ivals);
                 }
             }
             assert_eq!(
@@ -147,6 +199,11 @@ fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_system() {
             assert_eq!(
                 fast.counters.traffic, word.counters.traffic,
                 "{design:?} case {case}: traffic"
+            );
+            assert_eq!(
+                fast.core_diag(),
+                word.core_diag(),
+                "{design:?} case {case}: core diagnostics"
             );
         }
         // Full backing-store sweep at the end.
@@ -158,6 +215,66 @@ fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_system() {
         let wm = word.finish("slices");
         assert_eq!(fm.cycles, wm.cycles, "{design:?}: final cycles");
         assert_eq!(fm.counters.instructions, wm.counters.instructions, "{design:?}: instructions");
+    }
+}
+
+/// Hand-picked adversarial spans for the batched hit walk: every shape
+/// where "the rest of the span is a guaranteed L1 hit" could plausibly go
+/// wrong — single words, exact-line spans, line-straddling unaligned
+/// spans, same-line gathers with duplicates, stride-0 broadcasts and
+/// sub-line strides whose runs end exactly at a line boundary.
+#[test]
+fn adversarial_same_line_cross_line_and_unaligned_spans_match_per_word() {
+    let cfg = SystemConfig::tiny();
+    for design in DesignKind::ALL {
+        let mut fast = System::new(cfg.clone(), design);
+        let mut word = System::new(cfg.clone(), design);
+        let base = fast.approx_malloc(32 << 10, DataType::F32).base;
+        assert_eq!(base, word.approx_malloc(32 << 10, DataType::F32).base);
+
+        let drive = |vm: &mut dyn Vm| {
+            let one = [1.5f32];
+            vm.write_f32s(base, &one); // 1-word span
+            let line16: Vec<f32> = (0..16).map(|k| k as f32).collect();
+            vm.write_f32s(base, &line16); // exactly one line
+            let vals30: Vec<f32> = (0..30).map(|k| 0.5 * k as f32).collect();
+            vm.write_f32s(PhysAddr(base.0 + 4 * 13), &vals30); // 3-13-14 split
+            let mut buf = vec![0f32; 33];
+            vm.read_f32s(PhysAddr(base.0 + 60), &mut buf); // last word of a line first
+                                                           // Same-line gather with duplicates (runs of length idx.len()).
+            let idx = [5u32, 5, 6, 5, 7, 7, 5, 6];
+            let mut g = [0f32; 8];
+            vm.read_f32s_gather(base, &idx, &mut g);
+            vm.write_f32s_scatter(base, &idx, &g);
+            // Stride 0: every element is the same word.
+            let mut bcast = [0f32; 40];
+            vm.read_f32s_strided(PhysAddr(base.0 + 8), 0, &mut bcast);
+            // Stride 8 B from mid-line: runs end exactly at line boundaries.
+            let mut hop = [0f32; 64];
+            vm.read_f32s_strided(PhysAddr(base.0 + 32), 8, &mut hop);
+            // for_each over a line-interior window.
+            vm.for_each_f32_mut(PhysAddr(base.0 + 4 * 7), 21, 3, &mut |k, v| v + k as f32);
+        };
+        drive(&mut fast);
+        drive(&mut WordAtATime(&mut word));
+
+        assert_eq!(fast.core_diag(), word.core_diag(), "{design:?}: core diagnostics");
+        let fm = fast.finish("adversarial");
+        let wm = word.finish("adversarial");
+        assert_eq!(fm.cycles, wm.cycles, "{design:?}: cycles");
+        assert_eq!(fm.counters.loads, wm.counters.loads, "{design:?}: loads");
+        assert_eq!(fm.counters.stores, wm.counters.stores, "{design:?}: stores");
+        assert_eq!(fm.counters.l1_hits, wm.counters.l1_hits, "{design:?}: L1 hits");
+        assert_eq!(
+            fm.counters.amat_cycles_sum, wm.counters.amat_cycles_sum,
+            "{design:?}: AMAT sum"
+        );
+        assert_eq!(fm.counters.amat_count, wm.counters.amat_count, "{design:?}: AMAT count");
+        assert_eq!(fast.l1_stats(), word.l1_stats(), "{design:?}: L1 stats");
+        for k in 0..(32 << 10) / 4u64 {
+            let a = PhysAddr(base.0 + 4 * k);
+            assert_eq!(fast.mem.read_u32(a), word.mem.read_u32(a), "{design:?}: mem at {a:?}");
+        }
     }
 }
 
@@ -194,6 +311,17 @@ fn partial_unaligned_and_cross_block_slices_match_per_word_loops_on_exact_vm() {
         }
         assert_eq!(fast.instructions, word.instructions, "case {case}: instructions");
     }
+    // The i32 aliases on ExactVm: bit-pattern identical to the u32 view.
+    let ivals: Vec<i32> = (0..500).map(|k| k * 7919 - 250_000).collect();
+    fast.write_i32s(PhysAddr(base.0 + 12), &ivals);
+    WordAtATime(&mut word).write_i32s(PhysAddr(base.0 + 12), &ivals);
+    let mut ia = vec![0i32; 500];
+    let mut ib = vec![0i32; 500];
+    fast.read_i32s(PhysAddr(base.0 + 12), &mut ia);
+    WordAtATime(&mut word).read_i32s(PhysAddr(base.0 + 12), &mut ib);
+    assert_eq!(ia, ivals);
+    assert_eq!(ib, ivals);
+    assert_eq!(fast.instructions, word.instructions, "i32 alias instructions");
     for k in 0..region_words as u64 {
         let a = PhysAddr(base.0 + 4 * k);
         assert_eq!(fast.mem.read_u32(a), word.mem.read_u32(a), "mem at {a:?}");

@@ -36,21 +36,22 @@ fn fixed_point_region_survives_a_full_system_round_trip() {
     let n = 32 * 1024usize;
     let r = sys.approx_malloc(4 * n, DataType::Fixed32);
 
-    // A smooth sensor-style Q16.16 signal.
-    for i in 0..n as u64 {
-        let v = 1000.0 + (i as f64) * 0.01;
-        sys.write_u32(PhysAddr(r.base.0 + 4 * i), to_q16(v));
-    }
+    // A smooth sensor-style Q16.16 signal, stored through the i32 bulk
+    // alias (the Fixed32 consumers' natural type).
+    let signal: Vec<i32> = (0..n).map(|i| to_q16(1000.0 + (i as f64) * 0.01) as i32).collect();
+    sys.write_i32s(r.base, &signal);
     // Flush the hierarchy so blocks compress on eviction.
     let scratch = sys.malloc(256 << 10);
     for off in (0..256 << 10).step_by(64) {
         sys.read_u32(PhysAddr(scratch.base.0 + off as u64));
     }
-    // Read back: values within T1 of the originals.
+    // Read back in bulk: values within T1 of the originals.
+    let mut back = vec![0i32; n];
+    sys.read_i32s(r.base, &mut back);
     let mut worst = 0.0f64;
-    for i in 0..n as u64 {
+    for (i, &raw) in back.iter().enumerate() {
         let expect = 1000.0 + (i as f64) * 0.01;
-        let got = from_q16(sys.read_u32(PhysAddr(r.base.0 + 4 * i)));
+        let got = from_q16(raw as u32);
         worst = worst.max(((got - expect) / expect).abs());
     }
     assert!(worst <= 0.02 + 1e-6, "worst fixed-point error {worst}");
