@@ -16,8 +16,13 @@
 #                         forces the per-word timed walk (the batched span
 #                         walk's reference semantics) so the equivalence
 #                         oracle keeps running against live code
+#   ./ci.sh test-relaxed  release test suite with AVR_BACKEND=relaxed —
+#                         every default-constructed System runs on the
+#                         fault-injecting relaxed-refresh DRAM backend at
+#                         its default rates, so the graceful-degradation
+#                         and criticality-protection paths can never rot
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR5.json + codec kernel smoke
+#                         committed BENCH_PR6.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Everything builds with the repo's .cargo/config.toml (host-native
@@ -74,16 +79,28 @@ test_perword() {
     AVR_NO_BATCHED_WALK=1 cargo test --release --workspace -q
 }
 
+test_relaxed() {
+    echo "==> cargo test --release with AVR_BACKEND=relaxed (fault-injecting DRAM)"
+    # The error-model override applies to every System whose config does
+    # not pin a backend, so the whole suite — workloads, determinism,
+    # zero-alloc, figure smoke — runs with retention faults injected at
+    # the default rates. Codec-band tests pin the exact backend
+    # explicitly (device faults are not codec error); the dedicated
+    # fault-injection harness pins the faulty backends and so runs
+    # identically in every leg.
+    AVR_BACKEND=relaxed cargo test --release --workspace -q
+}
+
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR5.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR6.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
-    # speed cancels); the JSON is uploaded as a CI artifact. The baseline
-    # is BENCH_PR5.json — measured with the batched timed walk and the
-    # scale-aware heat initial condition (both shift the trajectory, so
-    # the ROADMAP re-gate rule applies).
+    # speed cancels), and hard-fails on workload/backend set drift; the
+    # JSON is uploaded as a CI artifact. The baseline is BENCH_PR6.json —
+    # first trajectory measured through the pluggable DramBackend trait,
+    # with the backend axis recorded (the ROADMAP re-gate rule applies).
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR5.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR6.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
@@ -96,6 +113,7 @@ case "${1:-all}" in
     test-release) test_release ;;
     test-scalar) test_scalar ;;
     test-perword) test_perword ;;
+    test-relaxed) test_relaxed ;;
     perf) perf ;;
     quick)
         lint
@@ -107,10 +125,11 @@ case "${1:-all}" in
         test_release
         test_scalar
         test_perword
+        test_relaxed
         perf
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|perf|quick|all]" >&2
+        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|test-relaxed|perf|quick|all]" >&2
         exit 2
         ;;
 esac

@@ -30,15 +30,25 @@
 //!   path getting slower — which is what a committed-baseline gate can
 //!   actually detect across machines. A uniform drift beyond the budget is
 //!   reported loudly but does not fail the gate. Workloads are paired
-//!   **by name**: entries present on only one side (a PR adding or
-//!   retiring a workload) are excluded from the calibrated comparison
-//!   with a loud warning, and a baseline entry of 0 blocks/s fails the
-//!   gate as a corrupt trajectory file instead of being divided by.
+//!   **by name**: an entry present on only one side (a PR adding or
+//!   retiring a workload without regenerating the baseline) **fails the
+//!   gate** — set drift means the committed trajectory no longer describes
+//!   the suite, so the fix is to commit the next `BENCH_PRn.json`, never
+//!   to let the gate skip quietly. The device error-model **backend set**
+//!   (see below) is held to the same standard. A baseline entry of
+//!   0 blocks/s fails the gate as a corrupt trajectory file instead of
+//!   being divided by.
 //!
 //! The Table 4 sweep (all nine workloads × AVR) is also timed on one
 //! thread vs. the pool so the engine's scaling is part of the record.
+//!
+//! Each section also carries a **backend axis**: the nine-workload × AVR
+//! grid re-run under every device error-model backend (exact, relaxed
+//! DRAM, approximate MRAM) at that backend's default fault rates,
+//! recording aggregate blocks/s plus the injected-fault/degradation
+//! counters — the robustness trajectory next to the throughput one.
 
-use avr_core::{DesignKind, SimPool, SystemConfig};
+use avr_core::{BackendKind, DesignKind, SimPool, SystemConfig};
 use avr_workloads::{all_benchmarks, run_grid, run_on_design, BenchScale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -65,10 +75,29 @@ struct SweepTiming {
     pooled_ms: f64,
 }
 
+/// One error-model backend's aggregate grid throughput and fault record.
+struct BackendRate {
+    backend: &'static str,
+    sim_blocks: u64,
+    wall_ms: f64,
+    injected_bit_flips: u64,
+    faulted_lines: u64,
+    retries: u64,
+    degraded_lines: u64,
+    ecc_scrubs: u64,
+}
+
+impl BackendRate {
+    fn blocks_per_sec(&self) -> f64 {
+        self.sim_blocks as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+}
+
 struct Section {
     scale_label: &'static str,
     workloads: Vec<WorkloadRate>,
     sweep: SweepTiming,
+    backends: Vec<BackendRate>,
 }
 
 fn config_for(scale: BenchScale) -> SystemConfig {
@@ -154,6 +183,44 @@ fn measure_sweep(
     SweepTiming { pool_threads, single_thread_ms, pooled_ms }
 }
 
+/// Run the nine-workload × AVR grid once per error-model backend at the
+/// backend's default fault rates, recording aggregate throughput and the
+/// fault/degradation counters the run accumulated.
+fn measure_backends(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<BackendRate> {
+    let designs = [DesignKind::Avr];
+    BackendKind::ALL
+        .iter()
+        .map(|&kind| {
+            let cfg = cfg.clone().with_backend(kind);
+            let t0 = Instant::now();
+            let grid = run_grid(&SimPool::new(1), suite, &cfg, &designs);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut r = BackendRate {
+                backend: kind.label(),
+                sim_blocks: 0,
+                wall_ms,
+                injected_bit_flips: 0,
+                faulted_lines: 0,
+                retries: 0,
+                degraded_lines: 0,
+                ecc_scrubs: 0,
+            };
+            for e in &grid {
+                let m = &e.metrics;
+                r.sim_blocks +=
+                    m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
+                let f = &m.counters.faults;
+                r.injected_bit_flips += f.injected_bit_flips;
+                r.faulted_lines += f.faulted_lines;
+                r.retries += f.retries;
+                r.degraded_lines += f.degraded_lines;
+                r.ecc_scrubs += f.ecc_scrubs;
+            }
+            r
+        })
+        .collect()
+}
+
 fn measure_section(
     scale: BenchScale,
     label: &'static str,
@@ -166,6 +233,7 @@ fn measure_section(
         scale_label: label,
         workloads: measure_workloads(&suite, &cfg, reps),
         sweep: measure_sweep(&suite, &cfg, pool_threads),
+        backends: measure_backends(&suite, &cfg),
     }
 }
 
@@ -186,6 +254,26 @@ fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
         );
     }
     json.push_str("      ],\n");
+    json.push_str("      \"backends\": [\n");
+    for (i, b) in s.backends.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{ \"backend\": \"{}\", \"sim_blocks\": {}, \"wall_ms\": {:.1}, \
+             \"blocks_per_sec\": {:.0}, \"injected_bit_flips\": {}, \"faulted_lines\": {}, \
+             \"retries\": {}, \"degraded_lines\": {}, \"ecc_scrubs\": {} }}{}",
+            b.backend,
+            b.sim_blocks,
+            b.wall_ms,
+            b.blocks_per_sec(),
+            b.injected_bit_flips,
+            b.faulted_lines,
+            b.retries,
+            b.degraded_lines,
+            b.ecc_scrubs,
+            if i + 1 < s.backends.len() { "," } else { "" }
+        );
+    }
+    json.push_str("      ],\n");
     let sw = &s.sweep;
     let _ = writeln!(
         json,
@@ -199,22 +287,25 @@ fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
-/// Extract `(workload, blocks_per_sec)` pairs from the named section of a
-/// previously emitted file (the format is line-oriented by construction;
-/// no JSON dependency exists offline).
-fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
+/// Extract `(name, blocks_per_sec)` pairs for entries keyed by `key`
+/// (`"workload"` or `"backend"`) from the named section of a previously
+/// emitted file (the format is line-oriented by construction; no JSON
+/// dependency exists offline).
+fn parse_baseline_by(text: &str, section: &str, key: &str) -> Vec<(String, f64)> {
     let mut rates = Vec::new();
     let mut in_section = false;
     let wanted = format!("\"{section}\": {{");
+    let pat = format!("\"{key}\": \"");
+    let entry = format!("{{ {pat}");
     for line in text.lines() {
         let t = line.trim();
         if t == wanted {
             in_section = true;
         } else if in_section && (t == "\"smoke\": {" || t == "\"full\": {") {
             break; // next section began
-        } else if in_section && t.starts_with("{ \"workload\": \"") {
+        } else if in_section && t.starts_with(entry.as_str()) {
             let name = t
-                .split("\"workload\": \"")
+                .split(pat.as_str())
                 .nth(1)
                 .and_then(|r| r.split('"').next())
                 .unwrap_or_default()
@@ -222,13 +313,18 @@ fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
             let bps = t
                 .split("\"blocks_per_sec\": ")
                 .nth(1)
-                .and_then(|r| r.trim_end_matches(&[' ', '}', ','][..]).parse::<f64>().ok());
+                .and_then(|r| r.split(',').next())
+                .and_then(|r| r.trim_end_matches(&[' ', '}'][..]).parse::<f64>().ok());
             if let Some(bps) = bps {
                 rates.push((name, bps));
             }
         }
     }
     rates
+}
+
+fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
+    parse_baseline_by(text, section, "workload")
 }
 
 fn main() {
@@ -288,6 +384,19 @@ fn main() {
                 w.blocks_per_sec()
             );
         }
+        for b in &s.backends {
+            eprintln!(
+                "backend {:<8} {:>9} blocks  {:>8.1} ms  {:>12.0} blocks/s  \
+                 flips {} retries {} degraded {}",
+                b.backend,
+                b.sim_blocks,
+                b.wall_ms,
+                b.blocks_per_sec(),
+                b.injected_bit_flips,
+                b.retries,
+                b.degraded_lines
+            );
+        }
         let sw = &s.sweep;
         eprintln!(
             "table4 sweep: 1 thread {:.0} ms, {} threads {:.0} ms, speedup {:.2}x",
@@ -310,11 +419,13 @@ fn main() {
             std::process::exit(1);
         }
         // Pair current and baseline workloads by name. Workload-set drift
-        // (a PR adding or retiring a workload) is expected and must not
-        // fail the gate, but it must never pass *silently* either: every
-        // unmatched entry on either side is reported. A baseline of 0
-        // blocks/s is a corrupt trajectory file, not a slow host — fail
-        // loudly instead of dividing by it.
+        // (a PR adding or retiring a workload without regenerating the
+        // committed trajectory) means the baseline no longer describes the
+        // suite: that is a hard failure, not a warning — regenerate and
+        // commit the next BENCH_PRn.json. A baseline of 0 blocks/s is a
+        // corrupt trajectory file, not a slow host — fail loudly instead
+        // of dividing by it.
+        let mut drifted = false;
         let mut ratios: Vec<(String, f64, f64)> = Vec::new(); // (name, base, raw ratio)
         for (name, base_bps) in &baseline {
             match smoke.workloads.iter().find(|w| w.workload == *name) {
@@ -330,21 +441,48 @@ fn main() {
                 }
                 None => {
                     eprintln!(
-                        "GATE: WARNING — baseline workload {name} is absent from this run \
-                         (retired workload? excluded from calibration)"
+                        "GATE: FAIL — baseline workload {name} is absent from this run; \
+                         retiring a workload requires committing a regenerated BENCH_PRn.json"
                     );
+                    drifted = true;
                 }
             }
         }
         for w in &smoke.workloads {
             if !baseline.iter().any(|(name, _)| name == w.workload) {
                 eprintln!(
-                    "GATE: WARNING — workload {} is not in the baseline (new workload? \
-                     excluded from calibration; regenerate the committed BENCH_PRn.json \
-                     to start gating it)",
+                    "GATE: FAIL — workload {} is not in the baseline; adding a workload \
+                     requires committing a regenerated BENCH_PRn.json",
                     w.workload
                 );
+                drifted = true;
             }
+        }
+        // The backend axis is part of the committed record: the set of
+        // error-model backends must match the baseline exactly.
+        let base_backends = parse_baseline_by(&text, "smoke", "backend");
+        for (name, _) in &base_backends {
+            if !smoke.backends.iter().any(|b| b.backend == *name) {
+                eprintln!(
+                    "GATE: FAIL — baseline backend {name} is absent from this run; \
+                     retiring a backend requires committing a regenerated BENCH_PRn.json"
+                );
+                drifted = true;
+            }
+        }
+        for b in &smoke.backends {
+            if !base_backends.iter().any(|(name, _)| name == b.backend) {
+                eprintln!(
+                    "GATE: FAIL — backend {} is not in the baseline; adding a backend \
+                     requires committing a regenerated BENCH_PRn.json",
+                    b.backend
+                );
+                drifted = true;
+            }
+        }
+        if drifted {
+            eprintln!("GATE: workload/backend set drift vs {baseline_path}");
+            std::process::exit(1);
         }
         if ratios.is_empty() {
             eprintln!("GATE: no baseline workload matches this run's suite");

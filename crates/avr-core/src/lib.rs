@@ -28,4 +28,4 @@ pub use pool::{shard_seed, JobCtx, SimPool};
 pub use system::System;
 pub use vm_api::{ExactVm, Vm, WordAtATime};
 
-pub use avr_types::{DesignKind, SystemConfig};
+pub use avr_types::{BackendKind, DesignKind, ErrorModelParams, SystemConfig};

@@ -15,10 +15,10 @@ use avr_cache::llc::AvrLlc;
 use avr_cache::pfe::PrefetchEngine;
 use avr_cache::set_assoc::SetAssocCache;
 use avr_compress::{Compressor, Thresholds};
-use avr_dram::{AccessKind, Dram};
+use avr_dram::{backend_for, AccessKind, DramBackend, FaultCtx};
 use avr_sim::energy::{EnergyEvents, EnergyModel};
 use avr_sim::vm::{AddressSpace, PhysMem, Region};
-use avr_sim::{Counters, IntervalCore, RunMetrics};
+use avr_sim::{Counters, FaultBreakdown, IntervalCore, RunMetrics};
 use avr_types::{DataType, DesignKind, LineAddr, PhysAddr, SystemConfig, CL_BYTES};
 
 use crate::vm_api::Vm;
@@ -41,7 +41,9 @@ pub struct System {
     pub(crate) l1: SetAssocCache,
     pub(crate) l2: SetAssocCache,
     pub(crate) llc: LlcVariant,
-    pub(crate) dram: Dram,
+    /// The device error-model backend (exact DRAM, relaxed-refresh DRAM,
+    /// approximate MRAM) behind the shared DDR4 timing engine.
+    pub(crate) dram: Box<dyn DramBackend>,
     pub(crate) compressor: Compressor,
     pub(crate) cmt: CmtTable,
     pub(crate) cmt_cache: CmtCache,
@@ -67,6 +69,16 @@ pub struct System {
     /// `AVR_NO_BATCHED_WALK=1` (or [`System::set_batched_walk`]) forces
     /// the retained per-word reference walk.
     batched_walk: bool,
+    /// Cached `dram.injects_faults()`: keeps the exact backend's DRAM
+    /// paths free of any fault-hook work.
+    faults_enabled: bool,
+    /// Remaining graceful-degradation budget (timed exact re-serves of
+    /// implausible lines).
+    retries_left: u64,
+    /// Per-region fault accounting, parallel to `space.regions()`.
+    region_faults: Vec<FaultBreakdown>,
+    /// Once-per-run latch for the span_hits fallback warning.
+    span_fallback_warned: bool,
 }
 
 /// `AVR_NO_BATCHED_WALK` disables the batched timed walk (any value but
@@ -85,12 +97,14 @@ impl System {
             DesignKind::Doppelganger => LlcVariant::Dedup(DoppelLlc::new(cfg.llc)),
         };
         let thresholds = Thresholds::new(cfg.avr.t1, cfg.avr.t2);
+        let dram = backend_for(&cfg.dram, &cfg.error_model);
+        let faults_enabled = dram.injects_faults();
         System {
             core: IntervalCore::new(cfg.issue_width, cfg.rob_size, cfg.mshrs),
             l1: SetAssocCache::new(cfg.l1),
             l2: SetAssocCache::new(cfg.l2),
             llc,
-            dram: Dram::new(cfg.dram),
+            dram,
             compressor: Compressor::new(thresholds, cfg.avr.max_compressed_lines),
             cmt: CmtTable::default(),
             cmt_cache: CmtCache::new(cfg.avr.cmt_cache_pages),
@@ -108,6 +122,10 @@ impl System {
             // parallelism usually owns the cores.
             summary_threads: crate::pool::env_threads("AVR_SUMMARY_THREADS", 1),
             batched_walk: !batched_walk_disabled(),
+            faults_enabled,
+            retries_left: cfg.error_model.retry_budget,
+            region_faults: Vec::new(),
+            span_fallback_warned: false,
             design,
             cfg,
         }
@@ -151,6 +169,134 @@ impl System {
             self.space.approx_of_line(line)
         } else {
             None
+        }
+    }
+
+    /// Which device backend this system runs on.
+    pub fn backend_kind(&self) -> avr_types::BackendKind {
+        self.dram.kind()
+    }
+
+    /// Per-region fault/degradation counters, parallel to
+    /// `space.regions()`. Empty slots for runs on the exact backend.
+    pub fn region_faults(&self) -> impl Iterator<Item = (&Region, &FaultBreakdown)> {
+        self.space.regions().iter().zip(self.region_faults.iter())
+    }
+
+    /// Remaining graceful-degradation retry budget.
+    pub fn retries_left(&self) -> u64 {
+        self.retries_left
+    }
+
+    // ------------------------------------------------------------------
+    // Device error-model hooks
+    // ------------------------------------------------------------------
+
+    /// Is a line's reconstruction implausible — i.e. does it carry damage
+    /// the application could never have produced? Injected flips in an f32
+    /// exponent show up as NaN/Inf or magnitude blowouts far past the
+    /// workloads' dynamic range. Fixed32 has no implausible bit patterns
+    /// (every word decodes to a bounded value), so its faults always pass
+    /// through as small value noise.
+    fn line_implausible(data: &avr_types::CacheLine, dt: DataType) -> bool {
+        match dt {
+            DataType::F32 => data.to_f32().iter().any(|v| !v.is_finite() || v.abs() > 1e30),
+            DataType::Fixed32 => false,
+        }
+    }
+
+    /// Zero out the implausible values of a degraded line (committed once
+    /// the retry budget is exhausted), returning how many were sanitized.
+    /// Keeping NaN/Inf out of the backing store bounds the blast radius:
+    /// the run stays finite and flagged instead of poisoning every
+    /// downstream reduction.
+    fn sanitize_line(data: &mut avr_types::CacheLine, dt: DataType) -> u64 {
+        if dt != DataType::F32 {
+            return 0;
+        }
+        let mut fixed = 0;
+        for w in data.words.iter_mut() {
+            let v = f32::from_bits(*w);
+            if !v.is_finite() || v.abs() > 1e30 {
+                *w = 0f32.to_bits();
+                fixed += 1;
+            }
+        }
+        fixed
+    }
+
+    /// Device error-model hook: called after every DRAM data transfer of
+    /// `line`. Critical (non-approximable under this design) lines are
+    /// always served exactly — optionally counting an ECC scrub.
+    /// Approximable lines pass through the backend's `corrupt_line`; a
+    /// corrupted-but-plausible line commits to the backing store (value
+    /// feedback, like every other lossy event), while an implausible one is
+    /// re-served exactly by a timed retry until the budget runs out, after
+    /// which it commits sanitized and the run is flagged as degraded.
+    pub(crate) fn device_line_faults(&mut self, line: LineAddr, kind: AccessKind, now: u64) {
+        if !self.faults_enabled {
+            return;
+        }
+        let Some(dt) = self.approx_of(line) else {
+            if self.cfg.error_model.ecc_protect_critical {
+                self.counters.faults.ecc_scrubs += 1;
+            }
+            return;
+        };
+        let Some(ri) = self.space.approx_region_index_of_line(line) else {
+            return;
+        };
+        let region = self.space.regions()[ri];
+        let ctx = FaultCtx { region_base: region.base.0, block: line.block().0 };
+        let mut data = self.mem.read_line(line);
+        let flips = self.dram.corrupt_line(&ctx, kind, &mut data);
+        if flips == 0 {
+            return;
+        }
+        self.counters.faults.injected_bit_flips += flips as u64;
+        self.counters.faults.faulted_lines += 1;
+        self.region_faults[ri].injected_bit_flips += flips as u64;
+        self.region_faults[ri].faulted_lines += 1;
+        if Self::line_implausible(&data, dt) {
+            if self.retries_left > 0 {
+                // Graceful degradation, phase 1: spend budget on a timed
+                // exact re-serve (refetch on reads, verify-rewrite on
+                // writes). The exact values stay in the backing store.
+                self.retries_left -= 1;
+                self.counters.faults.retries += 1;
+                self.region_faults[ri].retries += 1;
+                self.dram.access(line, kind, now);
+                self.count_traffic(true, kind == AccessKind::Write, CL_BYTES as u64);
+                return;
+            }
+            // Phase 2: budget exhausted — commit, but sanitized, so the
+            // run stays finite (flagged via degraded_lines).
+            self.counters.faults.degraded_lines += 1;
+            self.region_faults[ri].degraded_lines += 1;
+            let fixed = Self::sanitize_line(&mut data, dt);
+            self.counters.faults.sanitized_values += fixed;
+            self.region_faults[ri].sanitized_values += fixed;
+        }
+        self.mem.write_line(line, &data);
+    }
+
+    /// Burst variant of [`Self::device_line_faults`]: `n` consecutive
+    /// lines from `first`. Compressed-block transfers proxy their fault
+    /// exposure onto the block's leading lines this way — the compressed
+    /// image occupies `size_lines` device lines, so that is the exposed
+    /// surface, applied to the reconstructed data the backing store holds.
+    pub(crate) fn device_burst_faults(
+        &mut self,
+        first: LineAddr,
+        n: usize,
+        kind: AccessKind,
+        now: u64,
+    ) {
+        if !self.faults_enabled {
+            return;
+        }
+        for i in 0..n {
+            self.device_line_faults(LineAddr(first.0 + i as u64), kind, now);
         }
     }
 
@@ -253,6 +399,35 @@ impl System {
             && self.cfg.l1.latency <= 50
     }
 
+    /// [`Self::batch_hits_ok`], plus a once-per-run stderr warning when the
+    /// walk is *enabled* but the latency preconditions fail: a config sweep
+    /// that raises L1 latency past the ROB-hide or 50-cycle bound would
+    /// otherwise lose the batched speedup invisibly. Explicitly disabling
+    /// the walk (`AVR_NO_BATCHED_WALK=1` / `set_batched_walk(false)`) is a
+    /// deliberate choice and stays silent.
+    #[inline]
+    fn batch_hits_ok_or_warn(&mut self) -> bool {
+        if self.batch_hits_ok() {
+            return true;
+        }
+        if self.batched_walk && !self.span_fallback_warned {
+            self.span_fallback_warned = true;
+            eprintln!(
+                "avr: batched timed walk falling back to per-word: L1 latency {} exceeds \
+                 the ROB-hide window {} or the 50-cycle bound (results stay bit-identical, \
+                 bulk accesses just lose their speedup)",
+                self.cfg.l1.latency,
+                self.core.hide_window()
+            );
+        }
+        false
+    }
+
+    /// Has this run warned about the span_hits per-word fallback?
+    pub fn span_fallback_warned(&self) -> bool {
+        self.span_fallback_warned
+    }
+
     /// `n` guaranteed-L1-hit accesses to `line`. Residency is the caller's
     /// contract: the span's leading access (a full [`Self::access_timed`])
     /// just touched the line, so it is resident in L1 and every further
@@ -265,7 +440,7 @@ impl System {
         if n == 0 {
             return;
         }
-        if !self.batch_hits_ok() {
+        if !self.batch_hits_ok_or_warn() {
             for _ in 0..n {
                 self.access_timed(line, is_write);
             }
@@ -418,6 +593,7 @@ impl System {
             let truncated = truncate_line(&self.mem.read_line(line), dt);
             self.mem.write_line(line, &truncated);
         }
+        self.device_line_faults(line, AccessKind::Read, resp.complete_at);
         let LlcVariant::Conventional(llc) = &mut self.llc else { unreachable!() };
         if let Some(ev) = llc.insert(line, false) {
             if ev.dirty {
@@ -443,6 +619,9 @@ impl System {
         }
         let resp = self.dram.access(line, AccessKind::Read, t + llc_lat);
         self.count_traffic(approx.is_some(), false, CL_BYTES as u64);
+        // Corrupt before the dedup insert so the map ingests what the
+        // device actually delivered.
+        self.device_line_faults(line, AccessKind::Read, resp.complete_at);
         let values = self.mem.read_line(line);
         let LlcVariant::Dedup(llc) = &mut self.llc else { unreachable!() };
         let out = llc.insert(line, &values, approx.is_some(), false);
@@ -473,6 +652,7 @@ impl System {
         };
         self.dram.access_bytes(line, AccessKind::Write, now, bytes);
         self.count_traffic(approx.is_some(), true, bytes as u64);
+        self.device_line_faults(line, AccessKind::Write, now);
     }
 
     pub(crate) fn count_traffic(&mut self, approx: bool, write: bool, bytes: u64) {
@@ -517,8 +697,10 @@ impl System {
             l1_accesses: self.counters.loads + self.counters.stores,
             l2_accesses: self.l2.stats.hits + self.l2.stats.misses,
             llc_line_accesses: self.llc_line_touches,
-            dram_bytes: self.dram.stats.total_bytes(),
-            dram_activates: self.dram.stats.activates,
+            dram_bytes: self.dram.stats().total_bytes(),
+            dram_activates: self.dram.stats().activates,
+            dram_refreshes: self.dram.stats().refreshes,
+            ecc_scrubs: self.counters.faults.ecc_scrubs,
             blocks_compressed: self.compressor.blocks_compressed,
             blocks_decompressed: self.counters.blocks_decompressed,
         };
@@ -589,10 +771,14 @@ impl System {
 
 impl Vm for System {
     fn malloc(&mut self, len_bytes: usize) -> Region {
+        // Per-region fault slots are sized at malloc time so the fault
+        // hook never allocates in steady state (tests/zero_alloc.rs).
+        self.region_faults.push(FaultBreakdown::default());
         self.space.malloc(len_bytes)
     }
 
     fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
+        self.region_faults.push(FaultBreakdown::default());
         self.space.approx_malloc(len_bytes, dt)
     }
 
@@ -674,9 +860,12 @@ impl Vm for System {
         // hoisting the run's timed walk ahead of its value reads is
         // unobservable (the per-word reference interleaves them).
         let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        // Two addresses ≥ one cacheline apart can never share a line, so
+        // wide strides skip the per-element run-building pass outright.
+        let wide = stride_bytes >= CL_BYTES as u64;
         let mut k = 0;
         while k < out.len() {
-            let run = Self::line_run(addr_of, k, out.len());
+            let run = if wide { 1 } else { Self::line_run(addr_of, k, out.len()) };
             self.span_timed(addr_of(k), run, false);
             for (j, o) in out[k..k + run].iter_mut().enumerate() {
                 *o = f32::from_bits(self.mem.read_u32(addr_of(k + j)));
@@ -687,9 +876,10 @@ impl Vm for System {
 
     fn write_f32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, vals: &[f32]) {
         let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        let wide = stride_bytes >= CL_BYTES as u64; // runs are provably length 1
         let mut k = 0;
         while k < vals.len() {
-            let run = Self::line_run(addr_of, k, vals.len());
+            let run = if wide { 1 } else { Self::line_run(addr_of, k, vals.len()) };
             self.span_timed(addr_of(k), run, true);
             for (j, v) in vals[k..k + run].iter().enumerate() {
                 self.mem.write_u32(addr_of(k + j), v.to_bits());
@@ -751,7 +941,7 @@ impl Vm for System {
             // splice because nothing reads the backing store in between.
             self.access_timed(line, false);
             self.mem.read_words_f32(start, &mut old[..m]);
-            if self.batch_hits_ok() {
+            if self.batch_hits_ok_or_warn() {
                 // Per-word order is R0 C0 W0 R1 C1 W1 …; everything after
                 // R0 is an L1 hit. The one order-sensitive event is MSHR
                 // back-pressure, which can only fire at the first issue
@@ -881,7 +1071,10 @@ mod tests {
 
     #[test]
     fn truncate_loses_low_mantissa_bits() {
-        let mut s = sys(DesignKind::Truncate);
+        // Pin the exact backend: this test asserts a tight per-value error
+        // band that a fault-injecting AVR_BACKEND override would smear.
+        let cfg = SystemConfig::tiny().with_backend(avr_types::BackendKind::Exact);
+        let mut s = System::new(cfg, DesignKind::Truncate);
         let r = s.approx_malloc(1 << 20, DataType::F32);
         let v = 1.2345678f32;
         s.write_f32(r.base, v);
@@ -962,6 +1155,71 @@ mod tests {
                     "{design:?}: mem diverges at {a:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn span_fallback_warns_once_when_batch_preconditions_fail() {
+        use crate::vm_api::Vm;
+        // An L1 latency past the batch ceiling forces the per-word fallback;
+        // the walk is still correct but the user should hear about it once.
+        let mut cfg = SystemConfig::tiny();
+        cfg.l1.latency = 60;
+        let mut s = System::new(cfg, DesignKind::Baseline);
+        // Pin batching on so the AVR_NO_BATCHED_WALK=1 CI leg (a deliberate
+        // opt-out, which must stay silent) still tests the warning.
+        s.set_batched_walk(true);
+        let r = s.malloc(4096);
+        let vals = vec![1.5f32; 256];
+        Vm::write_f32s(&mut s, r.base, &vals);
+        assert!(s.span_fallback_warned(), "degraded batch walk must warn");
+        let mut buf = vec![0f32; 256];
+        Vm::read_f32s(&mut s, r.base, &mut buf);
+        assert_eq!(buf, vals, "fallback path must still move correct values");
+
+        // Default geometry: batch preconditions hold, no warning.
+        let mut ok = sys(DesignKind::Baseline);
+        ok.set_batched_walk(true);
+        let r = ok.malloc(4096);
+        Vm::write_f32s(&mut ok, r.base, &vals);
+        assert!(!ok.span_fallback_warned());
+
+        // Explicitly disabling the batched walk is a deliberate choice, not
+        // a degradation — same fallback, no warning.
+        let mut cfg = SystemConfig::tiny();
+        cfg.l1.latency = 60;
+        let mut off = System::new(cfg, DesignKind::Baseline);
+        off.set_batched_walk(false);
+        let r = off.malloc(4096);
+        Vm::write_f32s(&mut off, r.base, &vals);
+        assert!(!off.span_fallback_warned());
+    }
+
+    #[test]
+    fn wide_strides_skip_run_building_and_stay_bit_identical() {
+        use crate::vm_api::{Vm, WordAtATime};
+        // Strides of at least one cacheline can never share a line between
+        // consecutive elements, so the strided paths skip the per-element
+        // run-building pass — timing and values must not change.
+        for design in DesignKind::ALL {
+            // Lossy designs may reconstruct different values than were
+            // written, so compare the two paths against each other.
+            let drive = |vm: &mut dyn Vm| -> Vec<u32> {
+                let r = vm.approx_malloc(256 << 10, DataType::F32);
+                let vals: Vec<f32> = (0..1500).map(|i| 1.0 + i as f32 * 0.25).collect();
+                vm.write_f32s_strided(r.base, 128, &vals);
+                let mut back = vec![0f32; 1500];
+                vm.read_f32s_strided(r.base, 128, &mut back);
+                back.iter().map(|v| v.to_bits()).collect()
+            };
+            let mut fast = sys(design);
+            let fast_back = drive(&mut fast);
+            let mut word = sys(design);
+            let word_back = drive(&mut WordAtATime(&mut word));
+            assert_eq!(fast_back, word_back, "{design:?}: read-back values");
+            assert_eq!(fast.core.cycles, word.core.cycles, "{design:?}: cycles");
+            assert_eq!(fast.counters.traffic, word.counters.traffic, "{design:?}: traffic");
+            assert_eq!(fast.counters.l1_hits, word.counters.l1_hits, "{design:?}: l1 hits");
         }
     }
 

@@ -9,10 +9,19 @@
 //!
 //! All external times are **CPU cycles**; internally the model runs on the
 //! memory clock (`cpu_cycles_per_mem_clk` converts).
+//!
+//! [`Dram`] is the shared timing engine; the system talks to it through the
+//! pluggable device error-model backends in [`backend`] (exact DRAM,
+//! refresh-relaxed DRAM, approximate MRAM).
 
+pub mod backend;
 mod mapping;
 mod stats;
 
+pub use backend::{
+    backend_for, env_backend, ApproxMram, DramBackend, ExactDram, FaultCtx, FaultRng, FaultStats,
+    RelaxedRefreshDram,
+};
 pub use mapping::AddressMapping;
 pub use stats::DramStats;
 

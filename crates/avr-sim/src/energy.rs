@@ -24,6 +24,12 @@ pub struct EnergyModel {
     pub dram_nj_per_byte: f64,
     /// Row activation energy.
     pub dram_nj_per_activate: f64,
+    /// All-bank refresh burst energy per refresh event (per channel) —
+    /// what the relaxed-refresh backend trades retention errors against.
+    pub dram_nj_per_refresh: f64,
+    /// ECC check-and-scrub energy per protected critical-line transfer
+    /// (only charged when the error model scrubs, i.e. never on exact).
+    pub ecc_nj_per_scrub: f64,
     /// Compressor energy per block compression (49-cycle pipeline pass).
     pub compress_nj_per_block: f64,
     /// Decompressor energy per block decompression (12-cycle pass).
@@ -49,6 +55,8 @@ impl Default for EnergyModel {
             llc_nj_per_access: 0.9,
             dram_nj_per_byte: 0.15,
             dram_nj_per_activate: 2.0,
+            dram_nj_per_refresh: 60.0,
+            ecc_nj_per_scrub: 0.05,
             compress_nj_per_block: 0.6,
             decompress_nj_per_block: 0.25,
             core_static_w: 0.45,
@@ -108,6 +116,10 @@ pub struct EnergyEvents {
     pub llc_line_accesses: u64,
     pub dram_bytes: u64,
     pub dram_activates: u64,
+    /// All-bank refresh bursts issued (the relaxed backend issues fewer).
+    pub dram_refreshes: u64,
+    /// ECC scrubs of critical lines under a fault-injecting error model.
+    pub ecc_scrubs: u64,
     pub blocks_compressed: u64,
     pub blocks_decompressed: u64,
 }
@@ -135,7 +147,9 @@ impl EnergyModel {
             llc: ev.llc_line_accesses as f64 * self.llc_nj_per_access * nj
                 + self.llc_static_w * exec_seconds,
             dram: (ev.dram_bytes as f64 * self.dram_nj_per_byte
-                + ev.dram_activates as f64 * self.dram_nj_per_activate)
+                + ev.dram_activates as f64 * self.dram_nj_per_activate
+                + ev.dram_refreshes as f64 * self.dram_nj_per_refresh
+                + ev.ecc_scrubs as f64 * self.ecc_nj_per_scrub)
                 * nj
                 + self.dram_static_w * exec_seconds,
             compressor: if has_compressor {
@@ -162,6 +176,8 @@ mod tests {
             llc_line_accesses: 20_000,
             dram_bytes: 640_000,
             dram_activates: 2_000,
+            dram_refreshes: 100,
+            ecc_scrubs: 0,
             blocks_compressed: 500,
             blocks_decompressed: 1_500,
         }
@@ -192,6 +208,19 @@ mod tests {
         let b_low = m.breakdown(&low, 0.001, 1, true);
         let b_hi = m.breakdown(&events(), 0.001, 1, true);
         assert!(b_low.dram < b_hi.dram);
+    }
+
+    #[test]
+    fn fewer_refreshes_cut_dram_energy() {
+        // The relaxed-refresh backend's whole point: stretching tREFI by k
+        // divides the refresh count by k, and the model must reward it.
+        let m = EnergyModel::default();
+        let mut relaxed = events();
+        relaxed.dram_refreshes /= 4;
+        let b_relaxed = m.breakdown(&relaxed, 0.001, 1, true);
+        let b_nominal = m.breakdown(&events(), 0.001, 1, true);
+        let expect = 75.0 * m.dram_nj_per_refresh * 1e-9;
+        assert!((b_nominal.dram - b_relaxed.dram - expect).abs() < 1e-15);
     }
 
     #[test]

@@ -9,5 +9,8 @@ pub mod vm;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use interval::IntervalCore;
-pub use stats::{Counters, EvictionBreakdown, LlcRequestBreakdown, MergedRun, RunMetrics, Traffic};
+pub use stats::{
+    Counters, EvictionBreakdown, FaultBreakdown, LlcRequestBreakdown, MergedRun, RunMetrics,
+    Traffic,
+};
 pub use vm::{AddressSpace, PhysMem, Region};

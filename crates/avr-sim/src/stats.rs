@@ -112,6 +112,43 @@ impl Traffic {
     }
 }
 
+/// Device error-model events (PR 6): what the fault-injecting backends did
+/// to approximable lines, and how the graceful-degradation layer responded.
+/// All zero under the exact backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultBreakdown {
+    /// Bits flipped by the device (whether later caught or committed).
+    pub injected_bit_flips: u64,
+    /// Device transfers that left at least one bit flipped.
+    pub faulted_lines: u64,
+    /// Implausible lines re-served exactly (a timed refetch/rewrite) while
+    /// the retry budget lasted.
+    pub retries: u64,
+    /// Implausible lines committed after the retry budget ran out.
+    pub degraded_lines: u64,
+    /// Values zeroed while sanitizing degraded lines (NaN/Inf/blowouts).
+    pub sanitized_values: u64,
+    /// ECC scrub events protecting critical (non-approximable) lines.
+    pub ecc_scrubs: u64,
+}
+
+impl FaultBreakdown {
+    /// Whether the device injected any fault at all.
+    pub fn any_injected(&self) -> bool {
+        self.injected_bit_flips > 0
+    }
+
+    /// Accumulate another shard's fault events (all additive).
+    pub fn merge(&mut self, other: &FaultBreakdown) {
+        self.injected_bit_flips += other.injected_bit_flips;
+        self.faulted_lines += other.faulted_lines;
+        self.retries += other.retries;
+        self.degraded_lines += other.degraded_lines;
+        self.sanitized_values += other.sanitized_values;
+        self.ecc_scrubs += other.ecc_scrubs;
+    }
+}
+
 /// Raw event counters accumulated during a run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Counters {
@@ -142,6 +179,8 @@ pub struct Counters {
     /// eviction (block-reuse metric, §4.3 quotes 7–16).
     pub block_reuse_sum: u64,
     pub block_reuse_count: u64,
+    /// Device error-model events (all zero on the exact backend).
+    pub faults: FaultBreakdown,
 }
 
 impl Counters {
@@ -172,6 +211,7 @@ impl Counters {
         self.compression_skips += other.compression_skips;
         self.block_reuse_sum += other.block_reuse_sum;
         self.block_reuse_count += other.block_reuse_count;
+        self.faults.merge(&other.faults);
     }
 
     /// Average memory access time (cycles) over all core memory requests.
@@ -409,6 +449,29 @@ mod tests {
         assert_eq!(a.traffic.approx_read_bytes, 192);
         // Merged AMAT is the event-weighted mean: 750 cycles / 150 reqs.
         assert!((a.amat() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_breakdown_merges_additively() {
+        let mut a =
+            FaultBreakdown { injected_bit_flips: 3, faulted_lines: 2, ..Default::default() };
+        let b = FaultBreakdown {
+            injected_bit_flips: 5,
+            faulted_lines: 4,
+            retries: 1,
+            degraded_lines: 2,
+            sanitized_values: 7,
+            ecc_scrubs: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.injected_bit_flips, 8);
+        assert_eq!(a.faulted_lines, 6);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.degraded_lines, 2);
+        assert_eq!(a.sanitized_values, 7);
+        assert_eq!(a.ecc_scrubs, 100);
+        assert!(a.any_injected());
+        assert!(!FaultBreakdown::default().any_injected());
     }
 
     #[test]

@@ -240,6 +240,13 @@ impl AddressSpace {
         &self.regions
     }
 
+    /// Index into [`Self::regions`] of the *approximable* region containing
+    /// `line` — the fault-seeding / per-region-accounting key of the device
+    /// error models.
+    pub fn approx_region_index_of_line(&self, line: LineAddr) -> Option<usize> {
+        self.regions.iter().position(|r| r.approx.is_some() && r.contains_line(line))
+    }
+
     /// Total allocated bytes, and the approximable subset: the inputs to
     /// the Table 4 footprint computation.
     pub fn footprint(&self) -> (u64, u64) {

@@ -119,6 +119,89 @@ impl Default for AvrParams {
     }
 }
 
+/// Which device error-model backend serves main memory (the `DramBackend`
+/// axis, ROADMAP item 4). All backends share the DDR4 timing engine; they
+/// differ in whether — and how — stored bits decay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Bit-exact storage: today's behaviour, no fault injection.
+    Exact,
+    /// DRAM refreshed at a multiple of nominal tREFI: approximable lines
+    /// suffer retention-failure bit flips when read from the device.
+    RelaxedDram,
+    /// Non-volatile MRAM written with reduced write margins: approximable
+    /// lines suffer asymmetric 0→1 / 1→0 write errors, and refresh
+    /// disappears entirely.
+    ApproxMram,
+}
+
+impl BackendKind {
+    /// The three backends in bench/sweep order.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Exact, BackendKind::RelaxedDram, BackendKind::ApproxMram];
+
+    /// Label used in bench output and the `AVR_BACKEND` env knob.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Exact => "exact",
+            BackendKind::RelaxedDram => "relaxed",
+            BackendKind::ApproxMram => "mram",
+        }
+    }
+}
+
+/// Device error-model parameters (fault rates, seeding, and the graceful-
+/// degradation budget). Only consulted by the fault-injecting backends;
+/// `ExactDram` ignores everything but `backend`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorModelParams {
+    /// Pinned backend. `None` resolves the `AVR_BACKEND` environment knob
+    /// (`exact` when unset); `Some` always wins over the environment.
+    pub backend: Option<BackendKind>,
+    /// Root seed of every per-(region, block, access-count) fault stream.
+    pub seed: u64,
+    /// Per-bit retention-failure probability per *nominal refresh interval
+    /// of added retention time* (RelaxedDram). The effective per-read flip
+    /// rate is `retention_fail_per_bit * (refresh_multiplier - 1)`.
+    pub retention_fail_per_bit: f64,
+    /// tREFI multiplier for RelaxedDram: 1 = nominal refresh (no failures,
+    /// full refresh energy), larger values trade retention errors for
+    /// fewer refreshes.
+    pub refresh_multiplier: u64,
+    /// MRAM per-bit 0→1 write-error rate at margin level 0.
+    pub mram_p01: f64,
+    /// MRAM per-bit 1→0 write-error rate at margin level 0.
+    pub mram_p10: f64,
+    /// Number of per-region write-margin levels; a region at level `k` has
+    /// its error rates scaled by `2^k` (the level is chosen
+    /// deterministically from the region base address).
+    pub mram_margin_levels: u32,
+    /// Model ECC scrubbing of critical (non-approximable) lines: they are
+    /// always served exactly either way, but scrubs are counted and cost
+    /// energy when enabled.
+    pub ecc_protect_critical: bool,
+    /// Graceful-degradation budget: how many implausible reconstructions
+    /// may be re-served exactly (a timed refetch/rewrite) before the system
+    /// starts committing sanitized degraded data instead.
+    pub retry_budget: u64,
+}
+
+impl Default for ErrorModelParams {
+    fn default() -> Self {
+        ErrorModelParams {
+            backend: None,
+            seed: 0x5EED_AB1E,
+            retention_fail_per_bit: 5e-8,
+            refresh_multiplier: 4,
+            mram_p01: 1e-7,
+            mram_p10: 5e-8,
+            mram_margin_levels: 3,
+            ecc_protect_critical: true,
+            retry_budget: 64,
+        }
+    }
+}
+
 /// Which of the five evaluated designs a `System` implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DesignKind {
@@ -173,6 +256,8 @@ pub struct SystemConfig {
     pub llc: CacheGeometry,
     pub dram: DramParams,
     pub avr: AvrParams,
+    /// Device error-model backend selection and fault rates.
+    pub error_model: ErrorModelParams,
 }
 
 impl Default for SystemConfig {
@@ -188,6 +273,7 @@ impl Default for SystemConfig {
             llc: CacheGeometry { capacity: 8 << 20, ways: 16, latency: 15 },
             dram: DramParams::default(),
             avr: AvrParams::default(),
+            error_model: ErrorModelParams::default(),
         }
     }
 }
@@ -214,6 +300,13 @@ impl SystemConfig {
         c.dram.channels = 1;
         c.dram.burst = 8;
         c
+    }
+
+    /// This configuration pinned to a specific device backend (wins over
+    /// the `AVR_BACKEND` environment knob).
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.error_model.backend = Some(kind);
+        self
     }
 
     /// A tiny configuration for unit/integration tests.
@@ -257,6 +350,15 @@ mod tests {
         assert_eq!(DesignKind::Avr.label(), "AVR");
         assert_eq!(DesignKind::Doppelganger.label(), "dganger");
         assert_eq!(DesignKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn backend_labels_and_pinning() {
+        assert_eq!(BackendKind::ALL.map(|b| b.label()), ["exact", "relaxed", "mram"]);
+        let c = SystemConfig::tiny();
+        assert_eq!(c.error_model.backend, None, "default resolves the env knob");
+        let pinned = c.with_backend(BackendKind::ApproxMram);
+        assert_eq!(pinned.error_model.backend, Some(BackendKind::ApproxMram));
     }
 
     #[test]

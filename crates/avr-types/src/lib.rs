@@ -12,6 +12,8 @@ pub mod value;
 
 pub use addr::{BlockAddr, LineAddr, PhysAddr, CL_BYTES, CL_OFFSET_BITS, LINES_PER_BLOCK};
 pub use block::BlockData;
-pub use config::{AvrParams, CacheGeometry, DesignKind, DramParams, SystemConfig};
+pub use config::{
+    AvrParams, BackendKind, CacheGeometry, DesignKind, DramParams, ErrorModelParams, SystemConfig,
+};
 pub use line::CacheLine;
 pub use value::{DataType, VALUES_PER_BLOCK, VALUES_PER_LINE};

@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn avr_error_is_small_on_tiny_run() {
         let w = Sobel::at_scale(BenchScale::Tiny);
-        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        // Codec-only band: pin the exact device so an AVR_BACKEND
+        // override can't smear it (fault behavior is covered by
+        // tests/fault_injection.rs).
+        let cfg = SystemConfig::tiny().with_backend(avr_core::BackendKind::Exact);
+        let m = run_on_design(&w, &cfg, DesignKind::Avr);
         assert!(m.output_error < 0.06, "sobel AVR error {}", m.output_error);
         assert!(m.cycles > 0);
     }

@@ -251,7 +251,11 @@ mod tests {
     #[test]
     fn avr_error_is_moderate() {
         let w = Wrf::at_scale(BenchScale::Tiny);
-        let m = run_on_design(&w, &SystemConfig::tiny(), DesignKind::Avr);
+        // Codec-only band: pin the exact device so an AVR_BACKEND
+        // override can't smear it (fault behavior is covered by
+        // tests/fault_injection.rs).
+        let cfg = SystemConfig::tiny().with_backend(avr_core::BackendKind::Exact);
+        let m = run_on_design(&w, &cfg, DesignKind::Avr);
         assert!(m.output_error < 0.15, "wrf AVR error {}", m.output_error);
     }
 }

@@ -1,0 +1,129 @@
+//! Robustness harness for the pluggable device error model: fault
+//! injection must be deterministic (bit-identical at any SimPool thread
+//! width), must respect criticality (designs that don't honor the approx
+//! annotation never see a flipped bit), and must degrade gracefully —a
+//! hostile fault rate exhausts the retry budget into a flagged-but-finite
+//! run, never a panic or a poisoned NaN cascade.
+
+use avr::arch::{BackendKind, DesignKind, SimPool, SystemConfig};
+use avr::workloads::{all_benchmarks, run_grid, run_on_design, BenchScale};
+
+/// Fault rates high enough that every workload sees injected flips at
+/// tiny scale, low enough that the runs stay sane.
+fn faulty_cfg(kind: BackendKind) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny().with_backend(kind);
+    cfg.error_model.retention_fail_per_bit = 1e-5;
+    cfg.error_model.mram_p01 = 1e-5;
+    cfg.error_model.mram_p10 = 5e-6;
+    cfg
+}
+
+#[test]
+fn injected_faults_are_thread_width_invariant() {
+    // The core determinism contract extended to the error model: the fault
+    // stream is keyed off (seed, region, block, exposure ordinal), never
+    // off scheduling, so an N-thread grid reproduces the 1-thread grid
+    // bit-for-bit — outputs, counters, and every fault statistic.
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let designs = [DesignKind::Avr];
+    for kind in BackendKind::ALL {
+        let cfg = faulty_cfg(kind);
+        let serial = run_grid(&SimPool::new(1), &suite, &cfg, &designs);
+        let pooled = run_grid(&SimPool::new(4), &suite, &cfg, &designs);
+        assert_eq!(serial.len(), pooled.len());
+        let mut total_flips = 0;
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.workload, b.workload, "{kind:?}: grid order changed");
+            let (ma, mb) = (&a.metrics, &b.metrics);
+            let ctx = format!("{kind:?} {}", a.workload);
+            assert_eq!(ma.cycles, mb.cycles, "{ctx}: cycles");
+            assert_eq!(ma.counters.traffic, mb.counters.traffic, "{ctx}: traffic");
+            assert_eq!(ma.counters.llc_misses_total, mb.counters.llc_misses_total, "{ctx}: LLC");
+            assert_eq!(ma.counters.instructions, mb.counters.instructions, "{ctx}: instrs");
+            assert_eq!(ma.counters.faults, mb.counters.faults, "{ctx}: fault counters");
+            assert_eq!(ma.output_error.to_bits(), mb.output_error.to_bits(), "{ctx}: output error");
+            assert_eq!(
+                ma.compression_ratio.to_bits(),
+                mb.compression_ratio.to_bits(),
+                "{ctx}: compression"
+            );
+            total_flips += ma.counters.faults.injected_bit_flips;
+        }
+        match kind {
+            BackendKind::Exact => {
+                assert_eq!(total_flips, 0, "exact backend must never flip a bit")
+            }
+            _ => assert!(total_flips > 0, "{kind:?} at elevated rates must inject faults"),
+        }
+    }
+}
+
+#[test]
+fn repeated_faulty_runs_are_bit_identical() {
+    let cfg = faulty_cfg(BackendKind::RelaxedDram);
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let w = suite.iter().find(|w| w.name() == "heat").unwrap();
+    let a = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+    let b = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+    assert_eq!(a.counters.faults, b.counters.faults);
+    assert_eq!(a.output_error.to_bits(), b.output_error.to_bits());
+    assert_eq!(a.cycles, b.cycles);
+    assert!(a.counters.faults.injected_bit_flips > 0);
+}
+
+#[test]
+fn critical_only_designs_never_see_injected_faults() {
+    // Baseline and ZeroAVR ignore the approx annotation, so every line is
+    // critical — the error model must serve them exactly (scrubbing via
+    // ECC instead of corrupting), whatever the backend and rates.
+    let cfg = faulty_cfg(BackendKind::RelaxedDram);
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let w = suite.iter().find(|w| w.name() == "heat").unwrap();
+    for design in [DesignKind::Baseline, DesignKind::ZeroAvr] {
+        let m = run_on_design(w.as_ref(), &cfg, design);
+        assert_eq!(
+            m.counters.faults.injected_bit_flips, 0,
+            "{design:?} has no approximable lines to fault"
+        );
+        assert_eq!(m.counters.faults.degraded_lines, 0);
+        assert!(m.counters.faults.ecc_scrubs > 0, "critical transfers must scrub");
+    }
+}
+
+#[test]
+fn seed_changes_the_fault_stream() {
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let w = suite.iter().find(|w| w.name() == "heat").unwrap();
+    let mut cfg = faulty_cfg(BackendKind::RelaxedDram);
+    let a = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+    cfg.error_model.seed ^= 0xDEAD_BEEF;
+    let b = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+    assert!(a.counters.faults.injected_bit_flips > 0);
+    assert!(b.counters.faults.injected_bit_flips > 0);
+    assert_ne!(
+        (a.counters.faults.injected_bit_flips, a.output_error.to_bits()),
+        (b.counters.faults.injected_bit_flips, b.output_error.to_bits()),
+        "different seeds must not replay the identical fault stream"
+    );
+}
+
+#[test]
+fn hostile_fault_rate_exhausts_budget_but_stays_finite() {
+    // Adversarial configuration: a retention failure rate four orders of
+    // magnitude past plausible and a token retry budget. The run must
+    // complete — flagged as degraded, output error finite — rather than
+    // panic or emit NaN/Inf.
+    let mut cfg = SystemConfig::tiny().with_backend(BackendKind::RelaxedDram);
+    cfg.error_model.retention_fail_per_bit = 2e-2;
+    cfg.error_model.retry_budget = 4;
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let w = suite.iter().find(|w| w.name() == "heat").unwrap();
+    let m = run_on_design(w.as_ref(), &cfg, DesignKind::Avr);
+    let f = &m.counters.faults;
+    assert!(f.injected_bit_flips > 0, "hostile rate must inject");
+    assert!(f.retries <= 4, "retries cannot exceed the budget: {}", f.retries);
+    assert!(f.degraded_lines > 0, "budget exhaustion must flag degradation");
+    assert!(f.sanitized_values > 0, "degraded lines commit sanitized");
+    assert!(m.output_error.is_finite(), "degraded runs stay finite");
+    assert!(m.cycles > 0);
+}
