@@ -21,9 +21,19 @@
 #                         fault-injecting relaxed-refresh DRAM backend at
 #                         its default rates, so the graceful-degradation
 #                         and criticality-protection paths can never rot
+#   ./ci.sh test-pooled   release test suite with AVR_THREADS=4 — every
+#                         default-width SimPool (grid sweeps, Table 4
+#                         summaries, figure smoke) runs four workers wide,
+#                         so the chunked claiming / weighted scheduling /
+#                         golden-memoization machinery is exercised under
+#                         real concurrency by the whole suite, not only by
+#                         the tests that construct wide pools themselves
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR6.json + codec kernel smoke
+#                         committed BENCH_PR7.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
+#
+# Every stage prints its wall time on completion (run_stage), so a slow CI
+# leg is attributable to a stage instead of to "the job".
 #
 # Everything builds with the repo's .cargo/config.toml (host-native
 # codegen) and the channel pinned by rust-toolchain.toml; see
@@ -31,6 +41,20 @@
 
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Run one named stage function and report its wall time, pass or fail.
+run_stage() {
+    local stage="$1" fn="$2" t0 t1 rc=0
+    t0=$SECONDS
+    "$fn" || rc=$?
+    t1=$SECONDS
+    if [ "$rc" -eq 0 ]; then
+        echo "==> stage ${stage}: ok in $((t1 - t0))s"
+    else
+        echo "==> stage ${stage}: FAILED after $((t1 - t0))s" >&2
+    fi
+    return "$rc"
+}
 
 lint() {
     echo "==> cargo fmt --check"
@@ -91,16 +115,31 @@ test_relaxed() {
     AVR_BACKEND=relaxed cargo test --release --workspace -q
 }
 
+test_pooled() {
+    echo "==> cargo test --release with AVR_THREADS=4 (4-wide SimPool)"
+    # AVR_THREADS overrides every default-width SimPool, so the whole
+    # suite runs its grid sweeps and Table 4 summaries four workers wide
+    # even on a smaller CI runner: chunked claiming, heaviest-first
+    # scheduling and the golden-run memoization all execute under real
+    # worker concurrency, and the determinism tests verify the results
+    # stay bit-identical to the 1-thread order. Tests that construct
+    # explicit-width pools (tests/determinism.rs, tests/scaling.rs) are
+    # unaffected — SimPool::new ignores the env.
+    AVR_THREADS=4 cargo test --release --workspace -q
+}
+
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR6.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR7.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
     # speed cancels), and hard-fails on workload/backend set drift; the
-    # JSON is uploaded as a CI artifact. The baseline is BENCH_PR6.json —
-    # first trajectory measured through the pluggable DramBackend trait,
-    # with the backend axis recorded (the ROADMAP re-gate rule applies).
+    # JSON is uploaded as a CI artifact. The baseline is BENCH_PR7.json —
+    # first trajectory with host-width provenance and the engine scaling
+    # curve recorded; on a multi-core runner the gate also fails if the
+    # pooled Table 4 sweep is slower than single-thread (the ROADMAP
+    # re-gate rule applies).
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR6.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR7.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
@@ -108,28 +147,30 @@ perf() {
 }
 
 case "${1:-all}" in
-    lint) lint ;;
-    test-debug) test_debug ;;
-    test-release) test_release ;;
-    test-scalar) test_scalar ;;
-    test-perword) test_perword ;;
-    test-relaxed) test_relaxed ;;
-    perf) perf ;;
+    lint) run_stage lint lint ;;
+    test-debug) run_stage test-debug test_debug ;;
+    test-release) run_stage test-release test_release ;;
+    test-scalar) run_stage test-scalar test_scalar ;;
+    test-perword) run_stage test-perword test_perword ;;
+    test-relaxed) run_stage test-relaxed test_relaxed ;;
+    test-pooled) run_stage test-pooled test_pooled ;;
+    perf) run_stage perf perf ;;
     quick)
-        lint
-        test_release
+        run_stage lint lint
+        run_stage test-release test_release
         ;;
     all)
-        lint
-        test_debug
-        test_release
-        test_scalar
-        test_perword
-        test_relaxed
-        perf
+        run_stage lint lint
+        run_stage test-debug test_debug
+        run_stage test-release test_release
+        run_stage test-scalar test_scalar
+        run_stage test-perword test_perword
+        run_stage test-relaxed test_relaxed
+        run_stage test-pooled test_pooled
+        run_stage perf perf
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|test-relaxed|perf|quick|all]" >&2
+        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|test-relaxed|test-pooled|perf|quick|all]" >&2
         exit 2
         ;;
 esac

@@ -47,15 +47,38 @@
 //! DRAM, approximate MRAM) at that backend's default fault rates,
 //! recording aggregate blocks/s plus the injected-fault/degradation
 //! counters — the robustness trajectory next to the throughput one.
+//!
+//! # Host-width provenance and the scaling curve
+//!
+//! The top-level `host` object records `available_parallelism` and the
+//! pool width the sweep timings used. The PR-2..PR-6 trajectory files
+//! recorded `pool_threads: 4` with sweep speedups of 0.94–0.97× and *no
+//! way to tell* whether that was an engine regression or a
+//! 1-hardware-thread recording container time-slicing four workers (it
+//! was the latter, plus real engine overhead — see PERFORMANCE.md).
+//! `--check` now warns loudly when the baseline and the current host
+//! widths differ, and on a multi-core host **fails** if the pooled
+//! Table 4 sweep is slower than single-thread.
+//!
+//! Each section also carries a `scaling` object: the full nine-workload ×
+//! five-design grid timed at 1/2/4/N threads (golden runs pre-warmed into
+//! the memoization cache so the curve measures the *engine*, not the
+//! share of golden recomputation the cache already removed), plus a
+//! per-workload single-vs-pooled speedup over that workload's five-design
+//! column.
 
 use avr_core::{BackendKind, DesignKind, SimPool, SystemConfig};
-use avr_workloads::{all_benchmarks, run_grid, run_on_design, BenchScale, Workload};
+use avr_workloads::{all_benchmarks, golden_run, run_grid, run_on_design, BenchScale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Regression budget for `--check`: fail when a workload's blocks/s drops
 /// below this fraction of the committed baseline.
 const GATE_FRACTION: f64 = 0.75;
+
+/// `--check` scaling gate, active only when the *current* host has ≥ 2
+/// cores: the pooled Table 4 sweep must not be slower than single-thread.
+const SCALING_GATE: f64 = 1.0;
 
 struct WorkloadRate {
     workload: &'static str,
@@ -93,11 +116,33 @@ impl BackendRate {
     }
 }
 
+/// One width's measurement of the full (9 workloads × 5 designs) grid.
+struct ScalingPoint {
+    threads: usize,
+    wall_ms: f64,
+}
+
+/// One workload's five-design column timed single-thread vs. pooled.
+struct WorkloadScaling {
+    workload: &'static str,
+    single_thread_ms: f64,
+    pooled_ms: f64,
+}
+
+/// The engine scaling curve for one section.
+struct Scaling {
+    grid_jobs: usize,
+    points: Vec<ScalingPoint>,
+    max_threads: usize,
+    per_workload: Vec<WorkloadScaling>,
+}
+
 struct Section {
     scale_label: &'static str,
     workloads: Vec<WorkloadRate>,
     sweep: SweepTiming,
     backends: Vec<BackendRate>,
+    scaling: Scaling,
 }
 
 fn config_for(scale: BenchScale) -> SystemConfig {
@@ -158,20 +203,38 @@ fn measure_workloads(
         .collect()
 }
 
+/// Prime the golden-run memoization cache for every workload in `suite`,
+/// so sweep/scaling timings measure the engine rather than a one-off
+/// cold-cache golden recomputation on whichever width runs first.
+fn prime_goldens(suite: &[Box<dyn Workload>]) {
+    for w in suite {
+        let _ = golden_run(w.as_ref());
+    }
+}
+
 /// Time the Table 4 sweep (nine workloads × AVR) single-threaded vs. on
-/// the pool.
+/// the pool. Best-of-2 per width: a single tiny-scale grid is ~tens of
+/// milliseconds, and the `--check` scaling gate compares these two
+/// numbers directly.
 fn measure_sweep(
     suite: &[Box<dyn Workload>],
     cfg: &SystemConfig,
     pool_threads: usize,
 ) -> SweepTiming {
     let designs = [DesignKind::Avr];
-    let t0 = Instant::now();
-    let serial = run_grid(&SimPool::new(1), suite, cfg, &designs);
-    let single_thread_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t0 = Instant::now();
-    let pooled = run_grid(&SimPool::new(pool_threads), suite, cfg, &designs);
-    let pooled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    prime_goldens(suite);
+    let time_width = |threads: usize| {
+        let mut best_ms = f64::MAX;
+        let mut grid = Vec::new();
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            grid = run_grid(&SimPool::new(threads), suite, cfg, &designs);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (best_ms, grid)
+    };
+    let (single_thread_ms, serial) = time_width(1);
+    let (pooled_ms, pooled) = time_width(pool_threads);
     // The engine's determinism contract, asserted on every bench run.
     for (a, b) in serial.iter().zip(&pooled) {
         assert_eq!(
@@ -181,6 +244,52 @@ fn measure_sweep(
         );
     }
     SweepTiming { pool_threads, single_thread_ms, pooled_ms }
+}
+
+/// The engine scaling curve: the full (9 workloads × 5 designs) grid at
+/// 1/2/4/N threads, plus each workload's five-design column at 1 vs. max
+/// width. Goldens are pre-warmed (see [`prime_goldens`]); the committed
+/// JSON records the honest result for whatever host ran it — the `host`
+/// provenance object is what makes the number interpretable.
+fn measure_scaling(
+    suite: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    pool_threads: usize,
+) -> Scaling {
+    let designs = DesignKind::ALL;
+    prime_goldens(suite);
+    let mut widths = vec![1usize, 2, 4];
+    if pool_threads > 4 {
+        widths.push(pool_threads);
+    }
+    let max_threads = *widths.last().unwrap();
+    let points = widths
+        .iter()
+        .map(|&threads| {
+            let t0 = Instant::now();
+            let grid = run_grid(&SimPool::new(threads), suite, cfg, &designs);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(grid.len(), suite.len() * designs.len());
+            ScalingPoint { threads, wall_ms }
+        })
+        .collect();
+    let per_workload = suite
+        .iter()
+        .map(|w| {
+            let col = std::slice::from_ref(w);
+            let time_width = |threads: usize| {
+                let t0 = Instant::now();
+                let _ = run_grid(&SimPool::new(threads), col, cfg, &designs);
+                t0.elapsed().as_secs_f64() * 1e3
+            };
+            WorkloadScaling {
+                workload: w.name(),
+                single_thread_ms: time_width(1),
+                pooled_ms: time_width(max_threads),
+            }
+        })
+        .collect();
+    Scaling { grid_jobs: suite.len() * designs.len(), points, max_threads, per_workload }
 }
 
 /// Run the nine-workload × AVR grid once per error-model backend at the
@@ -234,6 +343,7 @@ fn measure_section(
         workloads: measure_workloads(&suite, &cfg, reps),
         sweep: measure_sweep(&suite, &cfg, pool_threads),
         backends: measure_backends(&suite, &cfg),
+        scaling: measure_scaling(&suite, &cfg, pool_threads),
     }
 }
 
@@ -278,12 +388,44 @@ fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
     let _ = writeln!(
         json,
         "      \"table4_sweep\": {{ \"pool_threads\": {}, \"single_thread_ms\": {:.1}, \
-         \"pooled_ms\": {:.1}, \"speedup\": {:.2} }}",
+         \"pooled_ms\": {:.1}, \"speedup\": {:.2} }},",
         sw.pool_threads,
         sw.single_thread_ms,
         sw.pooled_ms,
         sw.single_thread_ms / sw.pooled_ms.max(1e-9)
     );
+    let sc = &s.scaling;
+    let _ = writeln!(json, "      \"scaling\": {{");
+    let _ = writeln!(json, "        \"grid_jobs\": {},", sc.grid_jobs);
+    json.push_str("        \"points\": [\n");
+    let base_ms = sc.points[0].wall_ms;
+    for (i, p) in sc.points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "          {{ \"threads\": {}, \"wall_ms\": {:.1}, \"speedup\": {:.2} }}{}",
+            p.threads,
+            p.wall_ms,
+            base_ms / p.wall_ms.max(1e-9),
+            if i + 1 < sc.points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("        ],\n");
+    json.push_str("        \"per_workload\": [\n");
+    for (i, w) in sc.per_workload.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "          {{ \"workload\": \"{}\", \"threads\": {}, \"single_thread_ms\": {:.1}, \
+             \"pooled_ms\": {:.1}, \"speedup\": {:.2} }}{}",
+            w.workload,
+            sc.max_threads,
+            w.single_thread_ms,
+            w.pooled_ms,
+            w.single_thread_ms / w.pooled_ms.max(1e-9),
+            if i + 1 < sc.per_workload.len() { "," } else { "" }
+        );
+    }
+    json.push_str("        ]\n");
+    json.push_str("      }\n");
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
@@ -327,6 +469,14 @@ fn parse_baseline(text: &str, section: &str) -> Vec<(String, f64)> {
     parse_baseline_by(text, section, "workload")
 }
 
+/// The baseline's recorded host width, or `None` for trajectory files
+/// predating the provenance record (BENCH_PR6.json and earlier).
+fn parse_host_width(text: &str) -> Option<usize> {
+    text.lines()
+        .find_map(|l| l.split("\"available_parallelism\": ").nth(1))
+        .and_then(|r| r.split(|c: char| !c.is_ascii_digit()).next()?.parse().ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke_only = args.iter().any(|a| a == "--smoke");
@@ -350,6 +500,10 @@ fn main() {
     // The scaling record always exercises ≥ 4 workers (they time-slice on
     // smaller machines; the JSON records the honest result either way).
     let sweep_threads = env_pool.threads().max(4);
+    // Host-width provenance: without this, a committed "speedup 0.97×"
+    // from a 1-hardware-thread container is indistinguishable from a real
+    // engine regression (the PR-2..PR-6 ambiguity).
+    let host_width = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     eprintln!("bench_e2e: smoke section (tiny scale)...");
     let smoke = measure_section(BenchScale::Tiny, "tiny", 3, sweep_threads);
@@ -366,6 +520,11 @@ fn main() {
     let _ = writeln!(json, "  \"unit\": \"blocks_per_sec (1 KB simulated DRAM blocks / wall s)\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke_only { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"target\": \"host-native (.cargo/config.toml)\",");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"available_parallelism\": {host_width}, \"pool_threads\": \
+         {sweep_threads} }},"
+    );
     json.push_str("  \"sections\": {\n");
     render_section(&mut json, "smoke", &smoke, full.is_none());
     if let Some(full) = &full {
@@ -404,6 +563,19 @@ fn main() {
             sw.pool_threads,
             sw.pooled_ms,
             sw.single_thread_ms / sw.pooled_ms.max(1e-9)
+        );
+        let sc = &s.scaling;
+        let base_ms = sc.points[0].wall_ms;
+        let curve: Vec<String> = sc
+            .points
+            .iter()
+            .map(|p| format!("{}T {:.0} ms ({:.2}x)", p.threads, p.wall_ms, base_ms / p.wall_ms))
+            .collect();
+        eprintln!(
+            "scaling ({} jobs, host width {}): {}",
+            sc.grid_jobs,
+            host_width,
+            curve.join("  ")
         );
     }
 
@@ -518,5 +690,48 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("GATE: all workloads within the {:.0} % budget", (1.0 - GATE_FRACTION) * 100.0);
+
+        // Width provenance: a raw speedup comparison across hosts with
+        // different hardware widths is meaningless — say so loudly, every
+        // time, so the PR-2 "1-thread container → speedup ≈ 1×" ambiguity
+        // can never silently recur.
+        match parse_host_width(&text) {
+            Some(bw) if bw != host_width => eprintln!(
+                "GATE: WARNING — baseline {baseline_path} was recorded at \
+                 available_parallelism={bw} but this host has {host_width}; pooled-speedup \
+                 numbers are NOT comparable across host widths (only the current-host scaling \
+                 gate below is meaningful)"
+            ),
+            Some(bw) => eprintln!("GATE: host width matches baseline ({bw} hardware threads)"),
+            None => eprintln!(
+                "GATE: WARNING — baseline {baseline_path} predates host-width provenance; \
+                 its sweep speedups cannot be attributed to the engine or the recording host"
+            ),
+        }
+        // Current-host scaling gate: on any multi-core host, a pooled
+        // sweep that loses to single-thread is an engine regression, full
+        // stop — the exact class of failure the 0.94–0.97× trajectory
+        // entries could not flag.
+        let sweep_speedup = smoke.sweep.single_thread_ms / smoke.sweep.pooled_ms.max(1e-9);
+        if host_width >= 2 {
+            if sweep_speedup < SCALING_GATE {
+                eprintln!(
+                    "GATE: FAIL — Table 4 sweep pooled speedup {sweep_speedup:.2}x < \
+                     {SCALING_GATE:.2}x on a {host_width}-thread host ({} threads pooled): the \
+                     parallel engine is slower than single-thread",
+                    smoke.sweep.pool_threads
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "GATE: pooled sweep speedup {sweep_speedup:.2}x on {host_width} hardware \
+                 threads — ok"
+            );
+        } else {
+            eprintln!(
+                "GATE: single-hardware-thread host — pooled speedup {sweep_speedup:.2}x \
+                 recorded, scaling gate skipped (needs >= 2 cores)"
+            );
+        }
     }
 }

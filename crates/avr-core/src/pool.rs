@@ -8,9 +8,10 @@
 //!
 //! * **Deterministic**: each job gets a [`JobCtx`] whose `seed` is a pure
 //!   function of the job index (splitmix64), and results come back in job
-//!   order regardless of thread count or scheduling. A pool of N threads is
-//!   bit-identical to the single-threaded path (`tests/determinism.rs`
-//!   asserts this for every workload).
+//!   order regardless of thread count, scheduling policy or claiming
+//!   granularity. A pool of N threads is bit-identical to the
+//!   single-threaded path (`tests/determinism.rs` asserts this for every
+//!   workload; `tests/scaling.rs` asserts it for every scheduling policy).
 //! * **Dependency-free**: plain `std::thread::scope` workers pulling job
 //!   indices from a shared atomic — no external thread-pool crate (the
 //!   build environment is offline).
@@ -18,8 +19,47 @@
 //!   (`avr_bench::Sweep`), the SPMD multicore runner
 //!   ([`crate::multicore::run_multicore_on`]) and the parallel Table 4
 //!   block scan ([`crate::summary`]).
+//!
+//! # Scheduling policy
+//!
+//! Workers claim work from a shared cursor; what a claim *means* depends
+//! on the entry point:
+//!
+//! * [`SimPool::run_jobs`] — jobs are claimed in index order, in **chunks**
+//!   when the batch is large (`total / (workers × 8)`, clamped to
+//!   `1..=64`): one atomic RMW amortizes across a run of jobs, so a
+//!   100k-job batch does ~thousands of cursor operations instead of 100k,
+//!   while the shrinking tail still load-balances.
+//! * [`SimPool::run_jobs_weighted`] — the caller supplies a per-job cost
+//!   estimate and jobs are claimed **heaviest-first** (LPT order, one job
+//!   per claim). For heavily skewed batches — the nine-workload sweep
+//!   spans ~45× between `fft` and the lightest workloads — this keeps the
+//!   long pole from being claimed last, which would otherwise bound
+//!   speedup by `t_longest + t_rest/N` with the longest job serialized at
+//!   the *end* of the schedule. Only the claiming order changes: results
+//!   are still returned (and bit-identical) in job order, for any weight
+//!   function and any width.
+//!
+//! # Why the engine is structured this way
+//!
+//! The PR-2 engine collected `(index, result)` pairs into a mutex-guarded
+//! vec and sorted at the end, and its job cursor shared a cache line with
+//! whatever the allocator placed next to it. The committed BENCH_PR5/PR6
+//! trajectories showed the pooled Table 4 sweep at 0.94–0.97× vs.
+//! single-thread — partly a 1-hardware-thread recording host (now recorded
+//! as `available_parallelism` provenance in the trajectory JSON), partly
+//! real structural overhead. The current engine:
+//!
+//! * pads the job cursor to its own cache lines (`PaddedCursor`) so
+//!   claim traffic never false-shares;
+//! * writes each result into a **preallocated slot** owned by its job
+//!   index (`ResultSlots`) — no result mutex, no tag, no final sort;
+//! * claims in chunks (above) so cursor traffic scales with
+//!   `workers × chunks`, not jobs.
 
+use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -76,6 +116,77 @@ pub fn shard_seed(index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A shared claim cursor padded to its own cache lines, so the hot
+/// `fetch_add` traffic can never false-share with neighboring state (the
+/// result slots, a worker's stack spill, whatever the allocator packs
+/// next to it). 128-byte alignment covers the adjacent-line prefetcher
+/// pairing lines on modern x86 parts.
+#[repr(align(128))]
+pub(crate) struct PaddedCursor(pub(crate) AtomicUsize);
+
+impl PaddedCursor {
+    pub(crate) fn new() -> Self {
+        PaddedCursor(AtomicUsize::new(0))
+    }
+}
+
+/// Preallocated per-job result storage: each job index owns exactly one
+/// slot, written once by whichever worker ran the job and read once after
+/// the scope joins. Replaces the PR-2 engine's mutex-guarded
+/// `Vec<(index, T)>` + final sort — no lock on the result path, no
+/// allocation per result, and job order is structural instead of
+/// re-established by sorting.
+struct ResultSlots<T> {
+    slots: Vec<UnsafeCell<MaybeUninit<T>>>,
+    /// Completed-slot count; the completeness check in [`Self::into_vec`].
+    filled: AtomicUsize,
+}
+
+/// SAFETY: workers write disjoint slots (each job index is claimed by
+/// exactly one worker — see the claiming loop) and the main thread reads
+/// only after `thread::scope` joins every worker, which provides the
+/// happens-before edge for the unsynchronized cell contents.
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    fn new(total: usize) -> Self {
+        let mut slots = Vec::with_capacity(total);
+        slots.resize_with(total, || UnsafeCell::new(MaybeUninit::uninit()));
+        ResultSlots { slots, filled: AtomicUsize::new(0) }
+    }
+
+    /// Store job `i`'s result.
+    ///
+    /// SAFETY: each index must be written at most once across all workers
+    /// (the claim protocol guarantees exactly once). If a job panics, the
+    /// scope unwinds before `into_vec`; already-written non-`Copy` results
+    /// are leaked rather than dropped — acceptable for a harness whose
+    /// jobs only panic on assertion failures.
+    unsafe fn put(&self, i: usize, value: T) {
+        unsafe { (*self.slots[i].get()).write(value) };
+        // Relaxed: the scope join, not this counter, orders the reads.
+        self.filled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take all results in job order. Panics if any slot was left empty
+    /// (a claim-protocol bug — better loud than uninitialized reads).
+    fn into_vec(self) -> Vec<T> {
+        assert_eq!(
+            self.filled.load(Ordering::Relaxed),
+            self.slots.len(),
+            "SimPool claim protocol left result slots unfilled"
+        );
+        // SAFETY: every slot was written exactly once (checked above).
+        self.slots.into_iter().map(|c| unsafe { c.into_inner().assume_init() }).collect()
+    }
+}
+
+/// Unweighted claiming granularity: aim for ~8 chunks per worker so the
+/// tail still load-balances, claim at least 1 and at most 64 jobs per
+/// cursor RMW.
+const CHUNKS_PER_WORKER: usize = 8;
+const MAX_CLAIM_CHUNK: usize = 64;
+
 /// A fixed-width pool of simulation workers.
 #[derive(Clone, Copy, Debug)]
 pub struct SimPool {
@@ -110,11 +221,49 @@ impl SimPool {
     }
 
     /// Run `total` independent jobs and return their results **in job
-    /// order**. Jobs are claimed dynamically (an atomic cursor), so uneven
-    /// job costs load-balance, but the output order — and, because jobs are
+    /// order**. Jobs are claimed dynamically in index order (chunked for
+    /// large batches — see the module docs), so uneven job costs
+    /// load-balance, but the output order — and, because jobs are
     /// independent and deterministic, every result bit — is identical for
     /// any pool width.
     pub fn run_jobs<T, F>(&self, total: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(JobCtx) -> T + Sync,
+    {
+        self.run_scheduled(total, None, job)
+    }
+
+    /// Run `total` independent jobs with **size-aware scheduling**:
+    /// `weight(index)` estimates each job's relative cost (arbitrary
+    /// units; only the ordering matters), and workers claim jobs
+    /// heaviest-first so the longest poles start immediately instead of
+    /// possibly last. Ties keep job-index order (the sort is stable), the
+    /// schedule is a pure function of the weights, and results are
+    /// returned in **job order, bit-identical** to [`SimPool::run_jobs`]
+    /// at any width (`tests/scaling.rs` pins this).
+    pub fn run_jobs_weighted<T, F, W>(&self, total: usize, weight: W, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(JobCtx) -> T + Sync,
+        W: Fn(usize) -> u64,
+    {
+        if self.threads == 1 || total <= 1 {
+            // The schedule cannot change anything single-threaded; skip
+            // building it.
+            return self.run_scheduled(total, None, job);
+        }
+        assert!(u32::try_from(total).is_ok(), "batch too large for the u32 schedule");
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weight(i as usize)));
+        self.run_scheduled(total, Some(order), job)
+    }
+
+    /// The shared engine behind both entry points: claim positions from a
+    /// padded cursor (chunked when unscheduled), map them through the
+    /// optional heaviest-first schedule, write each result into its job's
+    /// preallocated slot.
+    fn run_scheduled<T, F>(&self, total: usize, schedule: Option<Vec<u32>>, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(JobCtx) -> T + Sync,
@@ -124,29 +273,36 @@ impl SimPool {
             // Inline fast path: no spawn overhead, trivially deterministic.
             return (0..total).map(|i| job(ctx(i))).collect();
         }
-        let cursor = AtomicUsize::new(0);
-        let done = Mutex::new(Vec::<(usize, T)>::with_capacity(total));
+        let workers = self.threads.min(total);
+        // A weighted schedule claims one job per RMW: its batches are
+        // small and skewed (that is why they are weighted), and chunking
+        // would hand one worker a run of same-workload cells — including
+        // the heavy ones the schedule exists to spread out.
+        let chunk = match &schedule {
+            Some(_) => 1,
+            None => (total / (workers * CHUNKS_PER_WORKER)).clamp(1, MAX_CLAIM_CHUNK),
+        };
+        let cursor = PaddedCursor::new();
+        let slots = ResultSlots::new(total);
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(total) {
-                scope.spawn(|| {
-                    // Each worker accumulates locally and publishes once at
-                    // the end, keeping the mutex off the per-job path.
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        local.push((i, job(ctx(i))));
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        break;
                     }
-                    done.lock().unwrap().append(&mut local);
+                    for pos in start..(start + chunk).min(total) {
+                        let i = schedule.as_ref().map_or(pos, |o| o[pos] as usize);
+                        // SAFETY: `pos` values are claimed exactly once
+                        // (monotone fetch_add) and `schedule` is a
+                        // permutation, so each slot `i` is written exactly
+                        // once.
+                        unsafe { slots.put(i, job(ctx(i))) };
+                    }
                 });
             }
         });
-        let mut tagged = done.into_inner().unwrap();
-        tagged.sort_unstable_by_key(|(i, _)| *i);
-        debug_assert_eq!(tagged.len(), total);
-        tagged.into_iter().map(|(_, t)| t).collect()
+        slots.into_vec()
     }
 }
 
@@ -160,6 +316,34 @@ mod tests {
             let pool = SimPool::new(threads);
             let out = pool.run_jobs(100, |ctx| ctx.index * 3);
             assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunked_claiming_covers_large_batches_exactly_once() {
+        // 10_000 jobs across 8 workers exercises chunked claims (chunk =
+        // 10_000/64 → clamped to 64) including the partial tail chunk.
+        let pool = SimPool::new(8);
+        let out = pool.run_jobs(10_000, |ctx| ctx.index as u64 + 1);
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn weighted_results_match_unweighted_bit_for_bit() {
+        let pool = SimPool::new(4);
+        let plain = pool.run_jobs(97, |ctx| (ctx.index, ctx.seed));
+        // Adversarial weights: reverse-cost (lightest job first in index
+        // order), constant ties, and a skewed mix.
+        for weight in [
+            (|i| 97 - i as u64) as fn(usize) -> u64,
+            |_| 7,
+            |i| if i % 9 == 0 { 1_000_000 } else { i as u64 },
+        ] {
+            let weighted = pool.run_jobs_weighted(97, weight, |ctx| (ctx.index, ctx.seed));
+            assert_eq!(weighted, plain, "schedule changed results");
         }
     }
 
@@ -190,6 +374,19 @@ mod tests {
         let pool = SimPool::new(16);
         assert_eq!(pool.run_jobs(2, |ctx| ctx.index), vec![0, 1]);
         assert_eq!(pool.run_jobs(0, |ctx| ctx.index), Vec::<usize>::new());
+        assert_eq!(pool.run_jobs_weighted(0, |_| 1, |ctx| ctx.index), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn non_copy_results_round_trip() {
+        // ResultSlots handles owned values (the real jobs return
+        // RunMetrics with heap payloads).
+        let pool = SimPool::new(3);
+        let out = pool.run_jobs_weighted(20, |i| i as u64, |ctx| vec![ctx.index; ctx.index % 4]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 4);
+            assert!(v.iter().all(|&x| x == i));
+        }
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! counting allocator), and the whole scan stays bit-deterministic because
 //! the per-block byte counts are summed with associative integer adds.
 
+use crate::pool::PaddedCursor;
 use avr_compress::{Compressor, Thresholds};
 use avr_sim::vm::PhysMem;
 use avr_types::addr::BLOCK_BYTES;
 use avr_types::{BlockAddr, DataType, CL_BYTES};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 
 /// Blocks claimed per atomic fetch: large enough to amortize contention,
@@ -61,7 +62,9 @@ pub fn parallel_summary(
         let mut comp = Compressor::new(th, max_lines);
         return scan_blocks(&mut comp, mem, blocks);
     }
-    let cursor = AtomicUsize::new(0);
+    // The claim cursor rides the pool engine's padded cell so chunk
+    // claims never false-share with the totals mutex or worker stacks.
+    let cursor = PaddedCursor::new();
     let totals = Mutex::new((0u64, 0u64));
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -71,7 +74,7 @@ pub fn parallel_summary(
                 let mut comp = Compressor::new(th, max_lines);
                 let (mut raw, mut stored) = (0u64, 0u64);
                 loop {
-                    let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    let start = cursor.0.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
                     if start >= blocks.len() {
                         break;
                     }

@@ -5,6 +5,7 @@
 //! the benchmark is compute-bound — the paper sees little impact from any
 //! design here.
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::hash01;
 use avr_core::Vm;
@@ -49,6 +50,15 @@ fn norm_cdf(x: f64) -> f64 {
 impl Workload for BlackScholes {
     fn name(&self) -> &'static str {
         "bscholes"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new("bscholes", &[self.options as u64], 0))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Seven input/output arrays streamed once, plus the kernel math.
+        (self.options * 8) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

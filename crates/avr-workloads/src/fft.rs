@@ -11,6 +11,7 @@
 //! relative error stays a meaningful quality metric (AxBench's fft is also
 //! judged on average relative error of the spectrum).
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use avr_core::Vm;
 use avr_types::{DataType, PhysAddr};
@@ -67,6 +68,20 @@ fn addr(base: PhysAddr, idx: usize) -> PhysAddr {
 impl Workload for Fft {
     fn name(&self) -> &'static str {
         "fft"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "fft",
+            &[u64::from(self.log2_n), u64::from(self.pulse_amp.to_bits())],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // log2(n) butterfly passes over planar re/im — the suite's long
+        // pole (~45× the lightest workloads in simulated blocks).
+        (self.n() as u64) * u64::from(self.log2_n) * 4
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

@@ -18,6 +18,7 @@
 //! bench-scale field is bit-identical to what it always was (`wall_taper
 //! = 0` takes the exact hard-wall branch).
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use avr_core::Vm;
 use avr_types::{DataType, PhysAddr};
@@ -72,6 +73,28 @@ impl Heat {
 impl Workload for Heat {
     fn name(&self) -> &'static str {
         "heat"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        // Pure function of every field: grid shape, trip count, and the
+        // scale-aware initial-condition knobs.
+        Some(GoldenKey::new(
+            "heat",
+            &[
+                self.width as u64,
+                self.height as u64,
+                self.iters as u64,
+                u64::from(self.spot_amp.0.to_bits()),
+                u64::from(self.spot_amp.1.to_bits()),
+                u64::from(self.wall_taper.to_bits()),
+            ],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Five stencil reads + one write per cell per Jacobi iteration.
+        (self.width * self.height * self.iters * 6) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

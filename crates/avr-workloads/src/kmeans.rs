@@ -7,6 +7,7 @@
 //! iteration count until convergence can grow when the input is
 //! approximated (the paper calls this out explicitly for AVR).
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::{fractal_terrain, hash01};
 use avr_core::Vm;
@@ -40,6 +41,25 @@ impl KMeans {
 impl Workload for KMeans {
     fn name(&self) -> &'static str {
         "kmeans"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "kmeans",
+            &[
+                self.points as u64,
+                self.k as u64,
+                self.max_iters as u64,
+                u64::from(self.eps.to_bits()),
+            ],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // One elevation stream per assign pass, up to max_iters passes
+        // (convergence may stop earlier — a coarse upper bound is fine).
+        (self.points * self.max_iters) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

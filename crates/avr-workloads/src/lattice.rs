@@ -4,6 +4,7 @@
 //! functions ("P and M"); output: velocity and pressure fields.
 #![allow(clippy::needless_range_loop)] // parallel gather/scatter arrays read clearer indexed
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::car_silhouette;
 use avr_core::Vm;
@@ -67,6 +68,26 @@ impl Lattice {
 impl Workload for Lattice {
     fn name(&self) -> &'static str {
         "lattice"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "lattice",
+            &[
+                self.width as u64,
+                self.height as u64,
+                self.iters as u64,
+                u64::from(self.u0.to_bits()),
+                u64::from(self.tau.to_bits()),
+            ],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Nine distributions × (stream gather + collide + write) per cell
+        // per iteration.
+        (self.width * self.height * self.iters * 9 * 6) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

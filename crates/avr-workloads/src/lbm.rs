@@ -4,6 +4,7 @@
 //! why the paper reports a 15.6:1 ratio here.
 #![allow(clippy::needless_range_loop)] // parallel gather/scatter arrays read clearer indexed
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use avr_core::Vm;
 use avr_types::{DataType, PhysAddr};
@@ -77,6 +78,27 @@ impl Lbm {
 impl Workload for Lbm {
     fn name(&self) -> &'static str {
         "lbm"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "lbm",
+            &[
+                self.nx as u64,
+                self.ny as u64,
+                self.nz as u64,
+                self.iters as u64,
+                u64::from(self.u0.to_bits()),
+                u64::from(self.tau.to_bits()),
+            ],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Nineteen distributions × (neighbor gather + collide + write) per
+        // cell per iteration — the suite's heaviest per-cell kernel.
+        (self.nx * self.ny * self.nz * self.iters * 19 * 6) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

@@ -22,6 +22,7 @@
 
 pub mod bscholes;
 pub mod fft;
+pub mod golden;
 pub mod heat;
 pub mod kmeans;
 pub mod lattice;
@@ -32,6 +33,7 @@ pub mod sobel;
 pub mod terrain;
 pub mod wrf;
 
+pub use golden::{golden_run, GoldenKey};
 pub use runner::{
     all_benchmarks, mean_relative_error, run_grid, run_on_design, run_suite_on_pool, BenchScale,
     GridRun, Workload,

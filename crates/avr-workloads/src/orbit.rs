@@ -9,6 +9,7 @@
 //! acceleration sampled from the *stored* density gradient — so
 //! approximation error in the field perturbs the trajectories.
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use avr_core::Vm;
 use avr_types::{DataType, PhysAddr};
@@ -40,6 +41,20 @@ impl Orbit {
 impl Workload for Orbit {
     fn name(&self) -> &'static str {
         "orbit"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "orbit",
+            &[self.nx as u64, self.ny as u64, self.nz as u64, self.steps as u64],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Per step: re-tabulate the gas field (one write per cell) plus
+        // the gathered stencil probes.
+        (self.nx * self.ny * self.nz * self.steps * 2) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

@@ -3,9 +3,11 @@
 //! A run of (workload × design) produces a [`RunMetrics`]: the timed system
 //! executes the workload (approximation feeding back into its data), and
 //! the output vector is compared element-wise against a golden run on
-//! [`ExactVm`] to produce Table 3's mean-relative-error metric.
+//! [`avr_core::ExactVm`] to produce Table 3's mean-relative-error
+//! metric.
 
-use avr_core::{DesignKind, ExactVm, SimPool, System, SystemConfig, Vm};
+use crate::golden::{golden_run, GoldenKey};
+use avr_core::{DesignKind, SimPool, System, SystemConfig, Vm};
 use avr_sim::RunMetrics;
 
 /// A benchmark program.
@@ -15,6 +17,26 @@ pub trait Workload: Sync {
 
     /// Execute against a VM and return the application output values.
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64>;
+
+    /// Identity of this instance's golden (exact) run, enabling the
+    /// process-wide memoization in [`crate::golden`]. Return a key only if
+    /// `run` is a **pure function of the keyed fields** — same name, same
+    /// parameters, same seed ⇒ bit-identical output. The default (`None`)
+    /// opts out: the golden run is recomputed every time, which is always
+    /// correct.
+    fn golden_key(&self) -> Option<GoldenKey> {
+        None
+    }
+
+    /// Relative cost estimate for size-aware pool scheduling — arbitrary
+    /// units (the nine in-tree workloads report approximate element
+    /// touches per run); **only the ordering matters**, and a coarse
+    /// estimate is fine: scheduling only degrades toward the unweighted
+    /// order if heavy jobs are misranked. The default makes every job
+    /// equal, which reduces to index-order claiming.
+    fn cost_hint(&self) -> u64 {
+        1
+    }
 }
 
 /// Which problem size to instantiate.
@@ -54,8 +76,9 @@ pub fn run_on_design(
     cfg: &SystemConfig,
     design: DesignKind,
 ) -> RunMetrics {
-    let mut exact = ExactVm::new();
-    let golden = workload.run(&mut exact);
+    // Golden runs are design- and backend-invariant; memoized when the
+    // workload provides a key (see `crate::golden` for the contract).
+    let golden = golden_run(workload);
 
     let mut sys = System::new(cfg.clone(), design);
     let out = workload.run(&mut sys);
@@ -88,10 +111,23 @@ pub struct GridRun {
     pub metrics: RunMetrics,
 }
 
+/// A workload's first design cell computes (or waits on) the memoized
+/// golden run; later cells hit the warm cache. Weighting the first cell
+/// heavier schedules all the golden computations into the pool's opening
+/// claims — one per worker, different workloads — instead of letting four
+/// workers claim four cells of the *same* heavy workload and serialize on
+/// its once-cell. Coarse by design: only the claiming order depends on it.
+const GOLDEN_CELL_BOOST: u64 = 4;
+
 /// Run the full (workload × design) grid on `pool`, returning cells in
 /// workload-major, design-minor order. Each cell is an independent
 /// deterministic simulation, so the results are bit-identical for any pool
-/// width (`tests/determinism.rs` pins this).
+/// width (`tests/determinism.rs` pins this). Cells are claimed
+/// heaviest-first using each workload's [`Workload::cost_hint`] — the
+/// suite's job mix is heavily skewed (fft is ~45× more simulated blocks
+/// than the lightest workloads), and starting the long poles first is
+/// what keeps the sweep's makespan near `total/N` instead of
+/// `t_longest + rest/N`.
 pub fn run_grid(
     pool: &SimPool,
     suite: &[Box<dyn Workload>],
@@ -99,7 +135,15 @@ pub fn run_grid(
     designs: &[DesignKind],
 ) -> Vec<GridRun> {
     let cells = suite.len() * designs.len();
-    pool.run_jobs(cells, |ctx| {
+    let weight = |i: usize| {
+        let hint = suite[i / designs.len()].cost_hint().max(1);
+        if i.is_multiple_of(designs.len()) {
+            hint.saturating_mul(GOLDEN_CELL_BOOST)
+        } else {
+            hint
+        }
+    };
+    pool.run_jobs_weighted(cells, weight, |ctx| {
         let w = &suite[ctx.index / designs.len()];
         let design = designs[ctx.index % designs.len()];
         GridRun { workload: w.name(), design, metrics: run_on_design(w.as_ref(), cfg, design) }

@@ -17,6 +17,7 @@
 //! the finest-step noise in the same relative band as the bench image;
 //! the bench-scale input is untouched.
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::fractal_terrain;
 use avr_core::Vm;
@@ -67,6 +68,19 @@ impl Sobel {
 impl Workload for Sobel {
     fn name(&self) -> &'static str {
         "sobel"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "sobel",
+            &[self.width as u64, self.height as u64, u64::from(self.texture_amp.to_bits())],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // 3×3 window per pixel, single pass.
+        (self.width * self.height * 9) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

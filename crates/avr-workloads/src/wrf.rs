@@ -6,6 +6,7 @@
 //! ~3.4:1 ratio of Table 4. Output: the temperature field.
 #![allow(clippy::needless_range_loop)] // terrain blending indexes two profiles at once
 
+use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::fractal_terrain;
 use avr_core::Vm;
@@ -38,6 +39,19 @@ impl Wrf {
 impl Workload for Wrf {
     fn name(&self) -> &'static str {
         "wrf"
+    }
+
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new(
+            "wrf",
+            &[self.nx as u64, self.ny as u64, self.nz as u64, self.steps as u64],
+            0,
+        ))
+    }
+
+    fn cost_hint(&self) -> u64 {
+        // Thirteen grids touched per cell per step.
+        (self.nx * self.ny * self.nz * self.steps * 13) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {

@@ -22,7 +22,7 @@
 
 use avr::arch::{DesignKind, SystemConfig, Vm};
 use avr::types::{DataType, PhysAddr};
-use avr::workloads::{run_on_design, Workload};
+use avr::workloads::{run_on_design, GoldenKey, Workload};
 
 /// A 64-tap moving average over a noisy-but-correlated "sensor" signal.
 struct MovingAverage {
@@ -35,6 +35,22 @@ const CHUNK: usize = 4096;
 impl Workload for MovingAverage {
     fn name(&self) -> &'static str {
         "moving_average"
+    }
+
+    // Optional: `run` below is a pure function of `samples`, so the exact
+    // golden run this design comparison needs twice (once per
+    // `run_on_design` call) can be memoized — computed once, shared across
+    // designs/backends, bit-identical to recomputing. Omit this (the
+    // default returns `None`) and every call recomputes, which is always
+    // correct.
+    fn golden_key(&self) -> Option<GoldenKey> {
+        Some(GoldenKey::new("moving_average", &[self.samples as u64], 0))
+    }
+
+    // Optional: a coarse relative cost (element touches) so pooled sweeps
+    // can claim heavy jobs first; only the ordering across jobs matters.
+    fn cost_hint(&self) -> u64 {
+        (self.samples * 3) as u64
     }
 
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
