@@ -29,7 +29,7 @@
 #                         real concurrency by the whole suite, not only by
 #                         the tests that construct wide pools themselves
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR7.json + codec kernel smoke
+#                         committed BENCH_PR8.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Every stage prints its wall time on completion (run_stage), so a slow CI
@@ -129,17 +129,19 @@ test_pooled() {
 }
 
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR7.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR8.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
-    # speed cancels), and hard-fails on workload/backend set drift; the
-    # JSON is uploaded as a CI artifact. The baseline is BENCH_PR7.json —
-    # first trajectory with host-width provenance and the engine scaling
-    # curve recorded; on a multi-core runner the gate also fails if the
-    # pooled Table 4 sweep is slower than single-thread (the ROADMAP
-    # re-gate rule applies).
+    # speed cancels), and hard-fails on workload/backend/layout set
+    # drift; the JSON is uploaded as a CI artifact. The baseline is
+    # BENCH_PR8.json — first trajectory with the ten-workload suite
+    # (particles joined) and the per-layout section, so the smoke gate
+    # exercises the non-default aos/partitioned layouts on every run; on
+    # a multi-core runner the gate also fails if the pooled Table 4
+    # sweep is slower than single-thread (the ROADMAP re-gate rule
+    # applies).
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR7.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR8.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json

@@ -1,4 +1,5 @@
-//! End-to-end simulation-rate benchmark: drives all nine workloads through
+//! End-to-end simulation-rate benchmark: drives the full workload suite
+//! (the paper's seven, the extensions, and `particles`) through
 //! the `SimPool` engine and emits a machine-readable `BENCH_<tag>.json`
 //! recording **blocks/s per workload** — the whole-simulator throughput the
 //! perf trajectory tracks beyond the codec kernels (ROADMAP).
@@ -39,14 +40,23 @@
 //!   0 blocks/s fails the gate as a corrupt trajectory file instead of
 //!   being divided by.
 //!
-//! The Table 4 sweep (all nine workloads × AVR) is also timed on one
+//! The Table 4 sweep (the full suite × AVR) is also timed on one
 //! thread vs. the pool so the engine's scaling is part of the record.
 //!
-//! Each section also carries a **backend axis**: the nine-workload × AVR
+//! Each section also carries a **backend axis**: the suite × AVR
 //! grid re-run under every device error-model backend (exact, relaxed
 //! DRAM, approximate MRAM) at that backend's default fault rates,
 //! recording aggregate blocks/s plus the injected-fault/degradation
 //! counters — the robustness trajectory next to the throughput one.
+//!
+//! Each section also carries a **layout axis** (PR 8): the suite × AVR
+//! grid re-run once per memory layout (`soa`, `aos`, `partitioned`), each
+//! entry recording aggregate blocks/s, the compressible-block fraction
+//! (`compressible_blocks / approx_blocks` — the granularity-gap headline:
+//! AoS interleaving collapses it on multi-field records), and the mean
+//! output error across the workloads that support the layout. The layout
+//! set is gated against the baseline exactly like the workload and backend
+//! sets, so the smoke gate always exercises the non-default layouts.
 //!
 //! # Host-width provenance and the scaling curve
 //!
@@ -67,8 +77,10 @@
 //! per-workload single-vs-pooled speedup over that workload's five-design
 //! column.
 
-use avr_core::{BackendKind, DesignKind, SimPool, SystemConfig};
-use avr_workloads::{all_benchmarks, golden_run, run_grid, run_on_design, BenchScale, Workload};
+use avr_core::{BackendKind, DesignKind, LayoutKind, SimPool, SystemConfig};
+use avr_workloads::{
+    all_benchmarks, golden_run, run_grid, run_grid_layouts, run_on_design, BenchScale, Workload,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -116,6 +128,36 @@ impl BackendRate {
     }
 }
 
+/// One memory layout's aggregate grid result: throughput plus the
+/// compressibility and output-error record across the workloads that
+/// support the layout.
+struct LayoutRate {
+    layout: &'static str,
+    /// How many of the suite's workloads declare support for this layout.
+    workloads: usize,
+    sim_blocks: u64,
+    wall_ms: f64,
+    approx_blocks: u64,
+    compressible_blocks: u64,
+    error_sum: f64,
+}
+
+impl LayoutRate {
+    fn blocks_per_sec(&self) -> f64 {
+        self.sim_blocks as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// The layout axis's headline number: what fraction of the scanned
+    /// approximable blocks the codec accepted.
+    fn compressible_fraction(&self) -> f64 {
+        self.compressible_blocks as f64 / (self.approx_blocks as f64).max(1.0)
+    }
+
+    fn mean_output_error(&self) -> f64 {
+        self.error_sum / (self.workloads as f64).max(1.0)
+    }
+}
+
 /// One width's measurement of the full (9 workloads × 5 designs) grid.
 struct ScalingPoint {
     threads: usize,
@@ -142,6 +184,7 @@ struct Section {
     workloads: Vec<WorkloadRate>,
     sweep: SweepTiming,
     backends: Vec<BackendRate>,
+    layouts: Vec<LayoutRate>,
     scaling: Scaling,
 }
 
@@ -330,6 +373,43 @@ fn measure_backends(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<Back
         .collect()
 }
 
+/// Run the suite × AVR grid once per memory layout, aggregating blocks/s,
+/// the compressible-block fraction and the mean output error over the
+/// workloads that support each layout. Single-threaded so the per-layout
+/// wall clocks are comparable to each other.
+fn measure_layouts(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<LayoutRate> {
+    let designs = [DesignKind::Avr];
+    prime_goldens(suite);
+    LayoutKind::ALL
+        .iter()
+        .map(|&layout| {
+            let covered = suite.iter().filter(|w| w.layouts().contains(&layout)).count();
+            let t0 = Instant::now();
+            let grid = run_grid_layouts(&SimPool::new(1), suite, cfg, &designs, &[layout]);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(grid.len(), covered, "layout grid covered the wrong workloads");
+            let mut r = LayoutRate {
+                layout: layout.label(),
+                workloads: covered,
+                sim_blocks: 0,
+                wall_ms,
+                approx_blocks: 0,
+                compressible_blocks: 0,
+                error_sum: 0.0,
+            };
+            for e in &grid {
+                let m = &e.metrics;
+                r.sim_blocks +=
+                    m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
+                r.approx_blocks += m.approx_blocks;
+                r.compressible_blocks += m.compressible_blocks;
+                r.error_sum += m.output_error;
+            }
+            r
+        })
+        .collect()
+}
+
 fn measure_section(
     scale: BenchScale,
     label: &'static str,
@@ -343,6 +423,7 @@ fn measure_section(
         workloads: measure_workloads(&suite, &cfg, reps),
         sweep: measure_sweep(&suite, &cfg, pool_threads),
         backends: measure_backends(&suite, &cfg),
+        layouts: measure_layouts(&suite, &cfg),
         scaling: measure_scaling(&suite, &cfg, pool_threads),
     }
 }
@@ -381,6 +462,27 @@ fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
             b.degraded_lines,
             b.ecc_scrubs,
             if i + 1 < s.backends.len() { "," } else { "" }
+        );
+    }
+    json.push_str("      ],\n");
+    json.push_str("      \"layouts\": [\n");
+    for (i, l) in s.layouts.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{ \"layout\": \"{}\", \"workloads\": {}, \"sim_blocks\": {}, \
+             \"wall_ms\": {:.1}, \"blocks_per_sec\": {:.0}, \"approx_blocks\": {}, \
+             \"compressible_blocks\": {}, \"compressible_fraction\": {:.4}, \
+             \"mean_output_error\": {:.5} }}{}",
+            l.layout,
+            l.workloads,
+            l.sim_blocks,
+            l.wall_ms,
+            l.blocks_per_sec(),
+            l.approx_blocks,
+            l.compressible_blocks,
+            l.compressible_fraction(),
+            l.mean_output_error(),
+            if i + 1 < s.layouts.len() { "," } else { "" }
         );
     }
     json.push_str("      ],\n");
@@ -556,6 +658,21 @@ fn main() {
                 b.degraded_lines
             );
         }
+        for l in &s.layouts {
+            eprintln!(
+                "layout {:<11} {:>2} workloads {:>9} blocks  {:>8.1} ms  {:>12.0} blocks/s  \
+                 compressible {:.1}% ({}/{})  mean err {:.4}",
+                l.layout,
+                l.workloads,
+                l.sim_blocks,
+                l.wall_ms,
+                l.blocks_per_sec(),
+                100.0 * l.compressible_fraction(),
+                l.compressible_blocks,
+                l.approx_blocks,
+                l.mean_output_error()
+            );
+        }
         let sw = &s.sweep;
         eprintln!(
             "table4 sweep: 1 thread {:.0} ms, {} threads {:.0} ms, speedup {:.2}x",
@@ -652,8 +769,31 @@ fn main() {
                 drifted = true;
             }
         }
+        // So is the layout axis: the smoke gate must keep exercising the
+        // non-default layouts, so the measured layout set must match the
+        // baseline's exactly.
+        let base_layouts = parse_baseline_by(&text, "smoke", "layout");
+        for (name, _) in &base_layouts {
+            if !smoke.layouts.iter().any(|l| l.layout == *name) {
+                eprintln!(
+                    "GATE: FAIL — baseline layout {name} is absent from this run; \
+                     retiring a layout requires committing a regenerated BENCH_PRn.json"
+                );
+                drifted = true;
+            }
+        }
+        for l in &smoke.layouts {
+            if !base_layouts.iter().any(|(name, _)| name == l.layout) {
+                eprintln!(
+                    "GATE: FAIL — layout {} is not in the baseline; adding a layout \
+                     requires committing a regenerated BENCH_PRn.json",
+                    l.layout
+                );
+                drifted = true;
+            }
+        }
         if drifted {
-            eprintln!("GATE: workload/backend set drift vs {baseline_path}");
+            eprintln!("GATE: workload/backend/layout set drift vs {baseline_path}");
             std::process::exit(1);
         }
         if ratios.is_empty() {

@@ -1,0 +1,666 @@
+//! Layout-transform layer: one record schema, three physical layouts.
+//!
+//! A workload describes its data as a *record schema* — an ordered list of
+//! fields with a dtype and a criticality bit — and the harness picks the
+//! physical arrangement ([`avr_types::LayoutKind`]) as a grid axis, exactly
+//! like the design and the device backend:
+//!
+//! * **SoA** — one array per field (or one packed multi-plane region for
+//!   lattice-style schemas). This is the layout every workload used before
+//!   this module existed; instantiating a schema as SoA performs the *same
+//!   allocation calls in the same order*, so addresses, timing, and values
+//!   are bit-identical to the hand-written ports.
+//! * **AoS** — records interleaved in a single region, field `f` of record
+//!   `r` at word `r * nf + f`. Under the `Conservative` policy a mixed
+//!   schema collapses to a fully-precise region (approximation is simply
+//!   lost); under `Aggressive` the whole region is approximable and the
+//!   critical words ride along inside approximate 1 KB blocks.
+//! * **Partitioned** — hot/cold split: the approximable fields interleave
+//!   in one `approx_malloc` region, the critical fields interleave in a
+//!   separate precise region.
+//!
+//! This is the granularity-gap experiment (see `vm_api`'s criticality
+//! contract) made a first-class axis: block-level approximation assumes
+//! spatially-segregated approximable data, and the AoS/Partitioned variants
+//! let the bench stack measure what interleaving does to compressibility
+//! and output error *per layout*, with no per-workload layout code.
+//!
+//! The device-noise side of the split rides on [`RegionOpts`]: a layout can
+//! scale per-region fault rates (`Layout::with_fault_scale`), and an
+//! `Aggressive` AoS region carries a repeating critical-word pattern so the
+//! device backends ECC-protect the critical words even though the codec
+//! cannot distinguish them.
+
+use avr_sim::vm::{Region, RegionOpts};
+use avr_types::{DataType, LayoutKind, PhysAddr};
+
+use crate::vm_api::Vm;
+
+/// Declared dtype of one record field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldType {
+    /// IEEE-754 single — the approximable workhorse.
+    F32,
+    /// Fixed-point 32-bit (codec treats high bits as precision-critical).
+    Fixed32,
+    /// 32-bit integer — indices, counters. Approximating these is the
+    /// granularity-gap hazard: when an `Aggressive` AoS region smears an
+    /// `I32` field, the codec treats its bits as f32 payload.
+    I32,
+}
+
+impl FieldType {
+    fn dtype(self) -> DataType {
+        match self {
+            // An i32 caught inside an approx region has no honest dtype;
+            // F32 is what the block codec will assume for the whole block.
+            FieldType::F32 | FieldType::I32 => DataType::F32,
+            FieldType::Fixed32 => DataType::Fixed32,
+        }
+    }
+}
+
+/// One field of a record: name (for reports), dtype, criticality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldSpec {
+    pub name: &'static str,
+    pub ty: FieldType,
+    /// `true` ⇒ the field tolerates approximation (candidate for
+    /// `approx_malloc`); `false` ⇒ precision-critical.
+    pub approx: bool,
+}
+
+impl FieldSpec {
+    pub const fn approx_f32(name: &'static str) -> FieldSpec {
+        FieldSpec { name, ty: FieldType::F32, approx: true }
+    }
+    pub const fn approx_fixed32(name: &'static str) -> FieldSpec {
+        FieldSpec { name, ty: FieldType::Fixed32, approx: true }
+    }
+    pub const fn precise_f32(name: &'static str) -> FieldSpec {
+        FieldSpec { name, ty: FieldType::F32, approx: false }
+    }
+    pub const fn precise_i32(name: &'static str) -> FieldSpec {
+        FieldSpec { name, ty: FieldType::I32, approx: false }
+    }
+}
+
+/// How the SoA variant groups its per-field arrays.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SoaGrouping {
+    /// One region per field (separate `malloc`/`approx_malloc` calls —
+    /// the historical shape of heat, bscholes, fft, …).
+    #[default]
+    PerField,
+    /// All same-criticality fields packed plane-major into one region
+    /// (field `f` starts at word `f * records` — the historical shape of
+    /// the lattice/lbm distribution grids).
+    Packed,
+}
+
+/// What to do with a *mixed* schema when the layout forces critical and
+/// approximable fields into one region (AoS).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Never put a critical word in an approx region: a mixed AoS record
+    /// makes the whole region precise. Correctness is preserved but
+    /// block-level compression gets nothing — the "approximation lost"
+    /// side of the granularity gap.
+    #[default]
+    Conservative,
+    /// Approximate the region if *any* field is approximable. Critical
+    /// fields are shielded from *device* faults via
+    /// [`RegionOpts::with_crit_pattern`], but the block codec still smears
+    /// them — the "criticals corrupted" side of the granularity gap.
+    Aggressive,
+}
+
+/// A workload's logical record: ordered fields + layout policy knobs.
+#[derive(Clone, Debug)]
+pub struct RecordSchema {
+    pub name: &'static str,
+    pub fields: Vec<FieldSpec>,
+    pub soa: SoaGrouping,
+    pub policy: PlacementPolicy,
+}
+
+impl RecordSchema {
+    pub fn new(name: &'static str, fields: Vec<FieldSpec>) -> RecordSchema {
+        assert!(!fields.is_empty(), "schema {name:?} needs at least one field");
+        assert!(
+            fields.len() <= 64,
+            "schema {name:?}: criticality patterns cap records at 64 words"
+        );
+        RecordSchema {
+            name,
+            fields,
+            soa: SoaGrouping::PerField,
+            policy: PlacementPolicy::Conservative,
+        }
+    }
+
+    /// Switch the SoA variant to plane-major packing ([`SoaGrouping::Packed`]).
+    pub fn packed(mut self) -> Self {
+        self.soa = SoaGrouping::Packed;
+        self
+    }
+
+    /// Switch mixed-record placement to [`PlacementPolicy::Aggressive`].
+    pub fn aggressive(mut self) -> Self {
+        self.policy = PlacementPolicy::Aggressive;
+        self
+    }
+
+    fn approx_indices(&self) -> Vec<usize> {
+        (0..self.fields.len()).filter(|&f| self.fields[f].approx).collect()
+    }
+
+    fn precise_indices(&self) -> Vec<usize> {
+        (0..self.fields.len()).filter(|&f| !self.fields[f].approx).collect()
+    }
+
+    /// Dtype for a region holding the given fields: uniform Fixed32 stays
+    /// Fixed32, anything else decays to F32 (the codec's assumption for
+    /// mixed blocks).
+    fn group_dtype(&self, idx: &[usize]) -> DataType {
+        if idx.iter().all(|&f| self.fields[f].ty == FieldType::Fixed32) {
+            DataType::Fixed32
+        } else {
+            DataType::F32
+        }
+    }
+}
+
+/// A schema bound to a concrete [`LayoutKind`] (plus optional device-noise
+/// scaling for its approx regions): call [`Layout::instantiate`] to allocate
+/// and get back the address map.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    pub schema: RecordSchema,
+    pub kind: LayoutKind,
+    fault_scale: f64,
+}
+
+impl Layout {
+    pub fn new(schema: RecordSchema, kind: LayoutKind) -> Layout {
+        Layout { schema, kind, fault_scale: 1.0 }
+    }
+
+    /// Scale the device fault rates of every *approx* region this layout
+    /// allocates (see [`RegionOpts::with_fault_scale`]); precise regions
+    /// are unaffected. `1.0` (the default) is nominal.
+    pub fn with_fault_scale(mut self, scale: f64) -> Layout {
+        assert!(scale.is_finite() && scale >= 0.0, "fault scale must be finite and non-negative");
+        self.fault_scale = scale;
+        self
+    }
+
+    fn base_opts(&self) -> RegionOpts {
+        if self.fault_scale == 1.0 {
+            RegionOpts::default()
+        } else {
+            RegionOpts::with_fault_scale(self.fault_scale)
+        }
+    }
+
+    /// Allocate `records` records through `vm` and return the field → address
+    /// map. Allocation order is deterministic: schema order for
+    /// `Soa`/`PerField`, approx group then precise group otherwise.
+    pub fn instantiate(&self, vm: &mut dyn Vm, records: usize) -> LayoutMap {
+        let fields = &self.schema.fields;
+        let nf = fields.len();
+        let opts = self.base_opts();
+        let mut views = vec![FieldView { base: PhysAddr(0), stride_words: 0 }; nf];
+        let mut regions = Vec::new();
+
+        match self.kind {
+            LayoutKind::Soa => match self.schema.soa {
+                SoaGrouping::PerField => {
+                    for (f, spec) in fields.iter().enumerate() {
+                        let r = if spec.approx {
+                            vm.approx_malloc_with(4 * records, spec.ty.dtype(), opts)
+                        } else {
+                            vm.malloc(4 * records)
+                        };
+                        views[f] = FieldView { base: r.base, stride_words: 1 };
+                        regions.push(r);
+                    }
+                }
+                SoaGrouping::Packed => {
+                    for (approx, group) in [
+                        (true, self.schema.approx_indices()),
+                        (false, self.schema.precise_indices()),
+                    ] {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let len = 4 * group.len() * records;
+                        let r = if approx {
+                            vm.approx_malloc_with(len, self.schema.group_dtype(&group), opts)
+                        } else {
+                            vm.malloc(len)
+                        };
+                        for (j, &f) in group.iter().enumerate() {
+                            let base = PhysAddr(r.base.0 + (4 * j * records) as u64);
+                            views[f] = FieldView { base, stride_words: 1 };
+                        }
+                        regions.push(r);
+                    }
+                }
+            },
+            LayoutKind::Aos => {
+                let n_approx = self.schema.approx_indices().len();
+                let approximate = match self.schema.policy {
+                    PlacementPolicy::Conservative => n_approx == nf,
+                    PlacementPolicy::Aggressive => n_approx > 0,
+                };
+                let len = 4 * nf * records;
+                let r = if approximate {
+                    let mut o = opts;
+                    if n_approx < nf {
+                        // Repeating record: protect the critical word
+                        // offsets from *device* faults. The codec cannot
+                        // see this mask — that asymmetry is the point.
+                        let mut pattern = 0u64;
+                        for (f, spec) in fields.iter().enumerate() {
+                            if !spec.approx {
+                                pattern |= 1 << f;
+                            }
+                        }
+                        o.crit_period_words = nf as u32;
+                        o.crit_pattern = pattern;
+                    }
+                    let all: Vec<usize> = (0..nf).collect();
+                    vm.approx_malloc_with(len, self.schema.group_dtype(&all), o)
+                } else {
+                    vm.malloc(len)
+                };
+                for (f, view) in views.iter_mut().enumerate() {
+                    *view = FieldView {
+                        base: PhysAddr(r.base.0 + 4 * f as u64),
+                        stride_words: nf as u64,
+                    };
+                }
+                regions.push(r);
+            }
+            LayoutKind::Partitioned => {
+                for (approx, group) in
+                    [(true, self.schema.approx_indices()), (false, self.schema.precise_indices())]
+                {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let len = 4 * group.len() * records;
+                    let r = if approx {
+                        vm.approx_malloc_with(len, self.schema.group_dtype(&group), opts)
+                    } else {
+                        vm.malloc(len)
+                    };
+                    for (j, &f) in group.iter().enumerate() {
+                        views[f] = FieldView {
+                            base: PhysAddr(r.base.0 + 4 * j as u64),
+                            stride_words: group.len() as u64,
+                        };
+                    }
+                    regions.push(r);
+                }
+            }
+        }
+
+        let pitch = uniform_pitch(&views);
+        LayoutMap { kind: self.kind, records, views, regions, pitch }
+    }
+}
+
+/// Where one field lives: base address of record 0's word, and the word
+/// distance between consecutive records.
+#[derive(Clone, Copy, Debug)]
+pub struct FieldView {
+    pub base: PhysAddr,
+    pub stride_words: u64,
+}
+
+/// Constant byte distance between consecutive fields *of the same record*,
+/// if one exists (it does for AoS — 4 — and for packed SoA — `4*records`;
+/// per-field SoA regions are uniform only when page rounding cooperates).
+fn uniform_pitch(views: &[FieldView]) -> Option<u64> {
+    if views.len() < 2 {
+        return None;
+    }
+    let d = views[1].base.0.wrapping_sub(views[0].base.0);
+    let s = views[0].stride_words;
+    let ok = views
+        .windows(2)
+        .all(|w| w[1].base.0.wrapping_sub(w[0].base.0) == d && w[1].stride_words == s);
+    (ok && d > 0 && d < i64::MAX as u64).then_some(d)
+}
+
+/// The instantiated layout: field/record indices → physical addresses, plus
+/// bulk helpers that dispatch each logical access onto the cheapest existing
+/// `Vm` entry point (contiguous when the stride is one word, strided
+/// otherwise, per-word as a last resort for ragged record ops).
+#[derive(Clone, Debug)]
+pub struct LayoutMap {
+    kind: LayoutKind,
+    records: usize,
+    views: Vec<FieldView>,
+    regions: Vec<Region>,
+    pitch: Option<u64>,
+}
+
+impl LayoutMap {
+    pub fn kind(&self) -> LayoutKind {
+        self.kind
+    }
+
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The regions this map allocated (group order; see
+    /// [`Layout::instantiate`]).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Lowest region base — the origin for [`Self::elem`] gather indices.
+    pub fn base(&self) -> PhysAddr {
+        PhysAddr(self.regions.iter().map(|r| r.base.0).min().unwrap())
+    }
+
+    /// Address of field `f` of record `rec`.
+    #[inline]
+    pub fn addr(&self, f: usize, rec: usize) -> PhysAddr {
+        let v = &self.views[f];
+        PhysAddr(v.base.0 + 4 * v.stride_words * rec as u64)
+    }
+
+    /// Element index of (field, record) relative to [`Self::base`] — the
+    /// index space `read_f32s_gather`/`write_f32s_scatter` expect.
+    #[inline]
+    pub fn elem(&self, f: usize, rec: usize) -> u32 {
+        ((self.addr(f, rec).0 - self.base().0) / 4) as u32
+    }
+
+    /// Byte stride between consecutive records within field `f`.
+    #[inline]
+    pub fn stride_bytes(&self, f: usize) -> u64 {
+        4 * self.views[f].stride_words
+    }
+
+    // -- scalar accessors ------------------------------------------------
+
+    #[inline]
+    pub fn read_f32(&self, vm: &mut dyn Vm, f: usize, rec: usize) -> f32 {
+        vm.read_f32(self.addr(f, rec))
+    }
+
+    #[inline]
+    pub fn write_f32(&self, vm: &mut dyn Vm, f: usize, rec: usize, val: f32) {
+        vm.write_f32(self.addr(f, rec), val);
+    }
+
+    #[inline]
+    pub fn read_u32(&self, vm: &mut dyn Vm, f: usize, rec: usize) -> u32 {
+        vm.read_u32(self.addr(f, rec))
+    }
+
+    #[inline]
+    pub fn write_u32(&self, vm: &mut dyn Vm, f: usize, rec: usize, val: u32) {
+        vm.write_u32(self.addr(f, rec), val);
+    }
+
+    // -- one field, a run of records -------------------------------------
+
+    /// Read `out.len()` consecutive records of field `f` starting at
+    /// `first`. Contiguous `Vm` call when the layout makes the field dense,
+    /// strided otherwise.
+    pub fn read_f32s(&self, vm: &mut dyn Vm, f: usize, first: usize, out: &mut [f32]) {
+        self.read_f32s_every(vm, f, first, 1, out);
+    }
+
+    pub fn write_f32s(&self, vm: &mut dyn Vm, f: usize, first: usize, vals: &[f32]) {
+        self.write_f32s_every(vm, f, first, 1, vals);
+    }
+
+    /// Read records `first, first+step, first+2*step, …` of field `f` —
+    /// the layout-generic form of a column walk or a decimated sample.
+    pub fn read_f32s_every(
+        &self,
+        vm: &mut dyn Vm,
+        f: usize,
+        first: usize,
+        step: usize,
+        out: &mut [f32],
+    ) {
+        let stride = self.views[f].stride_words * step as u64;
+        if stride == 1 {
+            vm.read_f32s(self.addr(f, first), out);
+        } else {
+            vm.read_f32s_strided(self.addr(f, first), 4 * stride, out);
+        }
+    }
+
+    pub fn write_f32s_every(
+        &self,
+        vm: &mut dyn Vm,
+        f: usize,
+        first: usize,
+        step: usize,
+        vals: &[f32],
+    ) {
+        let stride = self.views[f].stride_words * step as u64;
+        if stride == 1 {
+            vm.write_f32s(self.addr(f, first), vals);
+        } else {
+            vm.write_f32s_strided(self.addr(f, first), 4 * stride, vals);
+        }
+    }
+
+    pub fn read_u32s(&self, vm: &mut dyn Vm, f: usize, first: usize, out: &mut [u32]) {
+        let stride = self.views[f].stride_words;
+        if stride == 1 {
+            vm.read_u32s(self.addr(f, first), out);
+        } else {
+            vm.read_u32s_strided(self.addr(f, first), 4 * stride, out);
+        }
+    }
+
+    pub fn write_u32s(&self, vm: &mut dyn Vm, f: usize, first: usize, vals: &[u32]) {
+        let stride = self.views[f].stride_words;
+        if stride == 1 {
+            vm.write_u32s(self.addr(f, first), vals);
+        } else {
+            vm.write_u32s_strided(self.addr(f, first), 4 * stride, vals);
+        }
+    }
+
+    // -- one record, all fields ------------------------------------------
+
+    /// Read every field of record `rec` (f32 view) into `out`. AoS resolves
+    /// to one contiguous read; packed SoA to one plane-strided read (the
+    /// historical lattice/lbm per-cell access); ragged layouts fall back to
+    /// per-word reads.
+    pub fn read_record_f32s(&self, vm: &mut dyn Vm, rec: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.views.len(), "record buffer must cover every field");
+        match self.pitch {
+            Some(4) => vm.read_f32s(self.addr(0, rec), out),
+            Some(d) => vm.read_f32s_strided(self.addr(0, rec), d, out),
+            None => {
+                for (f, o) in out.iter_mut().enumerate() {
+                    *o = vm.read_f32(self.addr(f, rec));
+                }
+            }
+        }
+    }
+
+    pub fn write_record_f32s(&self, vm: &mut dyn Vm, rec: usize, vals: &[f32]) {
+        assert_eq!(vals.len(), self.views.len(), "record buffer must cover every field");
+        match self.pitch {
+            Some(4) => vm.write_f32s(self.addr(0, rec), vals),
+            Some(d) => vm.write_f32s_strided(self.addr(0, rec), d, vals),
+            None => {
+                for (f, &v) in vals.iter().enumerate() {
+                    vm.write_f32(self.addr(f, rec), v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm_api::ExactVm;
+
+    fn mixed_schema() -> RecordSchema {
+        RecordSchema::new(
+            "mix",
+            vec![
+                FieldSpec::approx_f32("x"),
+                FieldSpec::approx_f32("y"),
+                FieldSpec::precise_i32("tag"),
+            ],
+        )
+    }
+
+    #[test]
+    fn soa_perfield_reproduces_legacy_allocation_sequence() {
+        let n = 300;
+        let mut vm = ExactVm::new();
+        let map = Layout::new(mixed_schema(), LayoutKind::Soa).instantiate(&mut vm, n);
+
+        let mut legacy = ExactVm::new();
+        let a = legacy.approx_malloc(4 * n, DataType::F32);
+        let b = legacy.approx_malloc(4 * n, DataType::F32);
+        let c = legacy.malloc(4 * n);
+
+        assert_eq!(map.addr(0, 0), a.base);
+        assert_eq!(map.addr(1, 0), b.base);
+        assert_eq!(map.addr(2, 0), c.base);
+        for f in 0..3 {
+            assert_eq!(map.stride_bytes(f), 4);
+        }
+        assert_eq!(map.regions().len(), 3);
+        assert_eq!(map.regions()[0].approx, Some(DataType::F32));
+        assert_eq!(map.regions()[2].approx, None);
+    }
+
+    #[test]
+    fn aos_interleaves_fields_word_by_word() {
+        let mut vm = ExactVm::new();
+        let map = Layout::new(mixed_schema(), LayoutKind::Aos).instantiate(&mut vm, 64);
+        let base = map.base().0;
+        for rec in 0..64 {
+            for f in 0..3 {
+                assert_eq!(map.addr(f, rec).0, base + 4 * (3 * rec + f) as u64);
+                assert_eq!(map.elem(f, rec), (3 * rec + f) as u32);
+            }
+        }
+        // Conservative policy + a critical field ⇒ the whole region is
+        // precise: approximation lost, not criticals corrupted.
+        assert_eq!(map.regions().len(), 1);
+        assert_eq!(map.regions()[0].approx, None);
+    }
+
+    #[test]
+    fn aggressive_aos_approximates_and_marks_critical_words() {
+        let mut vm = ExactVm::new();
+        let schema = mixed_schema().aggressive();
+        let map = Layout::new(schema, LayoutKind::Aos).instantiate(&mut vm, 64);
+        let r = &map.regions()[0];
+        assert_eq!(r.approx, Some(DataType::F32));
+        assert_eq!(r.opts.crit_period_words, 3);
+        assert_eq!(r.opts.crit_pattern, 0b100); // field 2 ("tag") is critical
+                                                // Word 2, 5, 8, … of the region are device-protected.
+        let mask = r.critical_mask_of_line(r.base.line());
+        assert_eq!(mask, (1 << 2) | (1 << 5) | (1 << 8) | (1 << 11) | (1 << 14));
+    }
+
+    #[test]
+    fn partitioned_splits_by_criticality() {
+        let n = 100;
+        let mut vm = ExactVm::new();
+        let map = Layout::new(mixed_schema(), LayoutKind::Partitioned).instantiate(&mut vm, n);
+        assert_eq!(map.regions().len(), 2);
+        let (ar, pr) = (&map.regions()[0], &map.regions()[1]);
+        assert_eq!(ar.approx, Some(DataType::F32));
+        assert_eq!(ar.len_bytes, 4 * 2 * n);
+        assert_eq!(pr.approx, None);
+        assert_eq!(pr.len_bytes, 4 * n);
+        // x/y interleave at stride 2 in the approx half; tag is dense.
+        assert_eq!(map.addr(0, 0), ar.base);
+        assert_eq!(map.addr(1, 0).0, ar.base.0 + 4);
+        assert_eq!(map.stride_bytes(0), 8);
+        assert_eq!(map.addr(2, 7).0, pr.base.0 + 28);
+        assert_eq!(map.stride_bytes(2), 4);
+    }
+
+    #[test]
+    fn packed_soa_shares_one_region_with_plane_major_fields() {
+        let n = 128;
+        let schema = RecordSchema::new(
+            "planes",
+            vec![
+                FieldSpec::approx_f32("p0"),
+                FieldSpec::approx_f32("p1"),
+                FieldSpec::approx_f32("p2"),
+            ],
+        )
+        .packed();
+        let mut vm = ExactVm::new();
+        let map = Layout::new(schema, LayoutKind::Soa).instantiate(&mut vm, n);
+        assert_eq!(map.regions().len(), 1);
+        let base = map.regions()[0].base.0;
+        for f in 0..3 {
+            assert_eq!(map.addr(f, 0).0, base + (4 * f * n) as u64);
+            assert_eq!(map.stride_bytes(f), 4);
+            assert_eq!(map.elem(f, 5), (f * n + 5) as u32);
+        }
+        // Plane-major packing has a uniform record pitch of 4*records —
+        // the historical lattice per-cell strided access.
+        assert_eq!(map.pitch, Some((4 * n) as u64));
+    }
+
+    #[test]
+    fn values_roundtrip_identically_in_every_layout() {
+        let n = 50;
+        for kind in LayoutKind::ALL {
+            let mut vm = ExactVm::new();
+            let map = Layout::new(mixed_schema().aggressive(), kind).instantiate(&mut vm, n);
+            for rec in 0..n {
+                map.write_record_f32s(&mut vm, rec, &[rec as f32, -(rec as f32), 0.0]);
+                map.write_u32(&mut vm, 2, rec, rec as u32 * 3);
+            }
+            // Field-run reads see what record writes stored.
+            let mut xs = vec![0.0f32; n];
+            map.read_f32s(&mut vm, 0, 0, &mut xs);
+            let mut tags = vec![0u32; n];
+            map.read_u32s(&mut vm, 2, 0, &mut tags);
+            for rec in 0..n {
+                assert_eq!(xs[rec], rec as f32, "{kind:?}");
+                assert_eq!(map.read_f32(&mut vm, 1, rec), -(rec as f32), "{kind:?}");
+                assert_eq!(tags[rec], rec as u32 * 3, "{kind:?}");
+            }
+            // Decimated walk: every third record of field 0.
+            let mut every = vec![0.0f32; n / 3];
+            map.read_f32s_every(&mut vm, 0, 1, 3, &mut every);
+            for (k, v) in every.iter().enumerate() {
+                assert_eq!(*v, (1 + 3 * k) as f32, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_scale_lands_on_approx_regions_only() {
+        let mut vm = ExactVm::new();
+        let layout = Layout::new(mixed_schema(), LayoutKind::Partitioned).with_fault_scale(2.5);
+        let map = layout.instantiate(&mut vm, 64);
+        assert_eq!(map.regions()[0].opts.fault_scale(), 2.5);
+        assert_eq!(map.regions()[1].opts, RegionOpts::default());
+    }
+}

@@ -15,6 +15,7 @@
 //! timing, traffic) to the word-at-a-time decomposition.
 
 pub mod avr_ops;
+pub mod layout;
 pub mod multicore;
 pub mod overhead;
 pub mod pool;
@@ -22,10 +23,14 @@ pub mod summary;
 pub mod system;
 pub mod vm_api;
 
+pub use layout::{
+    FieldSpec, FieldType, FieldView, Layout, LayoutMap, PlacementPolicy, RecordSchema, SoaGrouping,
+};
 pub use multicore::{run_multicore, run_multicore_on, MulticoreRun, ShardedWorkload};
 pub use overhead::OverheadReport;
 pub use pool::{shard_seed, JobCtx, SimPool};
 pub use system::System;
 pub use vm_api::{ExactVm, Vm, WordAtATime};
 
-pub use avr_types::{BackendKind, DesignKind, ErrorModelParams, SystemConfig};
+pub use avr_sim::vm::RegionOpts;
+pub use avr_types::{BackendKind, DesignKind, ErrorModelParams, LayoutKind, SystemConfig};

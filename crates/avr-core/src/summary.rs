@@ -24,30 +24,58 @@ const CLAIM_CHUNK: usize = 32;
 /// Below this many blocks the spawn cost dominates; scan inline.
 const PARALLEL_MIN_BLOCKS: usize = 2 * CLAIM_CHUNK;
 
-/// Scan `blocks`, compressing each from its final values in `mem`, and
-/// return `(raw_bytes, stored_bytes)`. The hot loop reuses `comp`'s scratch
-/// and allocates nothing.
+/// Totals of one end-of-run block scan. All fields are plain sums, so
+/// partial scans merge associatively (the parallel partition cannot change
+/// the result).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockScan {
+    /// Raw footprint of the scanned blocks (`blocks * 1 KB`).
+    pub raw_bytes: u64,
+    /// Footprint after compression (incompressible blocks stored raw).
+    pub stored_bytes: u64,
+    /// Blocks scanned.
+    pub blocks: u64,
+    /// Blocks the codec accepted. `compressible / blocks` is the
+    /// compressible-block fraction the layout axis reports per layout.
+    pub compressible: u64,
+}
+
+impl BlockScan {
+    /// Fold another partial scan into this one (plain field sums).
+    pub fn merge(&mut self, other: BlockScan) {
+        self.raw_bytes += other.raw_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.blocks += other.blocks;
+        self.compressible += other.compressible;
+    }
+}
+
+/// Scan `blocks`, compressing each from its final values in `mem`. The hot
+/// loop reuses `comp`'s scratch and allocates nothing.
 pub fn scan_blocks(
     comp: &mut Compressor,
     mem: &PhysMem,
     blocks: &[(BlockAddr, DataType)],
-) -> (u64, u64) {
-    let mut raw = 0u64;
-    let mut stored = 0u64;
+) -> BlockScan {
+    let mut scan = BlockScan::default();
     for &(b, dt) in blocks {
         let data = mem.read_block(b);
-        raw += BLOCK_BYTES as u64;
-        stored += match comp.compress(&data, dt) {
-            Ok(o) => (o.compressed.size_lines() * CL_BYTES) as u64,
+        scan.blocks += 1;
+        scan.raw_bytes += BLOCK_BYTES as u64;
+        scan.stored_bytes += match comp.compress(&data, dt) {
+            Ok(o) => {
+                scan.compressible += 1;
+                (o.compressed.size_lines() * CL_BYTES) as u64
+            }
             Err(_) => BLOCK_BYTES as u64, // incompressible: stored raw
         };
     }
-    (raw, stored)
+    scan
 }
 
 /// The parallel block scan: partition `blocks` across `threads` workers
 /// (each with its own reusable [`Compressor`] scratch) and return the
-/// summed `(raw_bytes, stored_bytes)`.
+/// summed [`BlockScan`].
 ///
 /// Bit-deterministic for any `threads`: per-block contributions are `u64`
 /// adds, so the partition cannot change the totals.
@@ -57,7 +85,7 @@ pub fn parallel_summary(
     th: Thresholds,
     max_lines: usize,
     threads: usize,
-) -> (u64, u64) {
+) -> BlockScan {
     if threads <= 1 || blocks.len() < PARALLEL_MIN_BLOCKS {
         let mut comp = Compressor::new(th, max_lines);
         return scan_blocks(&mut comp, mem, blocks);
@@ -65,27 +93,23 @@ pub fn parallel_summary(
     // The claim cursor rides the pool engine's padded cell so chunk
     // claims never false-share with the totals mutex or worker stacks.
     let cursor = PaddedCursor::new();
-    let totals = Mutex::new((0u64, 0u64));
+    let totals = Mutex::new(BlockScan::default());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 // Worker setup (the only allocations): one compressor whose
                 // scratch then serves every claimed block.
                 let mut comp = Compressor::new(th, max_lines);
-                let (mut raw, mut stored) = (0u64, 0u64);
+                let mut local = BlockScan::default();
                 loop {
                     let start = cursor.0.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
                     if start >= blocks.len() {
                         break;
                     }
                     let end = (start + CLAIM_CHUNK).min(blocks.len());
-                    let (r, s) = scan_blocks(&mut comp, mem, &blocks[start..end]);
-                    raw += r;
-                    stored += s;
+                    local.merge(scan_blocks(&mut comp, mem, &blocks[start..end]));
                 }
-                let mut t = totals.lock().unwrap();
-                t.0 += raw;
-                t.1 += stored;
+                totals.lock().unwrap().merge(local);
             });
         }
     });
@@ -128,10 +152,12 @@ mod tests {
             let par = parallel_summary(&mem, &blocks, th, 8, threads);
             assert_eq!(par, serial, "{threads} threads diverged");
         }
-        let (raw, stored) = serial;
-        assert_eq!(raw, 300 * BLOCK_BYTES as u64);
-        assert!(stored < raw, "smooth blocks must compress");
-        assert!(stored > raw / 16, "noise blocks must store raw");
+        assert_eq!(serial.raw_bytes, 300 * BLOCK_BYTES as u64);
+        assert_eq!(serial.blocks, 300);
+        assert!(serial.stored_bytes < serial.raw_bytes, "smooth blocks must compress");
+        assert!(serial.stored_bytes > serial.raw_bytes / 16, "noise blocks must store raw");
+        // 2 of every 3 blocks are smooth; the codec must accept exactly those.
+        assert_eq!(serial.compressible, 200);
     }
 
     #[test]
@@ -148,6 +174,7 @@ mod tests {
     #[test]
     fn empty_scan_is_zero() {
         let mem = PhysMem::new();
-        assert_eq!(parallel_summary(&mem, &[], Thresholds::paper_default(), 8, 4), (0, 0));
+        let scan = parallel_summary(&mem, &[], Thresholds::paper_default(), 8, 4);
+        assert_eq!(scan, BlockScan::default());
     }
 }

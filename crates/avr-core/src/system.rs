@@ -17,7 +17,7 @@ use avr_cache::set_assoc::SetAssocCache;
 use avr_compress::{Compressor, Thresholds};
 use avr_dram::{backend_for, AccessKind, DramBackend, FaultCtx};
 use avr_sim::energy::{EnergyEvents, EnergyModel};
-use avr_sim::vm::{AddressSpace, PhysMem, Region};
+use avr_sim::vm::{AddressSpace, PhysMem, Region, RegionOpts};
 use avr_sim::{Counters, FaultBreakdown, IntervalCore, RunMetrics};
 use avr_types::{DataType, DesignKind, LineAddr, PhysAddr, SystemConfig, CL_BYTES};
 
@@ -247,7 +247,12 @@ impl System {
             return;
         };
         let region = self.space.regions()[ri];
-        let ctx = FaultCtx { region_base: region.base.0, block: line.block().0 };
+        let ctx = FaultCtx {
+            region_base: region.base.0,
+            block: line.block().0,
+            rate_scale: region.opts.fault_scale(),
+            critical_mask: region.critical_mask_of_line(line),
+        };
         let mut data = self.mem.read_line(line);
         let flips = self.dram.corrupt_line(&ctx, kind, &mut data);
         if flips == 0 {
@@ -484,6 +489,17 @@ impl System {
         run
     }
 
+    /// Pre-scan for the gather/scatter fast path: a strictly ascending
+    /// index set whose adjacent gaps are all ≥ one cacheline of elements
+    /// can never place two consecutive elements on the same (64 B-aligned)
+    /// line, so every run is provably length 1 and run-building can be
+    /// skipped wholesale. Short-circuits at the first clustered pair, so
+    /// the scan costs one early-exiting pass over dense index sets.
+    fn indices_non_clustered(idx: &[u32]) -> bool {
+        const LINE_ELEMS: u32 = (CL_BYTES / 4) as u32;
+        idx.windows(2).all(|w| w[1] >= w[0].saturating_add(LINE_ELEMS))
+    }
+
     fn fill_l1(&mut self, line: LineAddr, dirty: bool, now: u64) {
         if let Some(ev) = self.l1.insert(line, dirty) {
             if ev.dirty {
@@ -707,7 +723,7 @@ impl System {
         let has_compressor = matches!(self.design, DesignKind::Avr | DesignKind::ZeroAvr);
         let energy = self.energy_model.breakdown(&events, exec_seconds, 1, has_compressor);
 
-        let (ratio, footprint) = self.compression_summary();
+        let (ratio, footprint, scan) = self.compression_summary();
         let llc_cms_fraction = match &self.llc {
             LlcVariant::Decoupled(llc) => llc.cms_fraction(),
             _ => 0.0,
@@ -723,6 +739,8 @@ impl System {
             energy,
             output_error: 0.0, // filled by the workload runner
             compression_ratio: ratio,
+            approx_blocks: scan.blocks,
+            compressible_blocks: scan.compressible,
             footprint_fraction: footprint,
             llc_cms_fraction,
         }
@@ -733,10 +751,11 @@ impl System {
     /// whole-application footprint fraction. The block scan partitions
     /// across `summary_threads` workers ([`crate::summary`]), each reusing
     /// its own compressor scratch; the totals are thread-count-invariant.
-    fn compression_summary(&mut self) -> (f64, f64) {
+    fn compression_summary(&mut self) -> (f64, f64, crate::summary::BlockScan) {
+        let mut scan = crate::summary::BlockScan::default();
         let (total, approx) = self.space.footprint();
         if total == 0 {
-            return (1.0, 1.0);
+            return (1.0, 1.0, scan);
         }
         let ratio = match self.design {
             DesignKind::Avr | DesignKind::ZeroAvr => {
@@ -744,14 +763,14 @@ impl System {
                 if blocks.is_empty() || self.design == DesignKind::ZeroAvr {
                     1.0
                 } else {
-                    let (raw_bytes, stored_bytes) = crate::summary::parallel_summary(
+                    scan = crate::summary::parallel_summary(
                         &self.mem,
                         &blocks,
                         self.compressor.thresholds,
                         self.compressor.max_lines,
                         self.summary_threads,
                     );
-                    raw_bytes as f64 / stored_bytes.max(1) as f64
+                    scan.raw_bytes as f64 / scan.stored_bytes.max(1) as f64
                 }
             }
             DesignKind::Truncate => 2.0,
@@ -765,7 +784,7 @@ impl System {
         let nonapprox_f = (total - approx) as f64;
         let effective = if self.honor_approx { approx_f / ratio.max(1.0) } else { approx_f };
         let footprint = (effective + nonapprox_f) / total as f64;
-        (ratio, footprint)
+        (ratio, footprint, scan)
     }
 }
 
@@ -780,6 +799,11 @@ impl Vm for System {
     fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
         self.region_faults.push(FaultBreakdown::default());
         self.space.approx_malloc(len_bytes, dt)
+    }
+
+    fn approx_malloc_with(&mut self, len_bytes: usize, dt: DataType, opts: RegionOpts) -> Region {
+        self.region_faults.push(FaultBreakdown::default());
+        self.space.approx_malloc_with(len_bytes, dt, opts)
     }
 
     fn read_u32(&mut self, addr: PhysAddr) -> u32 {
@@ -888,15 +912,48 @@ impl Vm for System {
         }
     }
 
+    fn read_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, out: &mut [u32]) {
+        let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        let wide = stride_bytes >= CL_BYTES as u64;
+        let mut k = 0;
+        while k < out.len() {
+            let run = if wide { 1 } else { Self::line_run(addr_of, k, out.len()) };
+            self.span_timed(addr_of(k), run, false);
+            for (j, o) in out[k..k + run].iter_mut().enumerate() {
+                *o = self.mem.read_u32(addr_of(k + j));
+            }
+            k += run;
+        }
+    }
+
+    fn write_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, vals: &[u32]) {
+        let addr_of = |j: usize| PhysAddr(base.0 + j as u64 * stride_bytes);
+        let wide = stride_bytes >= CL_BYTES as u64;
+        let mut k = 0;
+        while k < vals.len() {
+            let run = if wide { 1 } else { Self::line_run(addr_of, k, vals.len()) };
+            self.span_timed(addr_of(k), run, true);
+            for (j, v) in vals[k..k + run].iter().enumerate() {
+                self.mem.write_u32(addr_of(k + j), *v);
+            }
+            k += run;
+        }
+    }
+
     fn read_f32s_gather(&mut self, base: PhysAddr, idx: &[u32], out: &mut [f32]) {
         assert_eq!(idx.len(), out.len(), "gather index/output shapes must match");
         // Gathers over clustered index sets (plane walks, stencil
         // neighborhoods) visit the same line many times in a row —
-        // including duplicate indices; batch each same-line run.
+        // including duplicate indices; batch each same-line run. A sorted
+        // index set whose gaps are all at least a cacheline is the
+        // opposite extreme: every run is provably length 1, so skip the
+        // per-element run-building pass (the gather twin of the wide-
+        // stride fast path above).
         let addr_of = |j: usize| PhysAddr(base.0 + 4 * idx[j] as u64);
+        let scattered = Self::indices_non_clustered(idx);
         let mut k = 0;
         while k < idx.len() {
-            let run = Self::line_run(addr_of, k, idx.len());
+            let run = if scattered { 1 } else { Self::line_run(addr_of, k, idx.len()) };
             self.span_timed(addr_of(k), run, false);
             for j in k..k + run {
                 out[j] = f32::from_bits(self.mem.read_u32(addr_of(j)));
@@ -908,9 +965,10 @@ impl Vm for System {
     fn write_f32s_scatter(&mut self, base: PhysAddr, idx: &[u32], vals: &[f32]) {
         assert_eq!(idx.len(), vals.len(), "scatter index/value shapes must match");
         let addr_of = |j: usize| PhysAddr(base.0 + 4 * idx[j] as u64);
+        let scattered = Self::indices_non_clustered(idx);
         let mut k = 0;
         while k < idx.len() {
-            let run = Self::line_run(addr_of, k, idx.len());
+            let run = if scattered { 1 } else { Self::line_run(addr_of, k, idx.len()) };
             self.span_timed(addr_of(k), run, true);
             // Value writes stay in element order: duplicate indices keep
             // last-write-wins semantics exactly like the per-word loop.
@@ -1211,6 +1269,76 @@ mod tests {
                 let mut back = vec![0f32; 1500];
                 vm.read_f32s_strided(r.base, 128, &mut back);
                 back.iter().map(|v| v.to_bits()).collect()
+            };
+            let mut fast = sys(design);
+            let fast_back = drive(&mut fast);
+            let mut word = sys(design);
+            let word_back = drive(&mut WordAtATime(&mut word));
+            assert_eq!(fast_back, word_back, "{design:?}: read-back values");
+            assert_eq!(fast.core.cycles, word.core.cycles, "{design:?}: cycles");
+            assert_eq!(fast.counters.traffic, word.counters.traffic, "{design:?}: traffic");
+            assert_eq!(fast.counters.l1_hits, word.counters.l1_hits, "{design:?}: l1 hits");
+        }
+    }
+
+    #[test]
+    fn scattered_gathers_skip_run_building_and_stay_bit_identical() {
+        use crate::vm_api::{Vm, WordAtATime};
+        // A sorted index set with gaps of ≥ 16 elements (one cacheline)
+        // provably never clusters, so the gather/scatter paths skip
+        // run-building — timing, counters, and values must not change.
+        // Mix in a clustered index set in the same run to cover the
+        // pre-scan's negative branch against the same oracle.
+        for design in DesignKind::ALL {
+            let drive = |vm: &mut dyn Vm| -> Vec<u32> {
+                let r = vm.approx_malloc(256 << 10, DataType::F32);
+                let vals: Vec<f32> = (0..1200).map(|i| 2.0 + i as f32 * 0.125).collect();
+                // Non-clustered: ascending, gap 17 elements (> one line).
+                let sparse: Vec<u32> = (0..1200u32).map(|i| i * 17).collect();
+                vm.write_f32s_scatter(r.base, &sparse, &vals);
+                let mut back = vec![0f32; 1200];
+                vm.read_f32s_gather(r.base, &sparse, &mut back);
+                // Clustered: stencil-style neighborhoods with duplicates.
+                let dense: Vec<u32> =
+                    (0..300u32).flat_map(|i| [i * 5, i * 5 + 1, i * 5 + 1, i * 5 + 9]).collect();
+                vm.write_f32s_scatter(r.base, &dense, &vals);
+                let mut dback = vec![0f32; 1200];
+                vm.read_f32s_gather(r.base, &dense, &mut dback);
+                back.iter().chain(dback.iter()).map(|v| v.to_bits()).collect()
+            };
+            let mut fast = sys(design);
+            let fast_back = drive(&mut fast);
+            let mut word = sys(design);
+            let word_back = drive(&mut WordAtATime(&mut word));
+            assert_eq!(fast_back, word_back, "{design:?}: read-back values");
+            assert_eq!(fast.core.cycles, word.core.cycles, "{design:?}: cycles");
+            assert_eq!(fast.counters.traffic, word.counters.traffic, "{design:?}: traffic");
+            assert_eq!(fast.counters.l1_hits, word.counters.l1_hits, "{design:?}: l1 hits");
+            assert_eq!(fast.counters.loads, word.counters.loads, "{design:?}: loads");
+            assert_eq!(fast.counters.stores, word.counters.stores, "{design:?}: stores");
+        }
+    }
+
+    #[test]
+    fn u32_strided_paths_match_word_at_a_time() {
+        use crate::vm_api::{Vm, WordAtATime};
+        // The u32 strided entry points (new with the layout axis: AoS /
+        // partitioned walks of integer fields) get the same oracle pinning
+        // as their f32 twins — narrow and wide strides, precise and approx.
+        for design in DesignKind::ALL {
+            let drive = |vm: &mut dyn Vm| -> Vec<u32> {
+                let p = vm.malloc(64 << 10);
+                let a = vm.approx_malloc(128 << 10, DataType::F32);
+                let vals: Vec<u32> =
+                    (0..1000u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(i)).collect();
+                vm.write_u32s_strided(p.base, 20, &vals); // sub-line stride
+                vm.write_u32s_strided(a.base, 128, &vals); // wide stride
+                let mut n = vec![0u32; 1000];
+                vm.read_u32s_strided(p.base, 20, &mut n);
+                let mut w = vec![0u32; 1000];
+                vm.read_u32s_strided(a.base, 128, &mut w);
+                n.extend_from_slice(&w);
+                n
             };
             let mut fast = sys(design);
             let fast_back = drive(&mut fast);

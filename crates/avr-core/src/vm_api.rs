@@ -55,8 +55,30 @@
 //!    cycle-exact against the per-word walk, which is retained behind the
 //!    `AVR_NO_BATCHED_WALK=1` escape hatch (and a CI matrix leg) so the
 //!    equivalence oracle keeps running against real code forever.
+//!
+//! # Record schemas, layout, and the criticality contract
+//!
+//! [`crate::layout`] builds a layout-transform level on top of this trait:
+//! a workload declares a record schema ([`crate::RecordSchema`] — field
+//! dtypes plus per-field criticality) and instantiates it in any
+//! [`avr_types::LayoutKind`]; the resulting [`crate::LayoutMap`] routes
+//! logical field/record indices onto the bulk entry points above
+//! (contiguous planes for SoA, the strided/gather shapes for interleaved
+//! AoS records). Allocation-side, the contract is carried by
+//! [`Vm::approx_malloc_with`]: an approximable region may declare
+//! [`avr_sim::vm::RegionOpts`] metadata — a device fault-rate multiplier
+//! and a repeating *sub-block critical-word pattern*. Device error-model
+//! backends must never corrupt a critical word (it is ECC-scrub served,
+//! like fully-critical lines), and must scale their fault rates by the
+//! region's multiplier; the codec, by contrast, sees no such mask — an
+//! interleaved critical word inside an approximable block is compressed
+//! lossily like any other word, which is precisely the granularity-gap
+//! hazard (arXiv:2101.10605) the layout axis exists to measure.
+//! Functional VMs may ignore the metadata entirely (the default
+//! [`Vm::approx_malloc_with`] delegates to [`Vm::approx_malloc`]): it
+//! changes device behavior, never addresses.
 
-use avr_sim::vm::{AddressSpace, PhysMem, Region};
+use avr_sim::vm::{AddressSpace, PhysMem, Region, RegionOpts};
 use avr_types::{DataType, PhysAddr};
 
 /// What a workload needs from the machine.
@@ -67,6 +89,18 @@ pub trait Vm {
     /// Allocate approximable memory of the given datatype (the paper's
     /// annotated-malloc wrapper, §3.1/§4.1).
     fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region;
+
+    /// [`Vm::approx_malloc`] with explicit per-region device metadata
+    /// (fault-rate multiplier, sub-block critical-word pattern — see the
+    /// module docs). The default ignores the metadata and delegates, which
+    /// is correct for functional VMs: `opts` affects device fault behavior
+    /// only, never placement, so addresses stay identical either way.
+    /// Timed implementations with a device error model must override this
+    /// to register `opts` on the region.
+    fn approx_malloc_with(&mut self, len_bytes: usize, dt: DataType, opts: RegionOpts) -> Region {
+        let _ = opts;
+        self.approx_malloc(len_bytes, dt)
+    }
 
     /// Timed 32-bit load.
     fn read_u32(&mut self, addr: PhysAddr) -> u32;
@@ -163,6 +197,23 @@ pub trait Vm {
         }
     }
 
+    /// Timed strided load of raw words: `out[k] = read_u32(base +
+    /// k * stride_bytes)`, `k` ascending — the integer-field view of an
+    /// interleaved (AoS) record walk.
+    fn read_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, out: &mut [u32]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.read_u32(PhysAddr(base.0 + k as u64 * stride_bytes));
+        }
+    }
+
+    /// Timed strided store of raw words: `write_u32(base + k *
+    /// stride_bytes, vals[k])`, `k` ascending.
+    fn write_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, vals: &[u32]) {
+        for (k, v) in vals.iter().enumerate() {
+            self.write_u32(PhysAddr(base.0 + k as u64 * stride_bytes), *v);
+        }
+    }
+
     /// Timed gather: `out[k] = read_f32(base + 4 * idx[k])`, `k` ascending
     /// (indices are element indices relative to `base`, duplicates allowed).
     fn read_f32s_gather(&mut self, base: PhysAddr, idx: &[u32], out: &mut [f32]) {
@@ -229,6 +280,14 @@ impl<V: Vm + ?Sized> Vm for WordAtATime<'_, V> {
         self.0.approx_malloc(len_bytes, dt)
     }
 
+    fn approx_malloc_with(&mut self, len_bytes: usize, dt: DataType, opts: RegionOpts) -> Region {
+        // Allocation (like the other four primitives) is forwarded — the
+        // wrapper masks bulk *access* overrides only, and dropping the
+        // region metadata here would change device fault behavior between
+        // a fast path and its word-at-a-time oracle.
+        self.0.approx_malloc_with(len_bytes, dt, opts)
+    }
+
     fn read_u32(&mut self, addr: PhysAddr) -> u32 {
         self.0.read_u32(addr)
     }
@@ -268,6 +327,12 @@ impl Vm for ExactVm {
         // The golden run ignores approximability but keeps the layout
         // identical so addresses line up between runs.
         self.space.approx_malloc(len_bytes, dt)
+    }
+
+    fn approx_malloc_with(&mut self, len_bytes: usize, dt: DataType, opts: RegionOpts) -> Region {
+        // Faults never happen here, but the region must still carry its
+        // metadata so layout code can be validated against the exact VM.
+        self.space.approx_malloc_with(len_bytes, dt, opts)
     }
 
     fn read_u32(&mut self, addr: PhysAddr) -> u32 {
@@ -328,6 +393,20 @@ impl Vm for ExactVm {
         self.instructions += vals.len() as u64;
         for (k, v) in vals.iter().enumerate() {
             self.mem.write_u32(PhysAddr(base.0 + k as u64 * stride_bytes), v.to_bits());
+        }
+    }
+
+    fn read_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, out: &mut [u32]) {
+        self.instructions += out.len() as u64;
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.mem.read_u32(PhysAddr(base.0 + k as u64 * stride_bytes));
+        }
+    }
+
+    fn write_u32s_strided(&mut self, base: PhysAddr, stride_bytes: u64, vals: &[u32]) {
+        self.instructions += vals.len() as u64;
+        for (k, v) in vals.iter().enumerate() {
+            self.mem.write_u32(PhysAddr(base.0 + k as u64 * stride_bytes), *v);
         }
     }
 

@@ -70,12 +70,36 @@ pub const LINE_BITS: u64 = (CL_BYTES * 8) as u64;
 
 /// Identifies one fault opportunity to the seeding scheme: where the line
 /// lives. The *when* (exposure ordinal) is tracked by the backend itself.
+///
+/// The two sub-block fields carry the region's device metadata
+/// (`avr_sim::RegionOpts`) down to the error model. Neither participates
+/// in the RNG key chain — they modulate *probabilities* (and flip
+/// eligibility), never the stream — so a layout or placement-policy change
+/// perturbs fault behavior without re-keying unrelated regions, and
+/// determinism at any pool width is untouched.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultCtx {
     /// Base byte address of the containing approximable region.
     pub region_base: u64,
     /// The containing 1 KB memory block (raw `BlockAddr` bits).
     pub block: u64,
+    /// Per-region fault-rate multiplier (1.0 nominal): the region's
+    /// retention / write-margin derating. Multiplies the backend's bit
+    /// error rates for this line.
+    pub rate_scale: f64,
+    /// Critical words of this line (bit `w` set ⇒ word `w` of the line is
+    /// precision-critical): the device must never flip their bits. This is
+    /// how an `Aggressive` interleaved layout keeps its integer fields
+    /// device-safe even though the whole region is approximable.
+    pub critical_mask: u16,
+}
+
+impl FaultCtx {
+    /// A context with nominal rate and no critical words — the shape every
+    /// pre-layout caller used.
+    pub fn nominal(region_base: u64, block: u64) -> FaultCtx {
+        FaultCtx { region_base, block, rate_scale: 1.0, critical_mask: 0 }
+    }
 }
 
 /// Device-level fault counters (what the cells did, before any
@@ -139,22 +163,40 @@ impl FaultRng {
 }
 
 /// Flip bits of `line` in place: each bit is hit with probability `p01`
-/// (if currently 0) or `p10` (if currently 1). Returns the flip count.
-fn inject_flips(rng: &mut FaultRng, line: &mut CacheLine, p01: f64, p10: f64) -> u32 {
+/// (if currently 0) or `p10` (if currently 1), except bits of words set in
+/// `critical_mask`, which are never flipped (the per-region sub-block
+/// criticality contract — modelled as per-word ECC at the device).
+/// Returns the flip count.
+fn inject_flips(
+    rng: &mut FaultRng,
+    line: &mut CacheLine,
+    p01: f64,
+    p10: f64,
+    critical_mask: u16,
+) -> u32 {
     let p_max = p01.max(p10);
     if p_max <= 0.0 {
         return 0;
     }
     // Sample candidate positions at the max rate, then thin each candidate
-    // by the rate that applies to its current value (0→1 vs 1→0).
+    // by the rate that applies to its current value (0→1 vs 1→0). Critical
+    // words thin to rate 0: the candidate is drawn (stream consumption
+    // stays a function of p_max alone) and then always rejected.
     let ln1m = (1.0 - p_max.min(1.0)).ln();
     let mut flips = 0u32;
     let mut bit = rng.skip(ln1m);
     while bit < LINE_BITS {
         let word = (bit / 32) as usize;
         let mask = 1u32 << (bit % 32);
+        let critical = critical_mask >> word & 1 != 0;
         let is_one = line.words[word] & mask != 0;
-        let p_bit = if is_one { p10 } else { p01 };
+        let p_bit = if critical {
+            0.0
+        } else if is_one {
+            p10
+        } else {
+            p01
+        };
         if p_bit >= p_max || rng.next_f64() * p_max < p_bit {
             line.words[word] ^= mask;
             flips += 1;
@@ -363,8 +405,9 @@ impl DramBackend for RelaxedRefreshDram {
         }
         let exposure = self.faults.exposures;
         self.faults.exposures += 1;
+        let p = self.p_flip * ctx.rate_scale;
         let mut rng = FaultRng::for_exposure(self.seed, ctx, exposure);
-        let flips = inject_flips(&mut rng, data, self.p_flip, self.p_flip);
+        let flips = inject_flips(&mut rng, data, p, p, ctx.critical_mask);
         if flips > 0 {
             self.faults.faulted_lines += 1;
             self.faults.bit_flips += flips as u64;
@@ -449,10 +492,15 @@ impl DramBackend for ApproxMram {
         let exposure = self.faults.exposures;
         self.faults.exposures += 1;
         let level = Self::margin_level(self.em.seed, self.em.mram_margin_levels, ctx.region_base);
-        let scale = (1u64 << level) as f64;
+        let scale = (1u64 << level) as f64 * ctx.rate_scale;
         let mut rng = FaultRng::for_exposure(self.em.seed, ctx, exposure);
-        let flips =
-            inject_flips(&mut rng, data, self.em.mram_p01 * scale, self.em.mram_p10 * scale);
+        let flips = inject_flips(
+            &mut rng,
+            data,
+            self.em.mram_p01 * scale,
+            self.em.mram_p10 * scale,
+            ctx.critical_mask,
+        );
         if flips > 0 {
             self.faults.faulted_lines += 1;
             self.faults.bit_flips += flips as u64;
@@ -514,7 +562,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> FaultCtx {
-        FaultCtx { region_base: 0x1_0000, block: 42 }
+        FaultCtx::nominal(0x1_0000, 42)
     }
 
     fn em(backend: Option<BackendKind>) -> ErrorModelParams {
@@ -552,7 +600,7 @@ mod tests {
         let base = FaultRng::for_exposure(1, &ctx(), 0).next_u64();
         assert_ne!(FaultRng::for_exposure(2, &ctx(), 0).next_u64(), base);
         assert_ne!(FaultRng::for_exposure(1, &ctx(), 1).next_u64(), base);
-        let other = FaultCtx { region_base: 0x2_0000, block: 42 };
+        let other = FaultCtx::nominal(0x2_0000, 42);
         assert_ne!(FaultRng::for_exposure(1, &other, 0).next_u64(), base);
     }
 
@@ -564,7 +612,7 @@ mod tests {
         for t in 0..trials {
             let mut rng = FaultRng::for_exposure(7, &ctx(), t);
             let mut line = CacheLine::ZERO;
-            total += inject_flips(&mut rng, &mut line, 1.0 / 64.0, 1.0 / 64.0) as u64;
+            total += inject_flips(&mut rng, &mut line, 1.0 / 64.0, 1.0 / 64.0, 0) as u64;
         }
         let mean = total as f64 / trials as f64;
         assert!((6.0..10.0).contains(&mean), "mean flips per line {mean}");
@@ -578,15 +626,15 @@ mod tests {
         for t in 0..200 {
             let mut rng = FaultRng::for_exposure(3, &ctx(), t);
             let mut line = ones;
-            assert_eq!(inject_flips(&mut rng, &mut line, 0.5, 0.0), 0);
+            assert_eq!(inject_flips(&mut rng, &mut line, 0.5, 0.0, 0), 0);
             let mut rng = FaultRng::for_exposure(3, &ctx(), t);
             let mut zeros = CacheLine::ZERO;
-            assert_eq!(inject_flips(&mut rng, &mut zeros, 0.0, 0.5), 0);
+            assert_eq!(inject_flips(&mut rng, &mut zeros, 0.0, 0.5, 0), 0);
         }
         // And the allowed direction does fire at a high rate.
         let mut rng = FaultRng::for_exposure(3, &ctx(), 1000);
         let mut line = ones;
-        assert!(inject_flips(&mut rng, &mut line, 0.0, 0.5) > 0);
+        assert!(inject_flips(&mut rng, &mut line, 0.0, 0.5, 0) > 0);
     }
 
     #[test]
@@ -661,6 +709,70 @@ mod tests {
     }
 
     #[test]
+    fn rate_scale_zero_silences_and_scale_amplifies() {
+        let mut e = em(Some(BackendKind::RelaxedDram));
+        e.retention_fail_per_bit = 0.002;
+        e.refresh_multiplier = 4;
+        let mut flips = [0u64; 3];
+        for (i, scale) in [0.0, 1.0, 8.0].into_iter().enumerate() {
+            let mut d = RelaxedRefreshDram::new(DramParams::default(), &e);
+            let c = FaultCtx { rate_scale: scale, ..ctx() };
+            for _ in 0..400 {
+                let mut line = CacheLine { words: [0x5A5A_5A5A; avr_types::VALUES_PER_LINE] };
+                flips[i] += d.corrupt_line(&c, AccessKind::Read, &mut line) as u64;
+            }
+        }
+        assert_eq!(flips[0], 0, "a zero-rated region never faults");
+        assert!(flips[1] > 0);
+        assert!(flips[2] > flips[1] * 3, "8x derating must amplify: {flips:?}");
+    }
+
+    #[test]
+    fn critical_mask_words_never_flip() {
+        // Even at an absurd per-bit rate, masked words come through intact
+        // while the unmasked words are shredded.
+        let mask: u16 = 0b0000_1010_0001_0001; // words 0, 4, 9, 11
+        for t in 0..100 {
+            let mut rng = FaultRng::for_exposure(11, &ctx(), t);
+            let mut line = CacheLine { words: [0xCAFE_F00D; avr_types::VALUES_PER_LINE] };
+            let flips = inject_flips(&mut rng, &mut line, 0.3, 0.3, mask);
+            assert!(flips > 0, "0.3/bit must flip plenty");
+            for w in 0..avr_types::VALUES_PER_LINE {
+                if mask >> w & 1 != 0 {
+                    assert_eq!(line.words[w], 0xCAFE_F00D, "critical word {w} flipped");
+                }
+            }
+        }
+        // An all-critical line is untouched entirely.
+        let mut rng = FaultRng::for_exposure(11, &ctx(), 1000);
+        let mut line = CacheLine { words: [0xCAFE_F00D; avr_types::VALUES_PER_LINE] };
+        assert_eq!(inject_flips(&mut rng, &mut line, 0.3, 0.3, 0xFFFF), 0);
+    }
+
+    #[test]
+    fn mram_honors_region_metadata() {
+        let mut e = em(Some(BackendKind::ApproxMram));
+        e.mram_p01 = 0.02;
+        e.mram_p10 = 0.02;
+        e.mram_margin_levels = 1;
+        let mut d = ApproxMram::new(DramParams::default(), &e);
+        let quiet = FaultCtx { rate_scale: 0.0, ..ctx() };
+        let armored = FaultCtx { critical_mask: 0xFFFF, ..ctx() };
+        for _ in 0..50 {
+            let mut line = CacheLine { words: [7; avr_types::VALUES_PER_LINE] };
+            assert_eq!(d.corrupt_line(&quiet, AccessKind::Write, &mut line), 0);
+            assert_eq!(d.corrupt_line(&armored, AccessKind::Write, &mut line), 0);
+            assert_eq!(line.words[0], 7);
+        }
+        let mut line = CacheLine { words: [7; avr_types::VALUES_PER_LINE] };
+        let mut flips = 0;
+        for _ in 0..50 {
+            flips += d.corrupt_line(&ctx(), AccessKind::Write, &mut line);
+        }
+        assert!(flips > 0, "nominal context still faults");
+    }
+
+    #[test]
     fn corrupt_calls_are_order_deterministic() {
         // Two backends fed the same corrupt-call sequence produce the same
         // flips — the thread-width invariance property at the unit level.
@@ -669,7 +781,7 @@ mod tests {
         let mk = || RelaxedRefreshDram::new(DramParams::default(), &e);
         let (mut d1, mut d2) = (mk(), mk());
         for i in 0..64u64 {
-            let c = FaultCtx { region_base: 0x4000 * (i % 3), block: i / 2 };
+            let c = FaultCtx::nominal(0x4000 * (i % 3), i / 2);
             let mut l1 = CacheLine { words: [i as u32; avr_types::VALUES_PER_LINE] };
             let mut l2 = l1;
             let f1 = d1.corrupt_line(&c, AccessKind::Read, &mut l1);

@@ -13,4 +13,4 @@ pub use stats::{
     Counters, EvictionBreakdown, FaultBreakdown, LlcRequestBreakdown, MergedRun, RunMetrics,
     Traffic,
 };
-pub use vm::{AddressSpace, PhysMem, Region};
+pub use vm::{AddressSpace, PhysMem, Region, RegionOpts};

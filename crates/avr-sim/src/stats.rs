@@ -268,6 +268,15 @@ pub struct RunMetrics {
     /// Footprint-weighted compression ratio over approximable data
     /// (Table 4, "Compr. Ratio").
     pub compression_ratio: f64,
+    /// Approximable 1 KB blocks scanned by the end-of-run compression
+    /// summary (AVR designs only; zero for designs without the codec).
+    pub approx_blocks: u64,
+    /// How many of those blocks the codec accepted (compressed to fewer
+    /// lines than raw). The ratio `compressible_blocks / approx_blocks` is
+    /// the layout axis's headline number: interleaving critical words into
+    /// approximable records (AoS) collapses it, which is the
+    /// granularity-gap effect made measurable.
+    pub compressible_blocks: u64,
     /// Total memory footprint as a fraction of the baseline footprint
     /// (Table 4, "Mem. Footprint").
     pub footprint_fraction: f64,

@@ -165,6 +165,50 @@ impl PhysMem {
     }
 }
 
+/// Per-region device/criticality metadata attached at allocation time.
+///
+/// Integer encodings keep [`Region`] `Copy + Eq`: the fault-rate override
+/// is permille (1000 = nominal), and sub-block criticality is a repeating
+/// word pattern — word `w` of the region is critical iff bit
+/// `w % crit_period_words` of `crit_pattern` is set. A zero period means
+/// "no critical words" (the whole region follows the approx bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionOpts {
+    /// Device fault-rate multiplier in permille (1000 = the configured
+    /// backend rates; 0 = this region never decays; 4000 = 4× rates).
+    pub fault_scale_permille: u32,
+    /// Length in words of the repeating criticality pattern; 0 disables it.
+    pub crit_period_words: u32,
+    /// Bitmask over one period: set bits mark critical word offsets that
+    /// device backends must never corrupt (sub-block ECC metadata).
+    pub crit_pattern: u64,
+}
+
+impl Default for RegionOpts {
+    fn default() -> Self {
+        RegionOpts { fault_scale_permille: 1000, crit_period_words: 0, crit_pattern: 0 }
+    }
+}
+
+impl RegionOpts {
+    /// Nominal rates with a repeating criticality pattern.
+    pub fn with_crit_pattern(period_words: u32, pattern: u64) -> Self {
+        assert!(period_words as usize <= 64, "crit pattern period is capped at 64 words");
+        RegionOpts { crit_period_words: period_words, crit_pattern: pattern, ..Self::default() }
+    }
+
+    /// Nominal criticality with a scaled device fault rate.
+    pub fn with_fault_scale(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "fault scale must be a nonnegative factor");
+        RegionOpts { fault_scale_permille: (scale * 1000.0).round() as u32, ..Self::default() }
+    }
+
+    /// The fault-rate multiplier as a factor (permille / 1000).
+    pub fn fault_scale(&self) -> f64 {
+        f64::from(self.fault_scale_permille) / 1000.0
+    }
+}
+
 /// One registered allocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Region {
@@ -172,6 +216,8 @@ pub struct Region {
     pub len_bytes: usize,
     /// `Some(dt)` when the region is approximable.
     pub approx: Option<DataType>,
+    /// Device fault-rate / sub-block criticality metadata.
+    pub opts: RegionOpts,
 }
 
 impl Region {
@@ -182,6 +228,24 @@ impl Region {
 
     pub fn end(&self) -> PhysAddr {
         PhysAddr(self.base.0 + self.len_bytes as u64)
+    }
+
+    /// Bitmask over the 16 words of `line` marking this region's critical
+    /// words (from the repeating [`RegionOpts`] pattern). Zero when the
+    /// region carries no sub-block criticality metadata.
+    pub fn critical_mask_of_line(&self, line: LineAddr) -> u16 {
+        let period = u64::from(self.opts.crit_period_words);
+        if period == 0 {
+            return 0;
+        }
+        let first_word = (line.base().0 - self.base.0) / 4;
+        let mut mask = 0u16;
+        for w in 0..VALUES_PER_LINE as u64 {
+            if self.opts.crit_pattern >> ((first_word + w) % period) & 1 != 0 {
+                mask |= 1 << w;
+            }
+        }
+        mask
     }
 }
 
@@ -205,25 +269,41 @@ impl AddressSpace {
         AddressSpace::default()
     }
 
-    fn alloc_inner(&mut self, len_bytes: usize, approx: Option<DataType>) -> Region {
+    fn alloc_inner(
+        &mut self,
+        len_bytes: usize,
+        approx: Option<DataType>,
+        opts: RegionOpts,
+    ) -> Region {
         assert!(len_bytes > 0);
         let base = PhysAddr(self.next);
         let pages = len_bytes.div_ceil(PAGE_BYTES);
         self.next += (pages * PAGE_BYTES) as u64;
-        let r = Region { base, len_bytes, approx };
+        let r = Region { base, len_bytes, approx, opts };
         self.regions.push(r);
         r
     }
 
     /// Plain allocation (precise data).
     pub fn malloc(&mut self, len_bytes: usize) -> Region {
-        self.alloc_inner(len_bytes, None)
+        self.alloc_inner(len_bytes, None, RegionOpts::default())
     }
 
     /// The paper's wrapper: page-aligned allocation registered approximable
     /// with its datatype.
     pub fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
-        self.alloc_inner(len_bytes, Some(dt))
+        self.alloc_inner(len_bytes, Some(dt), RegionOpts::default())
+    }
+
+    /// [`Self::approx_malloc`] with explicit device/criticality metadata
+    /// (per-region fault-rate overrides, sub-block critical-word patterns).
+    pub fn approx_malloc_with(
+        &mut self,
+        len_bytes: usize,
+        dt: DataType,
+        opts: RegionOpts,
+    ) -> Region {
+        self.alloc_inner(len_bytes, Some(dt), opts)
     }
 
     /// Is this line approximable, and if so with which datatype? (The
@@ -411,6 +491,36 @@ mod tests {
         let (total, approx) = a.footprint();
         assert_eq!(total, 8192 + 4096 + 2048);
         assert_eq!(approx, 4096 + 2048);
+    }
+
+    #[test]
+    fn region_opts_defaults_are_nominal_and_uncritical() {
+        let mut a = AddressSpace::new();
+        let r = a.approx_malloc(4096, DataType::F32);
+        assert_eq!(r.opts, RegionOpts::default());
+        assert!((r.opts.fault_scale() - 1.0).abs() < 1e-12);
+        assert_eq!(r.critical_mask_of_line(r.base.line()), 0);
+    }
+
+    #[test]
+    fn crit_pattern_repeats_across_lines() {
+        let mut a = AddressSpace::new();
+        // 5-word records with word 4 critical: the per-line mask walks the
+        // pattern phase as 16-word lines cut across 5-word records.
+        let opts = RegionOpts::with_crit_pattern(5, 1 << 4);
+        let r = a.approx_malloc_with(4096, DataType::F32, opts);
+        let mask0 = r.critical_mask_of_line(r.base.line());
+        // Words 4, 9, 14 of the first line are critical (offsets 4 mod 5).
+        assert_eq!(mask0, (1 << 4) | (1 << 9) | (1 << 14));
+        // Second line starts at word 16 ≡ 1 (mod 5): criticals at 3, 8, 13.
+        let l1 = LineAddr(r.base.line().0 + 1);
+        assert_eq!(r.critical_mask_of_line(l1), (1 << 3) | (1 << 8) | (1 << 13));
+    }
+
+    #[test]
+    fn fault_scale_round_trips_through_permille() {
+        assert_eq!(RegionOpts::with_fault_scale(0.0).fault_scale(), 0.0);
+        assert!((RegionOpts::with_fault_scale(2.5).fault_scale() - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -202,6 +202,42 @@ impl Default for ErrorModelParams {
     }
 }
 
+/// Which memory layout a workload's record data is instantiated in (the
+/// layout-transform axis, ROADMAP item 3). Layouts change *placement*, not
+/// math: an exact run produces bit-identical output in every variant, while
+/// approximating designs see different per-block value mixes — the
+/// granularity-gap effect the Akiyama papers describe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Structure-of-arrays: each field is a contiguous plane. This is the
+    /// historical layout of every in-tree workload and the default.
+    #[default]
+    Soa,
+    /// Array-of-structures: whole records are interleaved word-by-word, so
+    /// a 1 KB block mixes every field (and criticality class) of ~records
+    /// worth of data.
+    Aos,
+    /// Hot/cold criticality partitioning: approximable fields are
+    /// interleaved together in an approximate region, critical fields in a
+    /// separate precise region (the data-partitioning transform of
+    /// arXiv:2004.01637).
+    Partitioned,
+}
+
+impl LayoutKind {
+    /// The three layouts in bench/sweep order.
+    pub const ALL: [LayoutKind; 3] = [LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned];
+
+    /// Label used in bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LayoutKind::Soa => "soa",
+            LayoutKind::Aos => "aos",
+            LayoutKind::Partitioned => "partitioned",
+        }
+    }
+}
+
 /// Which of the five evaluated designs a `System` implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DesignKind {

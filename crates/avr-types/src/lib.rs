@@ -13,7 +13,8 @@ pub mod value;
 pub use addr::{BlockAddr, LineAddr, PhysAddr, CL_BYTES, CL_OFFSET_BITS, LINES_PER_BLOCK};
 pub use block::BlockData;
 pub use config::{
-    AvrParams, BackendKind, CacheGeometry, DesignKind, DramParams, ErrorModelParams, SystemConfig,
+    AvrParams, BackendKind, CacheGeometry, DesignKind, DramParams, ErrorModelParams, LayoutKind,
+    SystemConfig,
 };
 pub use line::CacheLine;
 pub use value::{DataType, VALUES_PER_BLOCK, VALUES_PER_LINE};

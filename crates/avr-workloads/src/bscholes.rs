@@ -8,8 +8,7 @@
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::hash01;
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
 
 /// The Black-Scholes benchmark.
 pub struct BlackScholes {
@@ -26,11 +25,35 @@ impl BlackScholes {
         }
     }
 
-    #[inline]
-    fn at(base: PhysAddr, i: usize) -> PhysAddr {
-        PhysAddr(base.0 + 4 * i as u64)
+    /// One record per option: the AxBench seven-field option structure.
+    /// Only spot and strike are approximable, so conservative AoS prices
+    /// the whole record precise (the granularity gap), while partitioned
+    /// placement splits the record into an approximable {spot, strike}
+    /// pair and a precise five-field remainder.
+    fn schema() -> RecordSchema {
+        RecordSchema::new(
+            "option",
+            vec![
+                FieldSpec::approx_f32("spot"),
+                FieldSpec::approx_f32("strike"),
+                FieldSpec::precise_f32("expiry"),
+                FieldSpec::precise_f32("rate"),
+                FieldSpec::precise_f32("vol"),
+                FieldSpec::precise_f32("call"),
+                FieldSpec::precise_f32("put"),
+            ],
+        )
     }
 }
+
+/// Field indices into [`BlackScholes::schema`].
+const SPOT: usize = 0;
+const STRIKE: usize = 1;
+const EXPIRY: usize = 2;
+const RATE: usize = 3;
+const VOL: usize = 4;
+const CALL: usize = 5;
+const PUT: usize = 6;
 
 /// Standard normal CDF via the Abramowitz–Stegun polynomial (the usual
 /// blackscholes-kernel approximation).
@@ -61,17 +84,19 @@ impl Workload for BlackScholes {
         (self.options * 8) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let n = self.options;
-        // Approximable: spot and strike prices.
-        let spot = vm.approx_malloc(4 * n, DataType::F32).base;
-        let strike = vm.approx_malloc(4 * n, DataType::F32).base;
-        // Precise: expiry, rate, volatility inputs; call/put outputs.
-        let expiry = vm.malloc(4 * n).base;
-        let rate = vm.malloc(4 * n).base;
-        let vol = vm.malloc(4 * n).base;
-        let call = vm.malloc(4 * n).base;
-        let put = vm.malloc(4 * n).base;
+        // The seven option fields (approximable spot/strike, precise
+        // rest), placed by the layout.
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
 
         // Inputs: clustered around a handful of underlyings, so many
         // entries share identical field values (AxBench-style data).
@@ -102,11 +127,11 @@ impl Workload for BlackScholes {
                 buf_v[o] = 0.20 + 0.10 * ((i / 32) % 3) as f32;
             }
             vm.compute(24 * len as u64);
-            vm.write_f32s(Self::at(spot, start), &buf_s[..len]);
-            vm.write_f32s(Self::at(strike, start), &buf_k[..len]);
-            vm.write_f32s(Self::at(expiry, start), &buf_t[..len]);
-            vm.write_f32s(Self::at(rate, start), &buf_r[..len]);
-            vm.write_f32s(Self::at(vol, start), &buf_v[..len]);
+            map.write_f32s(vm, SPOT, start, &buf_s[..len]);
+            map.write_f32s(vm, STRIKE, start, &buf_k[..len]);
+            map.write_f32s(vm, EXPIRY, start, &buf_t[..len]);
+            map.write_f32s(vm, RATE, start, &buf_r[..len]);
+            map.write_f32s(vm, VOL, start, &buf_v[..len]);
         }
 
         // Price every option: stream the five input fields chunk-wise and
@@ -115,11 +140,11 @@ impl Workload for BlackScholes {
         let mut buf_p = vec![0f32; CHUNK];
         for start in (0..n).step_by(CHUNK) {
             let len = CHUNK.min(n - start);
-            vm.read_f32s(Self::at(spot, start), &mut buf_s[..len]);
-            vm.read_f32s(Self::at(strike, start), &mut buf_k[..len]);
-            vm.read_f32s(Self::at(expiry, start), &mut buf_t[..len]);
-            vm.read_f32s(Self::at(rate, start), &mut buf_r[..len]);
-            vm.read_f32s(Self::at(vol, start), &mut buf_v[..len]);
+            map.read_f32s(vm, SPOT, start, &mut buf_s[..len]);
+            map.read_f32s(vm, STRIKE, start, &mut buf_k[..len]);
+            map.read_f32s(vm, EXPIRY, start, &mut buf_t[..len]);
+            map.read_f32s(vm, RATE, start, &mut buf_r[..len]);
+            map.read_f32s(vm, VOL, start, &mut buf_v[..len]);
             for o in 0..len {
                 let s = buf_s[o] as f64;
                 let k = buf_k[o] as f64;
@@ -137,16 +162,16 @@ impl Workload for BlackScholes {
             // The kernel costs ~200 scalar ops (ln, exp, sqrt, divisions,
             // two CDF polynomials): this is what makes it compute-bound.
             vm.compute(420 * len as u64);
-            vm.write_f32s(Self::at(call, start), &buf_c[..len]);
-            vm.write_f32s(Self::at(put, start), &buf_p[..len]);
+            map.write_f32s(vm, CALL, start, &buf_c[..len]);
+            map.write_f32s(vm, PUT, start, &buf_p[..len]);
         }
 
-        // Output: the predicted prices (a decimated strided view).
+        // Output: the predicted prices (every 16th option).
         let samples = n.div_ceil(16);
         let mut out_c = vec![0f32; samples];
         let mut out_p = vec![0f32; samples];
-        vm.read_f32s_strided(call, 64, &mut out_c);
-        vm.read_f32s_strided(put, 64, &mut out_p);
+        map.read_f32s_every(vm, CALL, 0, 16, &mut out_c);
+        map.read_f32s_every(vm, PUT, 0, 16, &mut out_p);
         let mut out = Vec::with_capacity(2 * samples);
         for (c, p) in out_c.iter().zip(&out_p) {
             out.push(*c as f64);

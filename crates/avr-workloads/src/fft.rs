@@ -13,8 +13,7 @@
 
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
 
 /// Number of output frequency bands.
 const BANDS: usize = 16;
@@ -58,12 +57,18 @@ impl Fft {
     fn n(&self) -> usize {
         1 << self.log2_n
     }
+
+    /// One record per sample: the complex pair. SoA keeps the planar
+    /// re/im arrays of the historical port; AoS stores interleaved
+    /// complex values, the other textbook FFT memory layout.
+    fn schema() -> RecordSchema {
+        RecordSchema::new("cpx", vec![FieldSpec::approx_f32("re"), FieldSpec::approx_f32("im")])
+    }
 }
 
-#[inline]
-fn addr(base: PhysAddr, idx: usize) -> PhysAddr {
-    PhysAddr(base.0 + 4 * idx as u64)
-}
+/// Field indices into [`Fft::schema`].
+const RE: usize = 0;
+const IM: usize = 1;
 
 impl Workload for Fft {
     fn name(&self) -> &'static str {
@@ -84,11 +89,18 @@ impl Workload for Fft {
         (self.n() as u64) * u64::from(self.log2_n) * 4
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let n = self.n();
-        // Approximable: the planar complex working arrays.
-        let re = vm.approx_malloc(4 * n, DataType::F32).base;
-        let im = vm.approx_malloc(4 * n, DataType::F32).base;
+        // Approximable: the complex working arrays, placed by the layout.
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
 
         // Input: a full-band linear chirp sweeping DC → Nyquist, written
         // directly in bit-reversed positions so the passes run in order —
@@ -110,7 +122,8 @@ impl Workload for Fft {
                 // Tiny-scale pulse (see `pulse_amp`); the bench-scale
                 // branch (pulse_amp == 0) writes the exact pre-knob chirp
                 // stream.
-                sc_idx[o] = ((i as u64).reverse_bits() >> (64 - self.log2_n)) as u32;
+                let rev = ((i as u64).reverse_bits() >> (64 - self.log2_n)) as usize;
+                sc_idx[o] = map.elem(RE, rev);
                 sc_val[o] = if self.pulse_amp != 0.0 && i == PULSE_T {
                     chirp + self.pulse_amp
                 } else {
@@ -118,11 +131,11 @@ impl Workload for Fft {
                 };
             }
             vm.compute(14 * len as u64);
-            vm.write_f32s_scatter(re, &sc_idx[..len], &sc_val[..len]);
+            vm.write_f32s_scatter(map.base(), &sc_idx[..len], &sc_val[..len]);
         }
         // The imaginary plane starts at zero everywhere.
         let zeros = vec![0f32; n];
-        vm.write_f32s(im, &zeros);
+        map.write_f32s(vm, IM, 0, &zeros);
 
         // Iterative Cooley–Tukey: log2(n) passes over the full arrays.
         // Each butterfly group's a/b halves are contiguous, so one group
@@ -136,10 +149,10 @@ impl Workload for Fft {
             let half = len / 2;
             let ang = -2.0 * std::f64::consts::PI / len as f64;
             for start in (0..n).step_by(len) {
-                vm.read_f32s(addr(re, start), &mut ar[..half]);
-                vm.read_f32s(addr(im, start), &mut ai[..half]);
-                vm.read_f32s(addr(re, start + half), &mut br[..half]);
-                vm.read_f32s(addr(im, start + half), &mut bi[..half]);
+                map.read_f32s(vm, RE, start, &mut ar[..half]);
+                map.read_f32s(vm, IM, start, &mut ai[..half]);
+                map.read_f32s(vm, RE, start + half, &mut br[..half]);
+                map.read_f32s(vm, IM, start + half, &mut bi[..half]);
                 for k in 0..half {
                     let (wr, wi) = {
                         let a = ang * k as f64;
@@ -154,10 +167,10 @@ impl Workload for Fft {
                     bi[k] = a_i - ti;
                 }
                 vm.compute(12 * half as u64);
-                vm.write_f32s(addr(re, start), &ar[..half]);
-                vm.write_f32s(addr(im, start), &ai[..half]);
-                vm.write_f32s(addr(re, start + half), &br[..half]);
-                vm.write_f32s(addr(im, start + half), &bi[..half]);
+                map.write_f32s(vm, RE, start, &ar[..half]);
+                map.write_f32s(vm, IM, start, &ai[..half]);
+                map.write_f32s(vm, RE, start + half, &br[..half]);
+                map.write_f32s(vm, IM, start + half, &bi[..half]);
             }
             len <<= 1;
         }
@@ -170,8 +183,8 @@ impl Workload for Fft {
         let mut re_band = vec![0f32; per_band];
         let mut im_band = vec![0f32; per_band];
         for b in 0..BANDS {
-            vm.read_f32s(addr(re, b * per_band), &mut re_band);
-            vm.read_f32s(addr(im, b * per_band), &mut im_band);
+            map.read_f32s(vm, RE, b * per_band, &mut re_band);
+            map.read_f32s(vm, IM, b * per_band, &mut im_band);
             vm.compute(3 * per_band as u64);
             let acc: f64 = re_band
                 .iter()

@@ -20,8 +20,8 @@
 
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
+use avr_types::PhysAddr;
 
 /// Cool-plate base temperature.
 const PLATE: f32 = 20.0;
@@ -68,7 +68,19 @@ impl Heat {
     fn addr(base: PhysAddr, idx: usize) -> PhysAddr {
         PhysAddr(base.0 + 4 * idx as u64)
     }
+
+    /// One record per grid cell: the two temperature planes. Both are
+    /// approximable, so every layout keeps the field fully compressible;
+    /// what AoS changes is that each block interleaves this-iteration and
+    /// last-iteration values word by word.
+    fn schema() -> RecordSchema {
+        RecordSchema::new("cell", vec![FieldSpec::approx_f32("a"), FieldSpec::approx_f32("b")])
+    }
 }
+
+/// Field indices into [`Heat::schema`].
+const A: usize = 0;
+const B: usize = 1;
 
 impl Workload for Heat {
     fn name(&self) -> &'static str {
@@ -97,12 +109,19 @@ impl Workload for Heat {
         (self.width * self.height * self.iters * 6) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let (w, h) = (self.width, self.height);
         let n = w * h;
-        // Approximable: both temperature grids.
-        let a = vm.approx_malloc(4 * n, DataType::F32).base;
-        let b = vm.approx_malloc(4 * n, DataType::F32).base;
+        // Approximable: both temperature grids, placed by the layout.
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
         // Precise: per-row heat totals used as a convergence monitor.
         let rowsum = vm.malloc(4 * h).base;
 
@@ -132,7 +151,7 @@ impl Workload for Heat {
                 *t = v;
             }
             vm.compute(12 * w as u64);
-            vm.write_f32s(Self::addr(a, y * w), &row);
+            map.write_f32s(vm, A, y * w, &row);
         }
 
         // Jacobi sweeps (fixed boundaries): each destination row reads the
@@ -143,12 +162,12 @@ impl Workload for Heat {
         let mut down = vec![0f32; w];
         let mut next = vec![0f32; w - 2];
         let mut col = vec![0f32; h];
-        let (mut src, mut dst) = (a, b);
+        let (mut src, mut dst) = (A, B);
         for _ in 0..self.iters {
             for y in 1..h - 1 {
-                vm.read_f32s(Self::addr(src, (y - 1) * w), &mut up);
-                vm.read_f32s(Self::addr(src, (y + 1) * w), &mut down);
-                vm.read_f32s(Self::addr(src, y * w), &mut cur);
+                map.read_f32s(vm, src, (y - 1) * w, &mut up);
+                map.read_f32s(vm, src, (y + 1) * w, &mut down);
+                map.read_f32s(vm, src, y * w, &mut cur);
                 let mut acc = 0.0f32;
                 for x in 1..w - 1 {
                     let t = 0.25 * (up[x] + down[x] + cur[x - 1] + cur[x + 1]);
@@ -156,26 +175,26 @@ impl Workload for Heat {
                     acc += t;
                 }
                 vm.compute(6 * (w - 2) as u64 + 2);
-                vm.write_f32s(Self::addr(dst, y * w + 1), &next);
+                map.write_f32s(vm, dst, y * w + 1, &next);
                 vm.write_f32(Self::addr(rowsum, y), acc);
             }
             // Copy the fixed boundary rows/cols into dst so reads next
-            // iteration see them.
-            vm.read_f32s(Self::addr(src, 0), &mut cur);
-            vm.write_f32s(Self::addr(dst, 0), &cur);
-            vm.read_f32s(Self::addr(src, (h - 1) * w), &mut cur);
-            vm.write_f32s(Self::addr(dst, (h - 1) * w), &cur);
-            let stride = 4 * w as u64;
-            vm.read_f32s_strided(Self::addr(src, 0), stride, &mut col);
-            vm.write_f32s_strided(Self::addr(dst, 0), stride, &col);
-            vm.read_f32s_strided(Self::addr(src, w - 1), stride, &mut col);
-            vm.write_f32s_strided(Self::addr(dst, w - 1), stride, &col);
+            // iteration see them. The column walks step one grid row per
+            // element (`step = w`), whatever the physical stride.
+            map.read_f32s(vm, src, 0, &mut cur);
+            map.write_f32s(vm, dst, 0, &cur);
+            map.read_f32s(vm, src, (h - 1) * w, &mut cur);
+            map.write_f32s(vm, dst, (h - 1) * w, &cur);
+            map.read_f32s_every(vm, src, 0, w, &mut col);
+            map.write_f32s_every(vm, dst, 0, w, &col);
+            map.read_f32s_every(vm, src, w - 1, w, &mut col);
+            map.write_f32s_every(vm, dst, w - 1, w, &col);
             std::mem::swap(&mut src, &mut dst);
         }
 
         // Output: the final temperature field.
         let mut field = vec![0f32; n];
-        vm.read_f32s(Self::addr(src, 0), &mut field);
+        map.read_f32s(vm, src, 0, &mut field);
         field.iter().map(|&t| t as f64).collect()
     }
 }

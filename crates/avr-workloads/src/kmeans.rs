@@ -10,8 +10,8 @@
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::{fractal_terrain, hash01};
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
+use avr_types::PhysAddr;
 
 /// The k-means benchmark.
 pub struct KMeans {
@@ -36,7 +36,18 @@ impl KMeans {
     fn at(base: PhysAddr, i: usize) -> PhysAddr {
         PhysAddr(base.0 + 4 * i as u64)
     }
+
+    /// One record per survey point: just the elevation sample. A
+    /// single-field record is the degenerate case where AoS and SoA
+    /// coincide — the byte-packed assignments can't ride in the record
+    /// (four of them share a word), so they stay a separate precise array.
+    fn schema() -> RecordSchema {
+        RecordSchema::new("sample", vec![FieldSpec::approx_f32("elev")])
+    }
 }
+
+/// Field index into [`KMeans::schema`].
+const ELEV: usize = 0;
 
 impl Workload for KMeans {
     fn name(&self) -> &'static str {
@@ -62,11 +73,19 @@ impl Workload for KMeans {
         (self.points * self.max_iters) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let n = self.points;
         let k = self.k;
         // Approximable: the elevation samples.
-        let pts = vm.approx_malloc(4 * n, DataType::F32).base;
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
         // Precise: assignments (one byte per point, packed 4/word) and the
         // centroid table.
         let asg = vm.malloc(n).base;
@@ -93,7 +112,7 @@ impl Workload for KMeans {
                 c + fine_amp * (a * (1.0 - frac) + b * frac)
             })
             .collect();
-        vm.write_f32s(pts, &terrain);
+        map.write_f32s(vm, ELEV, 0, &terrain);
 
         // Initialize centroids evenly over the value range.
         let (lo, hi) =
@@ -118,7 +137,7 @@ impl Workload for KMeans {
             // Assign.
             for start in (0..n).step_by(CHUNK) {
                 let len = CHUNK.min(n - start);
-                vm.read_f32s(Self::at(pts, start), &mut elev[..len]);
+                map.read_f32s(vm, ELEV, start, &mut elev[..len]);
                 for (o, &e) in elev[..len].iter().enumerate() {
                     let mut best = 0usize;
                     let mut best_d = f32::MAX;

@@ -7,8 +7,8 @@
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::car_silhouette;
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
+use avr_types::PhysAddr;
 
 /// D2Q9 lattice velocities and weights.
 const EX: [i32; 9] = [0, 1, 0, -1, 0, 1, -1, -1, 1];
@@ -49,13 +49,18 @@ impl Lattice {
     }
 
     #[inline]
-    fn f_at(base: PhysAddr, i: usize, idx: usize, cells: usize) -> PhysAddr {
-        PhysAddr(base.0 + 4 * (i * cells + idx) as u64)
-    }
-
-    #[inline]
     fn at(base: PhysAddr, idx: usize) -> PhysAddr {
         PhysAddr(base.0 + 4 * idx as u64)
+    }
+
+    /// One record per lattice cell: the nine distribution functions.
+    /// `packed()` keeps SoA plane-major inside a single region — the
+    /// historical layout, where the per-cell gather is a plane-strided
+    /// read; AoS turns that same gather into one contiguous 9-word read.
+    fn schema() -> RecordSchema {
+        const NAMES: [&str; 9] = ["f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"];
+        RecordSchema::new("dist", NAMES.iter().map(|&n| FieldSpec::approx_f32(n)).collect())
+            .packed()
     }
 
     fn feq(i: usize, rho: f32, ux: f32, uy: f32) -> f32 {
@@ -90,12 +95,20 @@ impl Workload for Lattice {
         (self.width * self.height * self.iters * 9 * 6) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let (w, h) = (self.width, self.height);
         let cells = w * h;
         // Approximable: both copies of the nine distribution functions.
-        let f = vm.approx_malloc(4 * 9 * cells, DataType::F32).base;
-        let f2 = vm.approx_malloc(4 * 9 * cells, DataType::F32).base;
+        let map_f = Layout::new(Self::schema(), layout).instantiate(vm, cells);
+        let map_f2 = Layout::new(Self::schema(), layout).instantiate(vm, cells);
         // Precise: the obstacle mask and the output fields.
         let mask = vm.malloc(4 * cells).base;
         let vel_out = vm.malloc(4 * cells).base;
@@ -113,24 +126,24 @@ impl Workload for Lattice {
         for (i, &v) in eq0.iter().enumerate() {
             plane.fill(v);
             vm.compute(10 * cells as u64);
-            vm.write_f32s(Self::f_at(f, i, 0, cells), &plane);
-            vm.write_f32s(Self::f_at(f2, i, 0, cells), &plane);
+            map_f.write_f32s(vm, i, 0, &plane);
+            map_f2.write_f32s(vm, i, 0, &plane);
         }
 
-        // The planar distribution layout makes the per-cell gather a
-        // strided read (plane pitch) and the streaming step a scatter.
-        let plane_stride = 4 * cells as u64;
+        // Under packed SoA the per-cell record read resolves to a
+        // plane-strided gather and the streaming step scatters across
+        // planes; under AoS both collapse to (near-)contiguous accesses.
         let mut mask_row = vec![0u32; w];
-        let (mut src, mut dst) = (f, f2);
+        let (mut src, mut dst) = (&map_f, &map_f2);
         for _step in 0..self.iters {
             for y in 0..h {
                 vm.read_u32s(Self::at(mask, y * w), &mut mask_row);
                 for x in 0..w {
                     let idx = y * w + x;
                     let is_solid = mask_row[x] != 0;
-                    // Gather distributions across the nine planes.
+                    // Gather the cell's nine distributions.
                     let mut fi = [0f32; 9];
-                    vm.read_f32s_strided(Self::at(src, idx), plane_stride, &mut fi);
+                    src.read_record_f32s(vm, idx, &mut fi);
                     let mut post = [0f32; 9];
                     if is_solid {
                         // Full bounce-back.
@@ -164,20 +177,20 @@ impl Workload for Lattice {
                             continue;
                         }
                         let nidx = ny * w + nx as usize;
-                        sc_idx[m] = (i * cells + nidx) as u32;
+                        sc_idx[m] = dst.elem(i, nidx);
                         sc_val[m] = post[i];
                         m += 1;
                     }
-                    vm.write_f32s_scatter(dst, &sc_idx[..m], &sc_val[..m]);
+                    vm.write_f32s_scatter(dst.base(), &sc_idx[..m], &sc_val[..m]);
                 }
             }
             // Inlet (west): equilibrium at u0. Outlet (east): copy — each
-            // one strided access across the nine planes.
+            // one whole-record access.
             let mut inner = [0f32; 9];
             for y in 0..h {
-                vm.write_f32s_strided(Self::at(dst, y * w), plane_stride, &eq0);
-                vm.read_f32s_strided(Self::at(dst, y * w + w - 2), plane_stride, &mut inner);
-                vm.write_f32s_strided(Self::at(dst, y * w + w - 1), plane_stride, &inner);
+                dst.write_record_f32s(vm, y * w, &eq0);
+                dst.read_record_f32s(vm, y * w + w - 2, &mut inner);
+                dst.write_record_f32s(vm, y * w + w - 1, &inner);
                 vm.compute(40);
             }
             std::mem::swap(&mut src, &mut dst);
@@ -192,7 +205,7 @@ impl Workload for Lattice {
             for x in 0..w {
                 let idx = y * w + x;
                 let mut fi = [0f32; 9];
-                vm.read_f32s_strided(Self::at(src, idx), plane_stride, &mut fi);
+                src.read_record_f32s(vm, idx, &mut fi);
                 let rho: f32 = fi.iter().sum();
                 let ux = fi.iter().enumerate().map(|(i, &v)| EX[i] as f32 * v).sum::<f32>() / rho;
                 let uy = fi.iter().enumerate().map(|(i, &v)| EY[i] as f32 * v).sum::<f32>() / rho;

@@ -6,8 +6,8 @@
 
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
+use avr_types::PhysAddr;
 
 /// D3Q19 lattice: rest + 6 face + 12 edge velocities.
 const E: [(i32, i32, i32); 19] = [
@@ -62,9 +62,16 @@ impl Lbm {
         }
     }
 
-    #[inline]
-    fn f_at(base: PhysAddr, i: usize, idx: usize, cells: usize) -> PhysAddr {
-        PhysAddr(base.0 + 4 * (i * cells + idx) as u64)
+    /// One record per duct cell: the nineteen distribution functions,
+    /// plane-major inside one region under packed SoA (the 470.lbm
+    /// layout) or word-interleaved per cell under AoS.
+    fn schema() -> RecordSchema {
+        const NAMES: [&str; 19] = [
+            "f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+            "f14", "f15", "f16", "f17", "f18",
+        ];
+        RecordSchema::new("dist", NAMES.iter().map(|&n| FieldSpec::approx_f32(n)).collect())
+            .packed()
     }
 
     fn feq(i: usize, rho: f32, u: (f32, f32, f32)) -> f32 {
@@ -101,14 +108,22 @@ impl Workload for Lbm {
         (self.nx * self.ny * self.nz * self.iters * 19 * 6) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let cells = nx * ny * nz;
         let idx_of = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
 
         // Approximable: both distribution buffers (the 470.lbm working set).
-        let f = vm.approx_malloc(4 * 19 * cells, DataType::F32).base;
-        let f2 = vm.approx_malloc(4 * 19 * cells, DataType::F32).base;
+        let map_f = Layout::new(Self::schema(), layout).instantiate(vm, cells);
+        let map_f2 = Layout::new(Self::schema(), layout).instantiate(vm, cells);
         // Precise: sphere mask.
         let mask = vm.malloc(4 * cells).base;
 
@@ -137,14 +152,14 @@ impl Workload for Lbm {
         for (i, &v) in eq0.iter().enumerate() {
             plane.fill(v);
             vm.compute(12 * cells as u64);
-            vm.write_f32s(Self::f_at(f, i, 0, cells), &plane);
-            vm.write_f32s(Self::f_at(f2, i, 0, cells), &plane);
+            map_f.write_f32s(vm, i, 0, &plane);
+            map_f2.write_f32s(vm, i, 0, &plane);
         }
 
-        // Planar layout: the per-cell distribution gather is one strided
-        // read across the 19 planes; streaming is one scatter.
-        let plane_stride = 4 * cells as u64;
-        let (mut src, mut dst) = (f, f2);
+        // Packed SoA: the per-cell distribution gather is one strided
+        // read across the 19 planes; streaming is one scatter. AoS folds
+        // the gather into one contiguous 19-word record read.
+        let (mut src, mut dst) = (&map_f, &map_f2);
         for _ in 0..self.iters {
             for z in 0..nz {
                 for y in 0..ny {
@@ -153,11 +168,7 @@ impl Workload for Lbm {
                         let idx = idx_of(x, y, z);
                         let solid = mask_row[x] != 0;
                         let mut fi = [0f32; 19];
-                        vm.read_f32s_strided(
-                            PhysAddr(src.0 + 4 * idx as u64),
-                            plane_stride,
-                            &mut fi,
-                        );
+                        src.read_record_f32s(vm, idx, &mut fi);
                         let mut post = [0f32; 19];
                         if solid {
                             for i in 0..19 {
@@ -196,34 +207,22 @@ impl Workload for Lbm {
                                 continue;
                             }
                             let nidx = idx_of(nxp as usize, nyp as usize, nzp as usize);
-                            sc_idx[m] = (i * cells + nidx) as u32;
+                            sc_idx[m] = dst.elem(i, nidx);
                             sc_val[m] = post[i];
                             m += 1;
                         }
-                        vm.write_f32s_scatter(dst, &sc_idx[..m], &sc_val[..m]);
+                        vm.write_f32s_scatter(dst.base(), &sc_idx[..m], &sc_val[..m]);
                     }
                 }
             }
-            // Inflow (z = 0) and outflow (z = nz-1): strided stores across
-            // the 19 planes per column.
+            // Inflow (z = 0) and outflow (z = nz-1): one whole-record
+            // access per column.
             let mut inner = [0f32; 19];
             for y in 0..ny {
                 for x in 0..nx {
-                    vm.write_f32s_strided(
-                        PhysAddr(dst.0 + 4 * idx_of(x, y, 0) as u64),
-                        plane_stride,
-                        &eq0,
-                    );
-                    vm.read_f32s_strided(
-                        PhysAddr(dst.0 + 4 * idx_of(x, y, nz - 2) as u64),
-                        plane_stride,
-                        &mut inner,
-                    );
-                    vm.write_f32s_strided(
-                        PhysAddr(dst.0 + 4 * idx_of(x, y, nz - 1) as u64),
-                        plane_stride,
-                        &inner,
-                    );
+                    dst.write_record_f32s(vm, idx_of(x, y, 0), &eq0);
+                    dst.read_record_f32s(vm, idx_of(x, y, nz - 2), &mut inner);
+                    dst.write_record_f32s(vm, idx_of(x, y, nz - 1), &inner);
                     vm.compute(80);
                 }
             }
@@ -235,7 +234,7 @@ impl Workload for Lbm {
         let mut out = Vec::with_capacity(cells);
         for idx in 0..cells {
             let mut fi = [0f32; 19];
-            vm.read_f32s_strided(PhysAddr(src.0 + 4 * idx as u64), plane_stride, &mut fi);
+            src.read_record_f32s(vm, idx, &mut fi);
             let rho: f32 = fi.iter().sum();
             let mut u = (0f32, 0f32, 0f32);
             for (i, &v) in fi.iter().enumerate() {

@@ -11,8 +11,7 @@
 
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
 
 /// The two-body orbit benchmark.
 pub struct Orbit {
@@ -32,11 +31,18 @@ impl Orbit {
         }
     }
 
-    #[inline]
-    fn at(base: PhysAddr, idx: usize) -> PhysAddr {
-        PhysAddr(base.0 + 4 * idx as u64)
+    /// One record per grid cell: the approximable tabulated gas density
+    /// next to the precise mass-deposit accumulator. Conservative AoS
+    /// therefore forfeits approximation entirely (the precise deposit
+    /// rides in every record); partitioned placement recovers it.
+    fn schema() -> RecordSchema {
+        RecordSchema::new("cell", vec![FieldSpec::approx_f32("gas"), FieldSpec::precise_f32("rho")])
     }
 }
+
+/// Field indices into [`Orbit::schema`].
+const GAS: usize = 0;
+const RHO: usize = 1;
 
 impl Workload for Orbit {
     fn name(&self) -> &'static str {
@@ -57,16 +63,22 @@ impl Workload for Orbit {
         (self.nx * self.ny * self.nz * self.steps * 2) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let cells = nx * ny * nz;
         let idx_of = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
 
-        // Approximable: the tabulated gas-density field.
-        let gas = vm.approx_malloc(4 * cells, DataType::F32).base;
-        // Precise: the mass-deposit grid (the "other half" of the physics
-        // data).
-        let rho = vm.malloc(4 * cells).base;
+        // Approximable gas field + precise deposit grid, placed by the
+        // layout (the "physics data" halves of the FLASH configuration).
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, cells);
 
         // Two equal masses orbiting their center of mass (grid center).
         let m = 50.0f32;
@@ -108,7 +120,7 @@ impl Workload for Orbit {
                         *g = rho0 * (1.0 + amp1 * (-r1 / s1).exp() + amp2 * (-r2 / s2).exp());
                     }
                     vm.compute(24 * nx as u64);
-                    vm.write_f32s(Self::at(gas, idx_of(0, y, z)), &gas_row);
+                    map.write_f32s(vm, GAS, idx_of(0, y, z), &gas_row);
                 }
             }
             // (2) Deposit particle mass into the precise density grid.
@@ -118,9 +130,9 @@ impl Workload for Orbit {
                     (p.1.round() as usize).min(ny - 1),
                     (p.2.round() as usize).min(nz - 1),
                 );
-                let a = Self::at(rho, idx_of(x, y, z));
-                let old = vm.read_f32(a);
-                vm.write_f32(a, old + m);
+                let rec = idx_of(x, y, z);
+                let old = map.read_f32(vm, RHO, rec);
+                map.write_f32(vm, RHO, rec, old + m);
                 vm.compute(6);
             }
             // (3) Accelerations: exact mutual gravity + the gas-coupling
@@ -137,17 +149,19 @@ impl Workload for Orbit {
                     (pos.1.round() as i64).clamp(1, ny as i64 - 2) as usize,
                     (pos.2.round() as i64).clamp(1, nz as i64 - 2) as usize,
                 );
-                // The 6-point central-difference stencil is one gather.
+                // The 6-point central-difference stencil is one gather;
+                // `elem` folds the layout's field placement into the
+                // element indices.
                 let idx = [
-                    idx_of(xi + 1, yi, zi) as u32,
-                    idx_of(xi - 1, yi, zi) as u32,
-                    idx_of(xi, yi + 1, zi) as u32,
-                    idx_of(xi, yi - 1, zi) as u32,
-                    idx_of(xi, yi, zi + 1) as u32,
-                    idx_of(xi, yi, zi - 1) as u32,
+                    map.elem(GAS, idx_of(xi + 1, yi, zi)),
+                    map.elem(GAS, idx_of(xi - 1, yi, zi)),
+                    map.elem(GAS, idx_of(xi, yi + 1, zi)),
+                    map.elem(GAS, idx_of(xi, yi - 1, zi)),
+                    map.elem(GAS, idx_of(xi, yi, zi + 1)),
+                    map.elem(GAS, idx_of(xi, yi, zi - 1)),
                 ];
                 let mut g = [0f32; 6];
-                vm.read_f32s_gather(gas, &idx, &mut g);
+                vm.read_f32s_gather(map.base(), &idx, &mut g);
                 let [gx1, gx0, gy1, gy0, gz1, gz0] = g;
                 vm.compute(30);
                 // Gas pushes bodies down-gradient, scaled by the coupling.
@@ -179,10 +193,11 @@ impl Workload for Orbit {
         }
 
         // Output: trajectories + a sample of the final field (the paper's
-        // output is the physics data itself) — one strided bulk read.
+        // output is the physics data itself) — every 7th cell, one bulk
+        // strided read whatever the layout.
         let mut out = trajectory;
         let mut sample = vec![0f32; cells.div_ceil(7)];
-        vm.read_f32s_strided(gas, 4 * 7, &mut sample);
+        map.read_f32s_every(vm, GAS, 0, 7, &mut sample);
         out.extend(sample.iter().map(|&v| v as f64));
         out
     }

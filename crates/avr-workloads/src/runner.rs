@@ -7,7 +7,7 @@
 //! metric.
 
 use crate::golden::{golden_run, GoldenKey};
-use avr_core::{DesignKind, SimPool, System, SystemConfig, Vm};
+use avr_core::{DesignKind, LayoutKind, SimPool, System, SystemConfig, Vm};
 use avr_sim::RunMetrics;
 
 /// A benchmark program.
@@ -16,7 +16,33 @@ pub trait Workload: Sync {
     fn name(&self) -> &'static str;
 
     /// Execute against a VM and return the application output values.
+    ///
+    /// Ports that declare a record schema implement this as
+    /// `self.run_in(vm, LayoutKind::Soa)` and put the real body in
+    /// [`Workload::run_in`]; the SoA path must reproduce the historical
+    /// allocation sequence bit-for-bit so goldens stay layout-invariant.
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64>;
+
+    /// Execute under a specific physical data layout. The default rejects
+    /// everything but SoA, so layout-oblivious workloads stay correct
+    /// without changes; schema-declaring ports override this and list
+    /// their supported layouts in [`Workload::layouts`].
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
+        assert_eq!(
+            layout,
+            LayoutKind::Soa,
+            "{} has no layout-transform port; only SoA is supported",
+            self.name()
+        );
+        self.run(vm)
+    }
+
+    /// The layouts this workload's schema supports. The grid runner
+    /// intersects this with the requested layout axis, so a workload that
+    /// only declares SoA simply contributes one row per design.
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa]
+    }
 
     /// Identity of this instance's golden (exact) run, enabling the
     /// process-wide memoization in [`crate::golden`]. Return a key only if
@@ -76,19 +102,33 @@ pub fn run_on_design(
     cfg: &SystemConfig,
     design: DesignKind,
 ) -> RunMetrics {
-    // Golden runs are design- and backend-invariant; memoized when the
-    // workload provides a key (see `crate::golden` for the contract).
+    run_on_design_in(workload, cfg, design, LayoutKind::Soa)
+}
+
+/// Run `workload` on `design` under `layout`. The golden run is always
+/// taken in SoA on the exact VM — `ExactVm` is lossless, so the reference
+/// output is a layout-invariant property of the workload, and every layout
+/// variant is scored against the same golden.
+pub fn run_on_design_in(
+    workload: &dyn Workload,
+    cfg: &SystemConfig,
+    design: DesignKind,
+    layout: LayoutKind,
+) -> RunMetrics {
+    // Golden runs are design-, backend-, and layout-invariant; memoized
+    // when the workload provides a key (see `crate::golden`).
     let golden = golden_run(workload);
 
     let mut sys = System::new(cfg.clone(), design);
-    let out = workload.run(&mut sys);
+    let out = workload.run_in(&mut sys, layout);
     let mut metrics = sys.finish(workload.name());
     metrics.output_error = mean_relative_error(&golden, &out);
     metrics
 }
 
 /// The full benchmark suite at the requested scale: the paper's seven in
-/// figure order, then the two extension workloads (`sobel`, `fft`).
+/// figure order, then the extension workloads (`sobel`, `fft`), then the
+/// mixed-criticality `particles` kernel added with the layout axis.
 pub fn all_benchmarks(scale: BenchScale) -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(crate::heat::Heat::at_scale(scale)),
@@ -100,14 +140,16 @@ pub fn all_benchmarks(scale: BenchScale) -> Vec<Box<dyn Workload>> {
         Box::new(crate::wrf::Wrf::at_scale(scale)),
         Box::new(crate::sobel::Sobel::at_scale(scale)),
         Box::new(crate::fft::Fft::at_scale(scale)),
+        Box::new(crate::particles::Particles::at_scale(scale)),
     ]
 }
 
-/// One cell of a pooled (workload × design) grid run.
+/// One cell of a pooled (workload × layout × design) grid run.
 #[derive(Clone, Debug)]
 pub struct GridRun {
     pub workload: &'static str,
     pub design: DesignKind,
+    pub layout: LayoutKind,
     pub metrics: RunMetrics,
 }
 
@@ -134,19 +176,59 @@ pub fn run_grid(
     cfg: &SystemConfig,
     designs: &[DesignKind],
 ) -> Vec<GridRun> {
-    let cells = suite.len() * designs.len();
+    run_grid_layouts(pool, suite, cfg, designs, &[LayoutKind::Soa])
+}
+
+/// Run the (workload × layout × design) grid on `pool`, returning cells in
+/// workload-major, layout-mid, design-minor order. Each workload
+/// contributes only the layouts it supports (the intersection of
+/// [`Workload::layouts`] with `layouts`, in `layouts` order), so a
+/// SoA-only workload yields one row per design and a three-layout schema
+/// yields three. The first cell of each workload carries the golden-run
+/// boost regardless of which layout it lands on — goldens are
+/// layout-invariant, so one computation serves the whole row block.
+pub fn run_grid_layouts(
+    pool: &SimPool,
+    suite: &[Box<dyn Workload>],
+    cfg: &SystemConfig,
+    designs: &[DesignKind],
+    layouts: &[LayoutKind],
+) -> Vec<GridRun> {
+    struct Cell {
+        wi: usize,
+        layout: LayoutKind,
+        design: DesignKind,
+        golden_cell: bool,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for (wi, w) in suite.iter().enumerate() {
+        let supported = w.layouts();
+        let mut first = true;
+        for &layout in layouts.iter().filter(|l| supported.contains(l)) {
+            for &design in designs {
+                cells.push(Cell { wi, layout, design, golden_cell: first });
+                first = false;
+            }
+        }
+    }
     let weight = |i: usize| {
-        let hint = suite[i / designs.len()].cost_hint().max(1);
-        if i.is_multiple_of(designs.len()) {
+        let c = &cells[i];
+        let hint = suite[c.wi].cost_hint().max(1);
+        if c.golden_cell {
             hint.saturating_mul(GOLDEN_CELL_BOOST)
         } else {
             hint
         }
     };
-    pool.run_jobs_weighted(cells, weight, |ctx| {
-        let w = &suite[ctx.index / designs.len()];
-        let design = designs[ctx.index % designs.len()];
-        GridRun { workload: w.name(), design, metrics: run_on_design(w.as_ref(), cfg, design) }
+    pool.run_jobs_weighted(cells.len(), weight, |ctx| {
+        let c = &cells[ctx.index];
+        let w = &suite[c.wi];
+        GridRun {
+            workload: w.name(),
+            design: c.design,
+            layout: c.layout,
+            metrics: run_on_design_in(w.as_ref(), cfg, c.design, c.layout),
+        }
     })
 }
 
@@ -197,13 +279,35 @@ mod tests {
     }
 
     #[test]
-    fn suite_has_nine_benchmarks_paper_order_then_extensions() {
+    fn suite_has_paper_order_then_extensions_then_particles() {
         let suite = all_benchmarks(BenchScale::Tiny);
         let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            ["heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf", "sobel", "fft"]
+            [
+                "heat",
+                "lattice",
+                "lbm",
+                "orbit",
+                "kmeans",
+                "bscholes",
+                "wrf",
+                "sobel",
+                "fft",
+                "particles"
+            ]
         );
+    }
+
+    #[test]
+    fn every_workload_supports_soa_and_aos() {
+        // The layout axis is only an axis if the grid can sweep it: every
+        // schema-declaring port must run in at least SoA and AoS.
+        for w in all_benchmarks(BenchScale::Tiny) {
+            let ls = w.layouts();
+            assert!(ls.contains(&LayoutKind::Soa), "{} must support soa", w.name());
+            assert!(ls.contains(&LayoutKind::Aos), "{} must support aos", w.name());
+        }
     }
 
     #[test]
@@ -225,7 +329,42 @@ mod tests {
             ]
         );
         for c in &grid {
+            assert_eq!(c.layout, LayoutKind::Soa);
             assert!(c.metrics.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn layout_grid_is_workload_major_layout_mid_design_minor() {
+        use avr_core::SimPool;
+        let suite = all_benchmarks(BenchScale::Tiny);
+        let short: Vec<Box<dyn Workload>> =
+            suite.into_iter().filter(|w| matches!(w.name(), "bscholes" | "kmeans")).collect();
+        let designs = [DesignKind::Baseline, DesignKind::Avr];
+        let layouts = [LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned];
+        let grid = run_grid_layouts(
+            &SimPool::new(2),
+            &short,
+            &avr_core::SystemConfig::tiny(),
+            &designs,
+            &layouts,
+        );
+        // kmeans supports {soa, aos}; bscholes supports all three.
+        let labels: Vec<_> = grid.iter().map(|c| (c.workload, c.layout, c.design)).collect();
+        let mut expect = Vec::new();
+        for l in [LayoutKind::Soa, LayoutKind::Aos] {
+            for d in designs {
+                expect.push(("kmeans", l, d));
+            }
+        }
+        for l in layouts {
+            for d in designs {
+                expect.push(("bscholes", l, d));
+            }
+        }
+        assert_eq!(labels, expect);
+        for c in &grid {
+            assert!(c.metrics.cycles > 0, "{} {:?} {:?}", c.workload, c.layout, c.design);
         }
     }
 }

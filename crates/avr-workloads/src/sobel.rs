@@ -20,8 +20,11 @@
 use crate::golden::GoldenKey;
 use crate::runner::{BenchScale, Workload};
 use crate::terrain::fractal_terrain;
-use avr_core::Vm;
-use avr_types::{DataType, PhysAddr};
+use avr_core::{FieldSpec, Layout, LayoutKind, RecordSchema, Vm};
+
+/// Field indices into [`Sobel::schema`].
+const IMG: usize = 0;
+const GRAD: usize = 1;
 
 /// The Sobel edge-detection benchmark.
 pub struct Sobel {
@@ -45,9 +48,15 @@ impl Sobel {
         }
     }
 
-    #[inline]
-    fn addr(base: PhysAddr, idx: usize) -> PhysAddr {
-        PhysAddr(base.0 + 4 * idx as u64)
+    /// One record per pixel: the approximable input sample next to the
+    /// precise gradient result. Conservative AoS gives up approximation
+    /// (every record carries the precise result word); partitioned
+    /// placement keeps the image plane approximable on its own.
+    fn schema() -> RecordSchema {
+        RecordSchema::new(
+            "pixel",
+            vec![FieldSpec::approx_f32("img"), FieldSpec::precise_f32("grad")],
+        )
     }
 
     /// The procedural input image: terrain texture + two highlights.
@@ -83,12 +92,20 @@ impl Workload for Sobel {
         (self.width * self.height * 9) as u64
     }
 
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let (w, h) = (self.width, self.height);
         let n = w * h;
-        // Approximable: the input image. Precise: the gradient output.
-        let img = vm.approx_malloc(4 * n, DataType::F32).base;
-        let grad = vm.malloc(4 * n).base;
+        // Approximable input image + precise gradient output, placed by
+        // the layout.
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
 
         // Texture: smooth fractal relief along each axis (deterministic),
         // stored one bulk row at a time.
@@ -100,7 +117,7 @@ impl Workload for Sobel {
                 *px = self.pixel(&tx, &ty, x, y);
             }
             vm.compute(10 * w as u64);
-            vm.write_f32s(Self::addr(img, y * w), &row);
+            map.write_f32s(vm, IMG, y * w, &row);
         }
 
         // 3×3 Sobel over the interior; borders carry zero gradient. The
@@ -111,9 +128,9 @@ impl Workload for Sobel {
         let mut below = vec![0f32; w];
         let mut grad_row = vec![0f32; w - 2];
         for y in 1..h - 1 {
-            vm.read_f32s(Self::addr(img, (y - 1) * w), &mut above);
-            vm.read_f32s(Self::addr(img, y * w), &mut cur);
-            vm.read_f32s(Self::addr(img, (y + 1) * w), &mut below);
+            map.read_f32s(vm, IMG, (y - 1) * w, &mut above);
+            map.read_f32s(vm, IMG, y * w, &mut cur);
+            map.read_f32s(vm, IMG, (y + 1) * w, &mut below);
             for x in 1..w - 1 {
                 let gx = (above[x + 1] + 2.0 * cur[x + 1] + below[x + 1])
                     - (above[x - 1] + 2.0 * cur[x - 1] + below[x - 1]);
@@ -122,14 +139,14 @@ impl Workload for Sobel {
                 grad_row[x - 1] = (gx * gx + gy * gy).sqrt();
             }
             vm.compute(14 * (w - 2) as u64);
-            vm.write_f32s(Self::addr(grad, y * w + 1), &grad_row);
+            map.write_f32s(vm, GRAD, y * w + 1, &grad_row);
         }
 
         // Output: per-row mean gradient magnitude over the interior (the
         // edge-density profile a consumer would threshold).
         let mut out = Vec::with_capacity(h - 2);
         for y in 1..h - 1 {
-            vm.read_f32s(Self::addr(grad, y * w + 1), &mut grad_row);
+            map.read_f32s(vm, GRAD, y * w + 1, &mut grad_row);
             vm.compute((w - 2) as u64);
             let acc: f64 = grad_row.iter().map(|&g| g as f64).sum();
             out.push(acc / (w - 2) as f64);

@@ -2,12 +2,15 @@
 //! AVR: a moving-average filter over a sensor trace — the kind of
 //! approximation-tolerant kernel AVR targets.
 //!
-//! The workload speaks the **bulk** `Vm` API: the trace is generated and
-//! filtered in chunked slice transfers (`write_f32s` / `read_f32s`), and
-//! the decimated output is one strided load. Each bulk call costs a single
-//! dispatch into the simulator, which serves it through a cacheline-
-//! coalesced fast path that is bit-identical — in values, cycles and
-//! traffic — to issuing the equivalent word-at-a-time loop.
+//! The workload speaks the **bulk** `Vm` API through a declared **record
+//! schema**: each logical record pairs the approximable raw sample with
+//! the precise filtered result, and `Layout::instantiate` turns that
+//! schema into concrete regions for whichever [`LayoutKind`] the run asks
+//! for — SoA planes, an interleaved AoS, or hot/cold-partitioned groups —
+//! with zero layout-specific code in the kernel. Each bulk call costs a
+//! single dispatch into the simulator, which serves it through a
+//! cacheline-coalesced fast path that is bit-identical — in values,
+//! cycles and traffic — to issuing the equivalent word-at-a-time loop.
 //!
 //! Migration note for `Vm` implementors: every bulk method has a default
 //! that decomposes into `read_u32`/`write_u32`, so a `Vm` written against
@@ -20,9 +23,8 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use avr::arch::{DesignKind, SystemConfig, Vm};
-use avr::types::{DataType, PhysAddr};
-use avr::workloads::{run_on_design, GoldenKey, Workload};
+use avr::arch::{DesignKind, FieldSpec, Layout, LayoutKind, RecordSchema, SystemConfig, Vm};
+use avr::workloads::{run_on_design, run_on_design_in, GoldenKey, Workload};
 
 /// A 64-tap moving average over a noisy-but-correlated "sensor" signal.
 struct MovingAverage {
@@ -31,6 +33,24 @@ struct MovingAverage {
 
 const TAPS: usize = 64;
 const CHUNK: usize = 4096;
+
+/// Field indices into [`MovingAverage::schema`].
+const RAW: usize = 0;
+const FILTERED: usize = 1;
+
+impl MovingAverage {
+    /// One record per sample: the raw trace tolerates approximation; the
+    /// filtered output is what the application actually consumes, so it
+    /// stays precise. Under the default *conservative* policy an AoS
+    /// instantiation prices the whole interleaved record precise (the
+    /// granularity gap — see the per-layout table this example prints).
+    fn schema() -> RecordSchema {
+        RecordSchema::new(
+            "sample",
+            vec![FieldSpec::approx_f32("raw"), FieldSpec::precise_f32("filtered")],
+        )
+    }
+}
 
 impl Workload for MovingAverage {
     fn name(&self) -> &'static str {
@@ -53,12 +73,21 @@ impl Workload for MovingAverage {
         (self.samples * 3) as u64
     }
 
+    // Optional: declare which layouts the kernel supports. Because every
+    // access below goes through the `LayoutMap`, all three come for free.
+    fn layouts(&self) -> &'static [LayoutKind] {
+        &[LayoutKind::Soa, LayoutKind::Aos, LayoutKind::Partitioned]
+    }
+
     fn run(&self, vm: &mut dyn Vm) -> Vec<f64> {
+        self.run_in(vm, LayoutKind::Soa)
+    }
+
+    fn run_in(&self, vm: &mut dyn Vm, layout: LayoutKind) -> Vec<f64> {
         let n = self.samples;
-        // The raw trace tolerates approximation; the filtered output is
-        // what the application actually consumes, so it stays precise.
-        let raw = vm.approx_malloc(4 * n, DataType::F32).base;
-        let filtered = vm.malloc(4 * n).base;
+        // The schema placed by the requested layout: field addressing from
+        // here on is logical (field index, record index).
+        let map = Layout::new(Self::schema(), layout).instantiate(vm, n);
 
         // A drifting baseline with sensor jitter, streamed to memory in
         // chunked bulk stores.
@@ -71,7 +100,7 @@ impl Workload for MovingAverage {
                 *v = 48.0 + 6.0 * t.sin() + 0.02 * ((i * 2654435761) % 97) as f32;
             }
             vm.compute(8 * len as u64);
-            vm.write_f32s(PhysAddr(raw.0 + 4 * start as u64), &buf[..len]);
+            map.write_f32s(vm, RAW, start, &buf[..len]);
         }
 
         // 64-tap running mean: the window's leading edge and trailing edge
@@ -82,12 +111,12 @@ impl Workload for MovingAverage {
         let mut acc = 0f64;
         for start in (0..n).step_by(CHUNK) {
             let len = CHUNK.min(n - start);
-            vm.read_f32s(PhysAddr(raw.0 + 4 * start as u64), &mut lead[..len]);
+            map.read_f32s(vm, RAW, start, &mut lead[..len]);
             // Trailing reads exist only once the window has filled.
             let t0 = start.saturating_sub(TAPS);
             let t_len = if start >= TAPS { len } else { (start + len).saturating_sub(TAPS) };
             if t_len > 0 {
-                vm.read_f32s(PhysAddr(raw.0 + 4 * t0 as u64), &mut trail[..t_len]);
+                map.read_f32s(vm, RAW, t0, &mut trail[..t_len]);
             }
             for o in 0..len {
                 let i = start + o;
@@ -101,13 +130,13 @@ impl Workload for MovingAverage {
                 out_buf[o] = (acc / denom) as f32;
             }
             vm.compute(6 * len as u64);
-            vm.write_f32s(PhysAddr(filtered.0 + 4 * start as u64), &out_buf[..len]);
+            map.write_f32s(vm, FILTERED, start, &out_buf[..len]);
         }
 
         // Output: a decimated view of the filtered signal — one strided
-        // bulk load.
+        // bulk load, whatever the layout's stride happens to be.
         let mut sample = vec![0f32; n.div_ceil(16)];
-        vm.read_f32s_strided(filtered, 4 * 16, &mut sample);
+        map.read_f32s_every(vm, FILTERED, 0, 16, &mut sample);
         sample.iter().map(|&v| v as f64).collect()
     }
 }
@@ -130,6 +159,22 @@ fn main() {
     println!("exec norm  {:>11.3}{:>11.3}", 1.0, avr.exec_time_norm(&base));
     println!("ratio      {:>11.1}{:>10.1}x", 1.0, avr.compression_ratio);
     println!("out error  {:>10.3}%{:>10.3}%", 0.0, avr.output_error * 100.0);
+
+    // The layout axis: the same kernel re-placed per layout. Conservative
+    // AoS interleaves the precise result into every block, so the region
+    // is precise end to end (nothing to compress) — the granularity gap.
+    println!("\nlayout        ratio   compressible   out error");
+    for layout in LayoutKind::ALL {
+        let m = run_on_design_in(&w, &cfg, DesignKind::Avr, layout);
+        let frac = m.compressible_blocks as f64 / (m.approx_blocks as f64).max(1.0);
+        println!(
+            "{:<12}{:>6.1}x{:>13.1}%{:>11.3}%",
+            layout.label(),
+            m.compression_ratio,
+            100.0 * frac,
+            m.output_error * 100.0
+        );
+    }
     println!(
         "\nThe filter's *output* error is far below the per-value threshold:\n\
          averaging washes the reconstruction error out — exactly the class\n\

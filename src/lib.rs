@@ -18,8 +18,10 @@
 //! * [`sim`] — interval core model, backing-store VM, energy model, stats
 //! * [`baselines`] — Truncate and Doppelgänger comparison designs (§4.1)
 //! * [`arch`] — the assembled systems and memory operations (§3.5)
-//! * [`workloads`] — the nine benchmarks (Table 2's seven + two AxBench
-//!   extensions)
+//! * [`workloads`] — the ten benchmarks (Table 2's seven, two AxBench
+//!   extensions, and the mixed-criticality `particles` step), each
+//!   declaring a record schema the layout axis places as SoA / AoS /
+//!   partitioned
 //!
 //! ## Quickstart
 //!

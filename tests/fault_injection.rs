@@ -5,7 +5,10 @@
 //! hostile fault rate exhausts the retry budget into a flagged-but-finite
 //! run, never a panic or a poisoned NaN cascade.
 
-use avr::arch::{BackendKind, DesignKind, SimPool, SystemConfig};
+use avr::arch::{
+    BackendKind, DesignKind, FieldSpec, Layout, LayoutKind, RecordSchema, SimPool, System,
+    SystemConfig,
+};
 use avr::workloads::{all_benchmarks, run_grid, run_on_design, BenchScale};
 
 /// Fault rates high enough that every workload sees injected flips at
@@ -104,6 +107,45 @@ fn seed_changes_the_fault_stream() {
         (a.counters.faults.injected_bit_flips, a.output_error.to_bits()),
         (b.counters.faults.injected_bit_flips, b.output_error.to_bits()),
         "different seeds must not replay the identical fault stream"
+    );
+}
+
+#[test]
+fn layout_fault_scale_scales_the_per_region_fault_stream() {
+    // The per-region override end-to-end: a layout's fault scale rides on
+    // its approx regions' `RegionOpts` and multiplies the device fault
+    // probability for those regions only — 0 silences them, > 1 amplifies
+    // — while the RNG key chain is untouched, so each scale's run is
+    // reproducible on its own.
+    let cfg = faulty_cfg(BackendKind::RelaxedDram);
+    let records = 1usize << 15;
+    let run_with = |scale: f64| {
+        let mut sys = System::new(cfg.clone(), DesignKind::Avr);
+        let schema = RecordSchema::new(
+            "rec",
+            vec![FieldSpec::approx_f32("v"), FieldSpec::precise_f32("chk")],
+        );
+        let map = Layout::new(schema, LayoutKind::Partitioned)
+            .with_fault_scale(scale)
+            .instantiate(&mut sys, records);
+        let data: Vec<f32> = (0..records).map(|i| 50.0 + (i % 97) as f32 * 0.01).collect();
+        map.write_f32s(&mut sys, 0, 0, &data);
+        map.write_f32s(&mut sys, 1, 0, &data);
+        let mut back = vec![0f32; records];
+        for _ in 0..4 {
+            map.read_f32s(&mut sys, 0, 0, &mut back);
+            map.read_f32s(&mut sys, 1, 0, &mut back);
+        }
+        sys.finish("fault-scale").counters.faults.injected_bit_flips
+    };
+    let silenced = run_with(0.0);
+    let nominal = run_with(1.0);
+    let amplified = run_with(16.0);
+    assert_eq!(silenced, 0, "scale 0 must silence the region's faults");
+    assert!(nominal > 0, "nominal rates must inject at this footprint");
+    assert!(
+        amplified > nominal,
+        "scale 16 must inject more than nominal ({amplified} vs {nominal})"
     );
 }
 

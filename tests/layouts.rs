@@ -1,0 +1,141 @@
+//! The layout-transform axis contract (PR 8): layouts change *placement*,
+//! never math. On the lossless `ExactVm` every workload must produce
+//! bit-identical output in every layout it supports; under the timed
+//! system the pooled grid must stay width-deterministic per layout; and
+//! the granularity-gap effect must be *measurable* — interleaving an
+//! all-approximable multi-field record (AoS) reduces the fraction of
+//! 1 KB blocks the AVR codec accepts versus the SoA planes.
+
+use avr::arch::{BackendKind, DesignKind, ExactVm, LayoutKind, SimPool, SystemConfig};
+use avr::workloads::{all_benchmarks, run_grid_layouts, run_on_design_in, BenchScale};
+
+#[test]
+fn every_workload_is_bit_identical_across_its_layouts_on_the_exact_vm() {
+    // The lossless VM sees the same reads and writes in a different
+    // address arrangement — any output difference is a porting bug in the
+    // layout map, not an approximation effect.
+    for w in all_benchmarks(BenchScale::Tiny) {
+        let mut vm = ExactVm::new();
+        let golden = w.run(&mut vm);
+        assert!(!golden.is_empty(), "{} produced no output", w.name());
+        for &layout in w.layouts() {
+            let mut vm = ExactVm::new();
+            let out = w.run_in(&mut vm, layout);
+            assert_eq!(out.len(), golden.len(), "{} {layout:?}: output length changed", w.name());
+            for (i, (a, b)) in golden.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} {layout:?}: output[{i}] diverged ({a} vs {b})",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_supports_aos_through_the_pooled_grid() {
+    // The tentpole's coverage requirement: the whole suite runs in at
+    // least SoA *and* AoS through the grid, with the compression summary
+    // populated for the AVR design in both.
+    let cfg = SystemConfig::tiny().with_backend(BackendKind::Exact);
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let layouts = [LayoutKind::Soa, LayoutKind::Aos];
+    let grid = run_grid_layouts(&SimPool::new(4), &suite, &cfg, &[DesignKind::Avr], &layouts);
+    assert_eq!(grid.len(), suite.len() * layouts.len());
+    for cell in &grid {
+        assert!(
+            cell.metrics.output_error.is_finite(),
+            "{} {:?}: non-finite output error",
+            cell.workload,
+            cell.layout
+        );
+        // The granularity-gap signature, asserted cell by cell: workloads
+        // whose mixed-criticality record uses the *conservative* policy
+        // lose all approximation under AoS (the interleaved region must be
+        // precise), while all-approx records and the aggressive particles
+        // record keep approximable blocks in every layout.
+        let conservative_mixed = matches!(cell.workload, "orbit" | "sobel" | "bscholes");
+        if cell.layout == LayoutKind::Aos && conservative_mixed {
+            assert_eq!(
+                cell.metrics.approx_blocks, 0,
+                "{}: conservative AoS must price the whole record precise",
+                cell.workload
+            );
+        } else {
+            assert!(
+                cell.metrics.approx_blocks > 0,
+                "{} {:?}: AVR run scanned no approximable blocks",
+                cell.workload,
+                cell.layout
+            );
+        }
+    }
+}
+
+#[test]
+fn particles_grid_is_thread_width_invariant_on_every_backend_and_layout() {
+    // The new mixed-criticality workload through every device error model
+    // and every layout it declares: a 4-thread grid must reproduce the
+    // 1-thread grid bit-for-bit (outputs, cycles, traffic, faults).
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let particles: Vec<_> = suite.into_iter().filter(|w| w.name() == "particles").collect();
+    assert_eq!(particles.len(), 1);
+    let designs = [DesignKind::Avr];
+    for kind in BackendKind::ALL {
+        let mut cfg = SystemConfig::tiny().with_backend(kind);
+        // Elevated rates so the faulty backends actually inject at this
+        // footprint (the default rates are near-zero at tiny scale).
+        cfg.error_model.retention_fail_per_bit = 1e-5;
+        cfg.error_model.mram_p01 = 1e-5;
+        cfg.error_model.mram_p10 = 5e-6;
+        let serial =
+            run_grid_layouts(&SimPool::new(1), &particles, &cfg, &designs, &LayoutKind::ALL);
+        let pooled =
+            run_grid_layouts(&SimPool::new(4), &particles, &cfg, &designs, &LayoutKind::ALL);
+        assert_eq!(serial.len(), LayoutKind::ALL.len(), "{kind:?}: grid shape");
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            let ctx = format!("{kind:?} {:?}", a.layout);
+            assert_eq!(a.layout, b.layout, "{ctx}: grid order changed");
+            let (ma, mb) = (&a.metrics, &b.metrics);
+            assert_eq!(ma.cycles, mb.cycles, "{ctx}: cycles");
+            assert_eq!(ma.counters.traffic, mb.counters.traffic, "{ctx}: traffic");
+            assert_eq!(ma.counters.faults, mb.counters.faults, "{ctx}: fault counters");
+            assert_eq!(ma.output_error.to_bits(), mb.output_error.to_bits(), "{ctx}: output error");
+        }
+    }
+}
+
+#[test]
+fn aos_interleaving_reduces_the_compressible_block_fraction() {
+    // The acceptance-criteria demonstration: on multi-field records the
+    // AoS interleave mixes fields with different value distributions into
+    // every 1 KB block, so fewer blocks pass the codec's error check than
+    // under SoA planes. Required on at least three workloads; the
+    // all-approximable multi-field records are the clean cases (no
+    // criticality confound — the whole region stays approximable in both
+    // layouts).
+    let cfg = SystemConfig::tiny().with_backend(BackendKind::Exact);
+    let suite = all_benchmarks(BenchScale::Tiny);
+    let fraction = |m: &avr::sim::stats::RunMetrics| {
+        assert!(m.approx_blocks > 0);
+        m.compressible_blocks as f64 / m.approx_blocks as f64
+    };
+    let mut reduced = Vec::new();
+    for name in ["fft", "lattice", "lbm", "heat"] {
+        let w = suite.iter().find(|w| w.name() == name).unwrap();
+        let soa = run_on_design_in(w.as_ref(), &cfg, DesignKind::Avr, LayoutKind::Soa);
+        let aos = run_on_design_in(w.as_ref(), &cfg, DesignKind::Avr, LayoutKind::Aos);
+        let (fs, fa) = (fraction(&soa), fraction(&aos));
+        if fa < fs {
+            reduced.push((name, fs, fa));
+        }
+    }
+    assert!(
+        reduced.len() >= 3,
+        "AoS must measurably reduce the compressible fraction on >= 3 \
+         multi-field workloads; got {reduced:?}"
+    );
+}

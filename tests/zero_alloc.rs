@@ -228,7 +228,7 @@ fn steady_state_hot_paths_do_not_allocate() {
     // so thread-teardown machinery can't leak into the window.
     let exit_gate = std::sync::Barrier::new(WORKERS + 1);
     let chunk = blocks.len().div_ceil(WORKERS);
-    let mut totals = (0u64, 0u64);
+    let mut totals = avr::arch::summary::BlockScan::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .chunks(chunk)
@@ -242,7 +242,7 @@ fn steady_state_hot_paths_do_not_allocate() {
                     let warm = avr::arch::summary::scan_blocks(&mut comp, mem, share);
                     warmed.wait();
                     start.wait();
-                    let mut acc = (0u64, 0u64);
+                    let mut acc = avr::arch::summary::BlockScan::default();
                     for _ in 0..20 {
                         let got = avr::arch::summary::scan_blocks(&mut comp, mem, share);
                         assert_eq!(got, warm, "scan must be repeatable");
@@ -265,9 +265,7 @@ fn steady_state_hot_paths_do_not_allocate() {
             "steady-state parallel compression_summary allocated {summary_allocs} times"
         );
         for h in handles {
-            let (raw, stored) = h.join().unwrap();
-            totals.0 += raw;
-            totals.1 += stored;
+            totals.merge(h.join().unwrap());
         }
     });
     // The sharded totals must equal the engine's own parallel scan.
