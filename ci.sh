@@ -28,8 +28,13 @@
 #                         golden-memoization machinery is exercised under
 #                         real concurrency by the whole suite, not only by
 #                         the tests that construct wide pools themselves
+#   ./ci.sh server-smoke  sweep-server end-to-end: the stacking-study
+#                         example in --smoke mode (submit over loopback,
+#                         reassemble the stream, bit-compare every wire
+#                         cell to a direct run), plus the sweep_server
+#                         binary driven over a real socket
 #   ./ci.sh perf          bench smoke: bench_e2e --smoke gated against the
-#                         committed BENCH_PR8.json + codec kernel smoke
+#                         committed BENCH_PR9.json + codec kernel smoke
 #   ./ci.sh quick         fast local pre-commit check (lint + release tests)
 #
 # Every stage prints its wall time on completion (run_stage), so a slow CI
@@ -128,20 +133,74 @@ test_pooled() {
     AVR_THREADS=4 cargo test --release --workspace -q
 }
 
+server_smoke() {
+    echo "==> sweep-server smoke: stacking study (loopback, bit-compared to direct runs)"
+    # The example submits a batch to an in-process server and, in --smoke
+    # mode, re-computes every cell directly and bit-compares the wire
+    # metrics — the server determinism contract as a runnable check.
+    cargo run --release --example stacking_study -- --smoke
+
+    echo "==> sweep_server binary over a real socket"
+    # Start the standalone binary on an ephemeral port, drive one tiny
+    # batch through it from a second process, then shut it down over the
+    # protocol (drain) and require a clean exit.
+    local logfile addr rc=0
+    logfile=$(mktemp)
+    cargo build --release -q -p avr-server --bin sweep_server
+    ./target/release/sweep_server --addr 127.0.0.1:0 >"$logfile" &
+    local server_pid=$!
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$logfile")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "sweep_server never reported its address" >&2
+        kill "$server_pid" 2>/dev/null || true
+        rm -f "$logfile"
+        return 1
+    fi
+    # One submit + drain over the line protocol; the server must stream a
+    # result for the cell, report the job done, and exit zero on drain.
+    timeout 120 python3 - "$addr" <<'PYEOF' || rc=$?
+import socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+requests = (
+    b'{ "cmd": "submit", "cells": [ { "workload": "heat" } ] }\n'
+    b'{ "cmd": "drain" }\n'
+)
+s = socket.create_connection((host, int(port)), timeout=110)
+s.sendall(requests)
+buf = b""
+while b'"event":"job_done"' not in buf:
+    chunk = s.recv(65536)
+    if not chunk:
+        sys.exit("connection closed before job_done")
+    buf += chunk
+text = buf.decode()
+assert '"event":"result"' in text, text
+assert '"completed":1' in text, text
+print("sweep_server smoke: 1 cell streamed, job done, drained")
+PYEOF
+    wait "$server_pid" || rc=$?
+    rm -f "$logfile"
+    return "$rc"
+}
+
 perf() {
-    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR8.json"
+    echo "==> perf smoke: end-to-end blocks/s vs committed BENCH_PR9.json"
     # Fails when any workload's blocks/s regresses > 25 % against the
     # committed trajectory baseline (median-calibrated: uniform machine
     # speed cancels), and hard-fails on workload/backend/layout set
     # drift; the JSON is uploaded as a CI artifact. The baseline is
-    # BENCH_PR8.json — first trajectory with the ten-workload suite
-    # (particles joined) and the per-layout section, so the smoke gate
-    # exercises the non-default aos/partitioned layouts on every run; on
-    # a multi-core runner the gate also fails if the pooled Table 4
-    # sweep is slower than single-thread (the ROADMAP re-gate rule
-    # applies).
+    # BENCH_PR9.json — first trajectory with the sweep-server loopback
+    # section alongside the ten-workload suite and the per-layout
+    # section, so the smoke gate exercises the non-default
+    # aos/partitioned layouts on every run; on a multi-core runner the
+    # gate also fails if the pooled Table 4 sweep is slower than
+    # single-thread (the ROADMAP re-gate rule applies).
     cargo run --release -p avr-bench --bin bench_e2e -- \
-        --smoke --check BENCH_PR8.json --out bench-e2e-smoke.json
+        --smoke --check BENCH_PR9.json --out bench-e2e-smoke.json
 
     echo "==> codec kernel smoke (reference vs fused, shrunk measurement)"
     AVR_BENCH_FAST=1 cargo run --release -p avr-bench --bin bench_codec -- /tmp/bench_smoke.json
@@ -156,6 +215,7 @@ case "${1:-all}" in
     test-perword) run_stage test-perword test_perword ;;
     test-relaxed) run_stage test-relaxed test_relaxed ;;
     test-pooled) run_stage test-pooled test_pooled ;;
+    server-smoke) run_stage server-smoke server_smoke ;;
     perf) run_stage perf perf ;;
     quick)
         run_stage lint lint
@@ -169,10 +229,11 @@ case "${1:-all}" in
         run_stage test-perword test_perword
         run_stage test-relaxed test_relaxed
         run_stage test-pooled test_pooled
+        run_stage server-smoke server_smoke
         run_stage perf perf
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|test-relaxed|test-pooled|perf|quick|all]" >&2
+        echo "usage: ./ci.sh [lint|test-debug|test-release|test-scalar|test-perword|test-relaxed|test-pooled|server-smoke|perf|quick|all]" >&2
         exit 2
         ;;
 esac

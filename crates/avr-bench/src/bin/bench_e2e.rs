@@ -76,10 +76,20 @@
 //! share of golden recomputation the cache already removed), plus a
 //! per-workload single-vs-pooled speedup over that workload's five-design
 //! column.
+//!
+//! The top-level `server` object (PR 9) times the suite × AVR grid
+//! through the sweep server's loopback TCP path on a width-1 pool vs. the
+//! same grid run directly, recording cells/s both ways — the protocol +
+//! serialization overhead trajectory. A second submission of the same
+//! batch records the warm-path time and asserts the golden cache absorbed
+//! every golden recomputation.
 
 use avr_core::{BackendKind, DesignKind, LayoutKind, SimPool, SystemConfig};
+use avr_server::{Client, SweepServer};
+use avr_types::CellSpec;
 use avr_workloads::{
-    all_benchmarks, golden_run, run_grid, run_grid_layouts, run_on_design, BenchScale, Workload,
+    all_benchmarks, golden, golden_run, run_grid, run_grid_layouts, run_on_design, BenchScale,
+    Workload,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -186,6 +196,35 @@ struct Section {
     backends: Vec<BackendRate>,
     layouts: Vec<LayoutRate>,
     scaling: Scaling,
+}
+
+/// The suite × AVR grid timed through the sweep server's loopback TCP
+/// path vs. run directly, both on one worker — the difference is protocol,
+/// serialization and queueing overhead.
+struct ServerRate {
+    cells: usize,
+    direct_ms: f64,
+    server_ms: f64,
+    /// Second submission of the identical batch (warm golden cache, warm
+    /// connection).
+    repeat_ms: f64,
+    /// Golden-cache hits the repeat submission scored (must cover every
+    /// cell: resubmission recomputes no goldens).
+    golden_hits_delta: u64,
+}
+
+impl ServerRate {
+    fn cells_per_sec_direct(&self) -> f64 {
+        self.cells as f64 / (self.direct_ms / 1e3).max(1e-9)
+    }
+
+    fn cells_per_sec_server(&self) -> f64 {
+        self.cells as f64 / (self.server_ms / 1e3).max(1e-9)
+    }
+
+    fn overhead_fraction(&self) -> f64 {
+        self.server_ms / self.direct_ms.max(1e-9) - 1.0
+    }
 }
 
 fn config_for(scale: BenchScale) -> SystemConfig {
@@ -410,6 +449,47 @@ fn measure_layouts(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<Layou
         .collect()
 }
 
+/// Time the suite × AVR grid submitted over loopback to an in-process
+/// sweep server on a width-1 pool, against the same grid run directly on
+/// one thread. The wire cells pin the exact backend (`CellSpec` default),
+/// so the direct run pins it too — identical work on both paths.
+fn measure_server(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> ServerRate {
+    prime_goldens(suite);
+    let designs = [DesignKind::Avr];
+    let mut cfg = cfg.clone();
+    cfg.error_model.backend = Some(avr_types::BackendKind::Exact);
+    let t0 = Instant::now();
+    let grid = run_grid(&SimPool::new(1), suite, &cfg, &designs);
+    let direct_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(grid.len(), suite.len());
+
+    let server =
+        SweepServer::bind_with("127.0.0.1:0", SimPool::new(1)).expect("bind loopback server");
+    let (addr, handle) = server.spawn();
+    let mut client = Client::connect(addr).expect("connect to sweep server");
+    let cells: Vec<CellSpec> = suite.iter().map(|w| CellSpec::new(w.name())).collect();
+    let mut submit_once = || {
+        let t0 = Instant::now();
+        let job = client.submit(cells.clone()).expect("submit batch");
+        let outcome = client.collect_job(job).expect("collect results");
+        assert_eq!(outcome.completed as usize, cells.len(), "server dropped cells");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let server_ms = submit_once();
+    let hits_before_repeat = golden::stats::hits();
+    let repeat_ms = submit_once();
+    let golden_hits_delta = golden::stats::hits() - hits_before_repeat;
+    assert!(
+        golden_hits_delta >= cells.len() as u64,
+        "resubmission must hit the golden cache for every cell \
+         ({golden_hits_delta} hits for {} cells)",
+        cells.len()
+    );
+    client.shutdown().expect("shutdown server");
+    handle.join().expect("join server thread").expect("server exit");
+    ServerRate { cells: cells.len(), direct_ms, server_ms, repeat_ms, golden_hits_delta }
+}
+
 fn measure_section(
     scale: BenchScale,
     label: &'static str,
@@ -609,6 +689,8 @@ fn main() {
 
     eprintln!("bench_e2e: smoke section (tiny scale)...");
     let smoke = measure_section(BenchScale::Tiny, "tiny", 3, sweep_threads);
+    eprintln!("bench_e2e: server section (loopback vs direct, tiny scale)...");
+    let server = measure_server(&all_benchmarks(BenchScale::Tiny), &config_for(BenchScale::Tiny));
     let full = if smoke_only {
         None
     } else {
@@ -626,6 +708,23 @@ fn main() {
         json,
         "  \"host\": {{ \"available_parallelism\": {host_width}, \"pool_threads\": \
          {sweep_threads} }},"
+    );
+    // One line by design: the section parser scans for `{ "workload": "`
+    // entries, which this must never resemble.
+    let _ = writeln!(
+        json,
+        "  \"server\": {{ \"scale\": \"tiny\", \"cells\": {}, \"direct_ms\": {:.1}, \
+         \"server_ms\": {:.1}, \"repeat_ms\": {:.1}, \"cells_per_sec_direct\": {:.1}, \
+         \"cells_per_sec_server\": {:.1}, \"overhead_fraction\": {:.4}, \
+         \"golden_hits_delta\": {} }},",
+        server.cells,
+        server.direct_ms,
+        server.server_ms,
+        server.repeat_ms,
+        server.cells_per_sec_direct(),
+        server.cells_per_sec_server(),
+        server.overhead_fraction(),
+        server.golden_hits_delta
     );
     json.push_str("  \"sections\": {\n");
     render_section(&mut json, "smoke", &smoke, full.is_none());
@@ -695,6 +794,19 @@ fn main() {
             curve.join("  ")
         );
     }
+
+    eprintln!(
+        "server loopback: {} cells  direct {:.0} ms ({:.1} cells/s)  server {:.0} ms \
+         ({:.1} cells/s)  repeat {:.0} ms  overhead {:+.1}%  golden hits on repeat: {}",
+        server.cells,
+        server.direct_ms,
+        server.cells_per_sec_direct(),
+        server.server_ms,
+        server.cells_per_sec_server(),
+        server.repeat_ms,
+        server.overhead_fraction() * 100.0,
+        server.golden_hits_delta
+    );
 
     std::fs::write(&out_path, &json).expect("write trajectory file");
     eprintln!("wrote {out_path}");

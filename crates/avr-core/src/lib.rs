@@ -28,7 +28,7 @@ pub use layout::{
 };
 pub use multicore::{run_multicore, run_multicore_on, MulticoreRun, ShardedWorkload};
 pub use overhead::OverheadReport;
-pub use pool::{shard_seed, JobCtx, SimPool};
+pub use pool::{shard_seed, JobCtx, PoolControl, SimPool};
 pub use system::System;
 pub use vm_api::{ExactVm, Vm, WordAtATime};
 

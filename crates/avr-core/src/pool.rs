@@ -60,7 +60,7 @@
 use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Parse a worker-count string: a positive integer, or `None` for
@@ -105,6 +105,64 @@ pub struct JobCtx {
     /// for any thread count. Stochastic workloads must draw all their
     /// randomness from this.
     pub seed: u64,
+    /// Which pool worker (`0..threads`) is executing this job. Purely
+    /// informational — which worker claims which job is a scheduling
+    /// accident, and nothing deterministic may depend on it — but it lets
+    /// a long-running caller (the sweep server) account per-worker
+    /// utilization. The inline single-thread fast path reports worker 0.
+    pub worker: usize,
+}
+
+/// Shared cancellation + progress state for a pool batch — the hooks a
+/// long-running front end (the sweep server) needs around
+/// [`SimPool::run_jobs_weighted_ctl`].
+///
+/// * **Cancellation** is cooperative and job-granular: once
+///   [`PoolControl::cancel`] is observed, workers stop *starting* jobs
+///   (in-flight jobs run to completion so every produced result is a
+///   complete, deterministic simulation — never a torn one).
+/// * **Progress** is two monotone counters: jobs started and jobs
+///   finished. `started - finished` is the batch's in-flight depth, which
+///   a status endpoint can report while the batch runs.
+///
+/// A `PoolControl` observes one batch; create a fresh one per batch.
+#[derive(Debug, Default)]
+pub struct PoolControl {
+    cancelled: AtomicBool,
+    started: AtomicUsize,
+    finished: AtomicUsize,
+}
+
+impl PoolControl {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation: no further jobs start; jobs already running
+    /// complete normally.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the batch has started executing so far.
+    pub fn started(&self) -> usize {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the batch has finished executing so far.
+    pub fn finished(&self) -> usize {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently executing (`started - finished`).
+    pub fn in_flight(&self) -> usize {
+        self.started().saturating_sub(self.finished())
+    }
 }
 
 /// Deterministic per-shard seed (splitmix64 over the job index).
@@ -259,6 +317,50 @@ impl SimPool {
         self.run_scheduled(total, Some(order), job)
     }
 
+    /// [`SimPool::run_jobs_weighted`] with **cancellation and progress
+    /// hooks**: the sweep-server entry point. Jobs observe `ctl` — once
+    /// [`PoolControl::cancel`] fires, workers stop starting jobs and every
+    /// not-yet-started job's slot comes back `None`; jobs that did run
+    /// return `Some(result)`, bit-identical to what the uncancelled batch
+    /// would have produced (each job is an independent deterministic
+    /// simulation, so skipping neighbors cannot perturb it). `ctl`'s
+    /// started/finished counters advance as jobs execute, giving a
+    /// concurrent reader queue-depth/in-flight progress mid-batch.
+    ///
+    /// Which jobs completed before a cancellation is scheduling-dependent
+    /// by nature; everything else — result values, slot order — is not.
+    pub fn run_jobs_weighted_ctl<T, F, W>(
+        &self,
+        total: usize,
+        weight: W,
+        job: F,
+        ctl: &PoolControl,
+    ) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(JobCtx) -> T + Sync,
+        W: Fn(usize) -> u64,
+    {
+        // Wrapping keeps the claim/slot machinery untouched: a cancelled
+        // job is an ordinary job whose body is a cheap `None` write.
+        let observed = |ctx: JobCtx| {
+            if ctl.is_cancelled() {
+                return None;
+            }
+            ctl.started.fetch_add(1, Ordering::Relaxed);
+            let out = job(ctx);
+            ctl.finished.fetch_add(1, Ordering::Relaxed);
+            Some(out)
+        };
+        if self.threads == 1 || total <= 1 {
+            return self.run_scheduled(total, None, observed);
+        }
+        assert!(u32::try_from(total).is_ok(), "batch too large for the u32 schedule");
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weight(i as usize)));
+        self.run_scheduled(total, Some(order), observed)
+    }
+
     /// The shared engine behind both entry points: claim positions from a
     /// padded cursor (chunked when unscheduled), map them through the
     /// optional heaviest-first schedule, write each result into its job's
@@ -268,10 +370,10 @@ impl SimPool {
         T: Send,
         F: Fn(JobCtx) -> T + Sync,
     {
-        let ctx = |index| JobCtx { index, total, seed: shard_seed(index) };
+        let ctx = |index, worker| JobCtx { index, total, seed: shard_seed(index), worker };
         if self.threads == 1 || total <= 1 {
             // Inline fast path: no spawn overhead, trivially deterministic.
-            return (0..total).map(|i| job(ctx(i))).collect();
+            return (0..total).map(|i| job(ctx(i, 0))).collect();
         }
         let workers = self.threads.min(total);
         // A weighted schedule claims one job per RMW: its batches are
@@ -285,8 +387,11 @@ impl SimPool {
         let cursor = PaddedCursor::new();
         let slots = ResultSlots::new(total);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                // Shared engine state by reference; only the worker id
+                // moves into the closure.
+                let (cursor, slots, schedule, job) = (&cursor, &slots, &schedule, &job);
+                scope.spawn(move || loop {
                     let start = cursor.0.fetch_add(chunk, Ordering::Relaxed);
                     if start >= total {
                         break;
@@ -297,7 +402,7 @@ impl SimPool {
                         // (monotone fetch_add) and `schedule` is a
                         // permutation, so each slot `i` is written exactly
                         // once.
-                        unsafe { slots.put(i, job(ctx(i))) };
+                        unsafe { slots.put(i, job(ctx(i, worker))) };
                     }
                 });
             }
@@ -387,6 +492,74 @@ mod tests {
             assert_eq!(v.len(), i % 4);
             assert!(v.iter().all(|&x| x == i));
         }
+    }
+
+    #[test]
+    fn ctl_batch_without_cancellation_matches_weighted_run() {
+        for threads in [1, 4] {
+            let pool = SimPool::new(threads);
+            let plain = pool.run_jobs_weighted(33, |i| i as u64, |ctx| (ctx.index, ctx.seed));
+            let ctl = PoolControl::new();
+            let observed =
+                pool.run_jobs_weighted_ctl(33, |i| i as u64, |ctx| (ctx.index, ctx.seed), &ctl);
+            let unwrapped: Vec<_> = observed.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(unwrapped, plain, "{threads} threads");
+            assert_eq!(ctl.started(), 33);
+            assert_eq!(ctl.finished(), 33);
+            assert_eq!(ctl.in_flight(), 0);
+            assert!(!ctl.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_unstarted_jobs_and_keeps_finished_results() {
+        for threads in [1, 3] {
+            let pool = SimPool::new(threads);
+            let ctl = PoolControl::new();
+            let out = pool.run_jobs_weighted_ctl(
+                50,
+                |_| 1,
+                |ctx| {
+                    // Cancel mid-batch from inside a job: everything that
+                    // starts afterward must come back None.
+                    if ctl.finished() >= 5 {
+                        ctl.cancel();
+                    }
+                    ctx.index * 2
+                },
+                &ctl,
+            );
+            assert_eq!(out.len(), 50);
+            let done = out.iter().flatten().count();
+            assert!(done < 50, "{threads} threads: cancellation had no effect");
+            assert_eq!(done, ctl.finished(), "finished counter tracks produced results");
+            for (i, r) in out.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, i * 2, "completed results stay correct");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_before_start_runs_nothing() {
+        let pool = SimPool::new(4);
+        let ctl = PoolControl::new();
+        ctl.cancel();
+        let out = pool.run_jobs_weighted_ctl(10, |_| 1, |ctx| ctx.index, &ctl);
+        assert!(out.iter().all(|r| r.is_none()));
+        assert_eq!(ctl.started(), 0);
+    }
+
+    #[test]
+    fn worker_ids_are_in_range() {
+        for threads in [1, 5] {
+            let pool = SimPool::new(threads);
+            let workers = pool.run_jobs(64, |ctx| ctx.worker);
+            assert!(workers.iter().all(|&w| w < threads), "{threads} threads");
+        }
+        // The inline path always reports worker 0.
+        assert_eq!(SimPool::new(1).run_jobs(3, |ctx| ctx.worker), vec![0, 0, 0]);
     }
 
     #[test]

@@ -148,6 +148,11 @@ impl BackendKind {
             BackendKind::ApproxMram => "mram",
         }
     }
+
+    /// Inverse of [`BackendKind::label`] (the wire/CLI spelling).
+    pub fn from_label(label: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// Device error-model parameters (fault rates, seeding, and the graceful-
@@ -236,6 +241,11 @@ impl LayoutKind {
             LayoutKind::Partitioned => "partitioned",
         }
     }
+
+    /// Inverse of [`LayoutKind::label`] (the wire/CLI spelling).
+    pub fn from_label(label: &str) -> Option<LayoutKind> {
+        LayoutKind::ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// Which of the five evaluated designs a `System` implements.
@@ -271,6 +281,41 @@ impl DesignKind {
             DesignKind::Doppelganger => "dganger",
             DesignKind::Avr => "AVR",
         }
+    }
+
+    /// Inverse of [`DesignKind::label`] (the wire/CLI spelling).
+    pub fn from_label(label: &str) -> Option<DesignKind> {
+        DesignKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// Which problem size a workload instantiates (moved here from the
+/// workload runner when the sweep-server wire format needed to name it;
+/// `avr_workloads` re-exports it, so workload code is unaffected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchScale {
+    /// Tiny: unit/integration tests (sub-second per design).
+    Tiny,
+    /// Bench: the figure-regeneration scale (footprint : LLC ratios match
+    /// the paper's Table 2 against the per-core-scaled hierarchy).
+    Bench,
+}
+
+impl BenchScale {
+    /// Both scales, tiny first.
+    pub const ALL: [BenchScale; 2] = [BenchScale::Tiny, BenchScale::Bench];
+
+    /// Label used on the wire and in bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchScale::Tiny => "tiny",
+            BenchScale::Bench => "bench",
+        }
+    }
+
+    /// Inverse of [`BenchScale::label`] (the wire/CLI spelling).
+    pub fn from_label(label: &str) -> Option<BenchScale> {
+        BenchScale::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 

@@ -7,14 +7,16 @@
 pub mod addr;
 pub mod block;
 pub mod config;
+pub mod job;
 pub mod line;
 pub mod value;
 
 pub use addr::{BlockAddr, LineAddr, PhysAddr, CL_BYTES, CL_OFFSET_BITS, LINES_PER_BLOCK};
 pub use block::BlockData;
 pub use config::{
-    AvrParams, BackendKind, CacheGeometry, DesignKind, DramParams, ErrorModelParams, LayoutKind,
-    SystemConfig,
+    AvrParams, BackendKind, BenchScale, CacheGeometry, DesignKind, DramParams, ErrorModelParams,
+    LayoutKind, SystemConfig,
 };
+pub use job::{CellSpec, ConfigOverrides};
 pub use line::CacheLine;
 pub use value::{DataType, VALUES_PER_BLOCK, VALUES_PER_LINE};

@@ -65,15 +65,9 @@ pub trait Workload: Sync {
     }
 }
 
-/// Which problem size to instantiate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BenchScale {
-    /// Tiny: unit/integration tests (sub-second per design).
-    Tiny,
-    /// Bench: the figure-regeneration scale (footprint : LLC ratios match
-    /// the paper's Table 2 against the per-core-scaled hierarchy).
-    Bench,
-}
+/// Which problem size to instantiate — defined in `avr-types` (the wire
+/// layer names it too), re-exported here where every workload uses it.
+pub use avr_types::BenchScale;
 
 /// Mean relative error between a golden output and an approximate output
 /// (the paper's quality metric: "the mean of the relative errors for each
@@ -159,7 +153,7 @@ pub struct GridRun {
 /// claims — one per worker, different workloads — instead of letting four
 /// workers claim four cells of the *same* heavy workload and serialize on
 /// its once-cell. Coarse by design: only the claiming order depends on it.
-const GOLDEN_CELL_BOOST: u64 = 4;
+pub const GOLDEN_CELL_BOOST: u64 = 4;
 
 /// Run the full (workload × design) grid on `pool`, returning cells in
 /// workload-major, design-minor order. Each cell is an independent
@@ -230,6 +224,22 @@ pub fn run_grid_layouts(
             metrics: run_on_design_in(w.as_ref(), cfg, c.design, c.layout),
         }
     })
+}
+
+/// Look up one workload of the suite **by its registered name** at the
+/// requested scale — the sweep server's path from a wire-level job spec to
+/// a runnable instance. Returns `None` for names the suite doesn't carry,
+/// so a caller can reject a bad job instead of panicking mid-batch.
+/// Construction is cheap (workload constructors only record parameters;
+/// inputs are generated inside `run`).
+pub fn workload_by_name(name: &str, scale: BenchScale) -> Option<Box<dyn Workload>> {
+    all_benchmarks(scale).into_iter().find(|w| w.name() == name)
+}
+
+/// The registered workload names, in suite order (what
+/// [`workload_by_name`] accepts — a job service can echo this in errors).
+pub fn workload_names() -> Vec<&'static str> {
+    all_benchmarks(BenchScale::Tiny).iter().map(|w| w.name()).collect()
 }
 
 /// Convenience: build the suite at `scale` and run the grid on `pool`.
@@ -308,6 +318,20 @@ mod tests {
             assert!(ls.contains(&LayoutKind::Soa), "{} must support soa", w.name());
             assert!(ls.contains(&LayoutKind::Aos), "{} must support aos", w.name());
         }
+    }
+
+    #[test]
+    fn registry_resolves_every_suite_name_and_rejects_strangers() {
+        for scale in [BenchScale::Tiny, BenchScale::Bench] {
+            for name in workload_names() {
+                let w = workload_by_name(name, scale)
+                    .unwrap_or_else(|| panic!("{name} missing at {scale:?}"));
+                assert_eq!(w.name(), name);
+            }
+        }
+        assert!(workload_by_name("heatx", BenchScale::Tiny).is_none());
+        assert!(workload_by_name("", BenchScale::Tiny).is_none());
+        assert_eq!(workload_names().len(), 10);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Retention stacking study, served over the sweep server: how does
+//! application output error stack up as DRAM refresh is relaxed under an
+//! approximate-memory design? One multi-hundred-cell batch — every
+//! workload × a ladder of refresh multipliers × several fault seeds on the
+//! relaxed-DRAM backend — submitted to an in-process server and
+//! reassembled from the result stream (the error-vs-fault-rate figure
+//! shape of approximate-DRAM studies, cf. arXiv:2105.14151).
+//!
+//! ```text
+//! cargo run --release --example stacking_study            # full 210-cell grid
+//! cargo run --release --example stacking_study -- --smoke # CI-sized + self-check
+//! ```
+//!
+//! `--smoke` shrinks the grid and additionally verifies, cell by cell,
+//! that what came over the wire is bit-identical to computing the same
+//! spec directly — the server determinism contract as a runnable check
+//! (exit code 1 on any mismatch).
+
+use avr::server::{base_config, metrics_to_json, Client, Json, SweepServer};
+use avr::types::{BackendKind, CellSpec};
+use avr::workloads::{run_on_design_in, workload_by_name, workload_names};
+
+fn cell(workload: &str, refresh_multiplier: u64, seed: u64) -> CellSpec {
+    let mut c = CellSpec::new(workload);
+    c.backend = Some(BackendKind::RelaxedDram);
+    c.seed = Some(seed);
+    c.overrides.refresh_multiplier = Some(refresh_multiplier);
+    c
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (workloads, multipliers, seeds): (Vec<&str>, Vec<u64>, Vec<u64>) = if smoke {
+        (vec!["heat", "kmeans"], vec![1, 16, 64], vec![7])
+    } else {
+        (workload_names(), vec![1, 2, 4, 8, 16, 32, 64], vec![7, 11, 13])
+    };
+
+    let mut cells = Vec::new();
+    for w in &workloads {
+        for &m in &multipliers {
+            for &s in &seeds {
+                cells.push(cell(w, m, s));
+            }
+        }
+    }
+    let n = cells.len();
+    println!(
+        "stacking study: {} workloads x {} refresh steps x {} seeds = {} cells",
+        workloads.len(),
+        multipliers.len(),
+        seeds.len(),
+        n
+    );
+
+    let server = SweepServer::bind("127.0.0.1:0").expect("bind loopback");
+    println!("sweep server on {} ({} worker(s))", server.local_addr(), server.threads());
+    let (addr, handle) = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let job = client.submit(cells.clone()).expect("submit");
+    let outcome = client.collect_job(job).expect("collect");
+    assert_eq!(outcome.completed as usize, n, "all cells must complete");
+
+    // Reassemble the grid: cells were pushed workload-major, multiplier-mid,
+    // seed-minor, and every result event carries its batch index.
+    let metric = |i: usize, path: &[&str]| -> f64 {
+        let mut v = outcome.results[i].as_ref().expect("cell present").get("metrics").unwrap();
+        for key in path {
+            v = v.get(key).unwrap();
+        }
+        v.as_f64().unwrap()
+    };
+    println!(
+        "\n{:<10}{:>14}{:>16}{:>16}{:>14}",
+        "refresh", "bit flips", "degraded lines", "sanitized", "error (%)"
+    );
+    for (mi, &m) in multipliers.iter().enumerate() {
+        let mut flips = 0.0;
+        let mut degraded = 0.0;
+        let mut sanitized = 0.0;
+        let mut err = 0.0;
+        let mut count = 0.0;
+        for wi in 0..workloads.len() {
+            for si in 0..seeds.len() {
+                let i = (wi * multipliers.len() + mi) * seeds.len() + si;
+                flips += metric(i, &["counters", "faults", "injected_bit_flips"]);
+                degraded += metric(i, &["counters", "faults", "degraded_lines"]);
+                sanitized += metric(i, &["counters", "faults", "sanitized_values"]);
+                err += metric(i, &["output_error"]);
+                count += 1.0;
+            }
+        }
+        println!(
+            "{:<10}{:>14.1}{:>16.1}{:>16.1}{:>14.4}",
+            format!("x{m}"),
+            flips / count,
+            degraded / count,
+            sanitized / count,
+            err / count * 100.0,
+        );
+    }
+    println!(
+        "\nNominal refresh (x1) injects nothing; each doubling of the refresh\n\
+         interval raises the retention-failure rate, and the sanitizer keeps\n\
+         the error growth graceful rather than catastrophic."
+    );
+
+    if smoke {
+        // Self-check: every wire result must be bit-identical to computing
+        // the same cell spec directly in this process.
+        let mut bad = 0;
+        for (i, spec) in cells.iter().enumerate() {
+            let workload = workload_by_name(&spec.workload, spec.scale).unwrap();
+            let direct = run_on_design_in(
+                workload.as_ref(),
+                &spec.config(&base_config(spec.scale)),
+                spec.design,
+                spec.layout,
+            );
+            let wire = outcome.results[i].as_ref().unwrap().get("metrics").unwrap().render();
+            if wire != metrics_to_json(&direct).render() {
+                eprintln!("cell {i} ({}) differs from the direct run", spec.workload);
+                bad += 1;
+            }
+        }
+        // The status endpoint must agree the batch is done and accounted.
+        let status = client.status().expect("status");
+        let done = status
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .and_then(|jobs| jobs.iter().find(|j| j.get("job").and_then(Json::as_u64) == Some(job)))
+            .and_then(|j| j.get("completed"))
+            .and_then(Json::as_u64);
+        if done != Some(n as u64) {
+            eprintln!("status reports {done:?} completed cells, expected {n}");
+            bad += 1;
+        }
+        if bad > 0 {
+            eprintln!("smoke check FAILED: {bad} mismatch(es)");
+            std::process::exit(1);
+        }
+        println!("\nsmoke check passed: {n} wire cells bit-identical to direct runs");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("server exit");
+}

@@ -22,6 +22,9 @@
 //!   extensions, and the mixed-criticality `particles` step), each
 //!   declaring a record schema the layout axis places as SoA / AoS /
 //!   partitioned
+//! * [`server`] — the sweep server: a TCP job service that queues grid
+//!   batches onto the `SimPool` and streams results back, bit-identical
+//!   to serial runs at any worker width
 //!
 //! ## Quickstart
 //!
@@ -66,12 +69,43 @@
 //! [`arch::WordAtATime`] wraps any `Vm` and masks its bulk overrides,
 //! which is how `tests/bulk_api.rs` pins the `System` fast paths to the
 //! per-word reference for every workload × design.
+//!
+//! ### Running sweeps as a service
+//!
+//! Long configuration sweeps don't need the process that computes them to
+//! be the process that asked: the sweep server accepts cell batches over
+//! TCP, schedules them heaviest-first on its pool, and streams each cell's
+//! full metrics back the moment it finishes. Disconnect and reconnect at
+//! will — results are stored server-side and replayed on request.
+//!
+//! ```no_run
+//! use avr::server::{Client, SweepServer};
+//! use avr::types::{CellSpec, DesignKind};
+//!
+//! let (addr, handle) = SweepServer::bind("127.0.0.1:0")?.spawn();
+//! let mut client = Client::connect(addr)?;
+//! let cells: Vec<CellSpec> = DesignKind::ALL
+//!     .into_iter()
+//!     .map(|d| {
+//!         let mut c = CellSpec::new("heat");
+//!         c.design = d;
+//!         c
+//!     })
+//!     .collect();
+//! let job = client.submit(cells)?;
+//! let outcome = client.collect_job(job)?;
+//! assert_eq!(outcome.completed, 5);
+//! client.shutdown()?;
+//! handle.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 pub use avr_baselines as baselines;
 pub use avr_cache as cache;
 pub use avr_compress as compress;
 pub use avr_core as arch;
 pub use avr_dram as dram;
+pub use avr_server as server;
 pub use avr_sim as sim;
 pub use avr_types as types;
 pub use avr_workloads as workloads;
