@@ -58,6 +58,14 @@
 //! set is gated against the baseline exactly like the workload and backend
 //! sets, so the smoke gate always exercises the non-default layouts.
 //!
+//! Each section also carries a **design axis** (PR 10): the full suite
+//! re-run once per `DesignKind::ALL` design — every policy the
+//! `DesignPolicy` layer constructs, including the memoization family —
+//! each entry recording aggregate blocks/s plus the memo hit/serve/elide
+//! counters. The design set is gated against the baseline exactly like
+//! the other axes: adding a design without regenerating the committed
+//! trajectory fails `--check`.
+//!
 //! # Host-width provenance and the scaling curve
 //!
 //! The top-level `host` object records `available_parallelism` and the
@@ -138,6 +146,23 @@ impl BackendRate {
     }
 }
 
+/// One design's aggregate grid throughput plus the memoization record
+/// (all-zero outside the memo family).
+struct DesignRate {
+    design: &'static str,
+    sim_blocks: u64,
+    wall_ms: f64,
+    memo_hits: u64,
+    memo_served: u64,
+    memo_elided: u64,
+}
+
+impl DesignRate {
+    fn blocks_per_sec(&self) -> f64 {
+        self.sim_blocks as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+}
+
 /// One memory layout's aggregate grid result: throughput plus the
 /// compressibility and output-error record across the workloads that
 /// support the layout.
@@ -195,6 +220,7 @@ struct Section {
     sweep: SweepTiming,
     backends: Vec<BackendRate>,
     layouts: Vec<LayoutRate>,
+    designs: Vec<DesignRate>,
     scaling: Scaling,
 }
 
@@ -412,6 +438,41 @@ fn measure_backends(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<Back
         .collect()
 }
 
+/// Run the full suite once per design (`DesignKind::ALL` — every policy
+/// the `DesignPolicy` layer can construct), recording aggregate blocks/s
+/// and the memoization counters: the design axis of the trajectory, which
+/// keeps the smoke gate exercising every design's engine path including
+/// the memo family's table/window machinery. Single-threaded so the
+/// per-design wall clocks are comparable to each other.
+fn measure_designs(suite: &[Box<dyn Workload>], cfg: &SystemConfig) -> Vec<DesignRate> {
+    prime_goldens(suite);
+    DesignKind::ALL
+        .iter()
+        .map(|&design| {
+            let t0 = Instant::now();
+            let grid = run_grid(&SimPool::new(1), suite, cfg, &[design]);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut r = DesignRate {
+                design: design.label(),
+                sim_blocks: 0,
+                wall_ms,
+                memo_hits: 0,
+                memo_served: 0,
+                memo_elided: 0,
+            };
+            for e in &grid {
+                let m = &e.metrics;
+                r.sim_blocks +=
+                    m.counters.traffic.total().div_ceil(avr_types::addr::BLOCK_BYTES as u64);
+                r.memo_hits += m.counters.memo.in_hits;
+                r.memo_served += m.counters.memo.in_served;
+                r.memo_elided += m.counters.memo.out_elided;
+            }
+            r
+        })
+        .collect()
+}
+
 /// Run the suite × AVR grid once per memory layout, aggregating blocks/s,
 /// the compressible-block fraction and the mean output error over the
 /// workloads that support each layout. Single-threaded so the per-layout
@@ -504,6 +565,7 @@ fn measure_section(
         sweep: measure_sweep(&suite, &cfg, pool_threads),
         backends: measure_backends(&suite, &cfg),
         layouts: measure_layouts(&suite, &cfg),
+        designs: measure_designs(&suite, &cfg),
         scaling: measure_scaling(&suite, &cfg, pool_threads),
     }
 }
@@ -563,6 +625,24 @@ fn render_section(json: &mut String, name: &str, s: &Section, last: bool) {
             l.compressible_fraction(),
             l.mean_output_error(),
             if i + 1 < s.layouts.len() { "," } else { "" }
+        );
+    }
+    json.push_str("      ],\n");
+    json.push_str("      \"designs\": [\n");
+    for (i, d) in s.designs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{ \"design\": \"{}\", \"sim_blocks\": {}, \"wall_ms\": {:.1}, \
+             \"blocks_per_sec\": {:.0}, \"memo_hits\": {}, \"memo_served\": {}, \
+             \"memo_elided\": {} }}{}",
+            d.design,
+            d.sim_blocks,
+            d.wall_ms,
+            d.blocks_per_sec(),
+            d.memo_hits,
+            d.memo_served,
+            d.memo_elided,
+            if i + 1 < s.designs.len() { "," } else { "" }
         );
     }
     json.push_str("      ],\n");
@@ -772,6 +852,19 @@ fn main() {
                 l.mean_output_error()
             );
         }
+        for d in &s.designs {
+            eprintln!(
+                "design {:<10} {:>9} blocks  {:>8.1} ms  {:>12.0} blocks/s  \
+                 memo hits {} served {} elided {}",
+                d.design,
+                d.sim_blocks,
+                d.wall_ms,
+                d.blocks_per_sec(),
+                d.memo_hits,
+                d.memo_served,
+                d.memo_elided
+            );
+        }
         let sw = &s.sweep;
         eprintln!(
             "table4 sweep: 1 thread {:.0} ms, {} threads {:.0} ms, speedup {:.2}x",
@@ -904,8 +997,32 @@ fn main() {
                 drifted = true;
             }
         }
+        // And the design axis (PR 10): the set of designs the policy
+        // layer constructs must match the baseline exactly, so adding a
+        // design (a new `DesignPolicy`) or retiring one always comes with
+        // a regenerated trajectory file.
+        let base_designs = parse_baseline_by(&text, "smoke", "design");
+        for (name, _) in &base_designs {
+            if !smoke.designs.iter().any(|d| d.design == *name) {
+                eprintln!(
+                    "GATE: FAIL — baseline design {name} is absent from this run; \
+                     retiring a design requires committing a regenerated BENCH_PRn.json"
+                );
+                drifted = true;
+            }
+        }
+        for d in &smoke.designs {
+            if !base_designs.iter().any(|(name, _)| name == d.design) {
+                eprintln!(
+                    "GATE: FAIL — design {} is not in the baseline; adding a design \
+                     requires committing a regenerated BENCH_PRn.json",
+                    d.design
+                );
+                drifted = true;
+            }
+        }
         if drifted {
-            eprintln!("GATE: workload/backend/layout set drift vs {baseline_path}");
+            eprintln!("GATE: workload/backend/layout/design set drift vs {baseline_path}");
             std::process::exit(1);
         }
         if ratios.is_empty() {

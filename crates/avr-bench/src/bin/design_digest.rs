@@ -1,0 +1,27 @@
+//! Print the per-(workload × design) [`avr_workloads::metrics_digest`]
+//! values for the tiny-scale suite — the capture half of the
+//! `tests/designs.rs` bit-identity contract.
+//!
+//! The pins in `tests/designs.rs` were captured with this tool on the tree
+//! *before* the `DesignPolicy` extraction; rerunning it after any change
+//! that legitimately alters simulation results (and only then) regenerates
+//! the constants to paste there. Conditions are pinned exactly like the
+//! test: tiny scale, SoA layout, the exact backend, one thread.
+
+use avr_types::{BackendKind, DesignKind, LayoutKind};
+use avr_workloads::{all_benchmarks, metrics_digest, run_on_design_in, BenchScale};
+
+fn main() {
+    let cfg = avr_core::SystemConfig::tiny().with_backend(BackendKind::Exact);
+    for w in all_benchmarks(BenchScale::Tiny) {
+        for design in DesignKind::ALL {
+            let m = run_on_design_in(w.as_ref(), &cfg, design, LayoutKind::Soa);
+            println!(
+                "(\"{}\", DesignKind::{:?}, 0x{:016x}),",
+                w.name(),
+                design,
+                metrics_digest(&m)
+            );
+        }
+    }
+}

@@ -1,6 +1,9 @@
-//! The AVR memory operations (paper §3.5): the LLC request flow of Fig. 7
-//! and the eviction flow of Fig. 8, orchestrated over the decoupled LLC,
-//! the compressor module, the CMT, the DBUF and the PFE.
+//! The AVR memory operations (paper §3.5) as a [`DesignPolicy`]: the LLC
+//! request flow of Fig. 7 and the eviction flow of Fig. 8, orchestrated
+//! over the decoupled LLC, the compressor module, the CMT, the DBUF and
+//! the PFE. Implements both `ZeroAvr` (the decoupled cache with the
+//! compression path disabled by construction: approx annotations are not
+//! honored, so every line takes the precise UCL path) and `Avr`.
 //!
 //! ### Value-feedback semantics
 //!
@@ -15,17 +18,56 @@
 //! block, including ones whose UCLs are still dirty upstream, which is a
 //! latest-value resolution of an ordering the paper leaves unspecified.
 
-use avr_cache::llc::{EvictList, Evicted};
+use avr_cache::cmt::{CmtCache, CmtTable, CMT_MISS_BYTES};
+use avr_cache::dbuf::Dbuf;
+use avr_cache::llc::{AvrLlc, EvictList, Evicted};
+use avr_cache::pfe::PrefetchEngine;
+use avr_compress::{Compressor, Thresholds};
 use avr_dram::AccessKind;
-use avr_types::{BlockAddr, DataType, DesignKind, LineAddr, CL_BYTES, LINES_PER_BLOCK};
+use avr_types::{
+    BlockAddr, DataType, DesignKind, LineAddr, SystemConfig, CL_BYTES, LINES_PER_BLOCK,
+};
 
-use crate::system::{LlcVariant, System};
+use crate::design::DesignPolicy;
+use crate::summary::BlockScan;
+use crate::system::System;
 
-impl System {
-    fn llc_decoupled(&mut self) -> &mut avr_cache::llc::AvrLlc {
-        match &mut self.llc {
-            LlcVariant::Decoupled(llc) => llc,
-            _ => unreachable!("decoupled ops on non-decoupled design"),
+/// `ZeroAvr` and `Avr`: the decoupled UCL/CMS cache plus the AVR block
+/// machinery (compressor, CMT + its on-chip cache, DBUF, PFE).
+pub struct DecoupledPolicy {
+    kind: DesignKind,
+    pub(crate) llc: AvrLlc,
+    pub(crate) compressor: Compressor,
+    pub(crate) cmt: CmtTable,
+    cmt_cache: CmtCache,
+    dbuf: Dbuf,
+    pfe: PrefetchEngine,
+    /// Reusable eviction work queue (capacity retained across requests so
+    /// the steady-state eviction machine never allocates).
+    evict_queue: Vec<Evicted>,
+}
+
+impl DecoupledPolicy {
+    pub(crate) fn new(kind: DesignKind, cfg: &SystemConfig) -> Self {
+        debug_assert!(matches!(kind, DesignKind::ZeroAvr | DesignKind::Avr));
+        let thresholds = Thresholds::new(cfg.avr.t1, cfg.avr.t2);
+        DecoupledPolicy {
+            kind,
+            llc: AvrLlc::new(cfg.llc),
+            compressor: Compressor::new(thresholds, cfg.avr.max_compressed_lines),
+            cmt: CmtTable::default(),
+            cmt_cache: CmtCache::new(cfg.avr.cmt_cache_pages),
+            dbuf: Dbuf::new(),
+            pfe: PrefetchEngine::new(cfg.avr.pfe_threshold),
+            evict_queue: Vec::with_capacity(256),
+        }
+    }
+
+    /// Consult the CMT through its on-chip cache; misses cost metadata
+    /// bandwidth (§3.2).
+    fn cmt_touch(&mut self, sys: &mut System, block: BlockAddr) {
+        if !self.cmt_cache.touch(block) {
+            sys.counters.traffic.metadata_bytes += CMT_MISS_BYTES;
         }
     }
 
@@ -33,74 +75,53 @@ impl System {
     // Fig. 7: LLC requests
     // ------------------------------------------------------------------
 
-    /// Request `line` at cycle `t` from the decoupled LLC (ZeroAVR + AVR).
-    pub(crate) fn decoupled_request(&mut self, line: LineAddr, t: u64) -> u64 {
-        let llc_lat = self.cfg.llc.latency;
-        match self.approx_of(line) {
-            None => {
-                // Conventional UCL path for precise lines.
-                if self.llc_decoupled().access_ucl(line, false) {
-                    return t + llc_lat;
-                }
-                self.counters.llc_misses_total += 1;
-                let resp = self.dram.access(line, AccessKind::Read, t + llc_lat);
-                self.count_traffic(false, false, CL_BYTES as u64);
-                self.device_line_faults(line, AccessKind::Read, resp.complete_at);
-                let evs = self.llc_decoupled().insert_ucl(line, false);
-                self.handle_avr_evictions(evs, resp.complete_at);
-                resp.complete_at
-            }
-            Some(dt) => self.avr_request(line, dt, t),
-        }
-    }
-
     /// The approximate-request flow of Fig. 7.
-    fn avr_request(&mut self, line: LineAddr, dt: DataType, t: u64) -> u64 {
-        let llc_lat = self.cfg.llc.latency;
+    fn avr_request(&mut self, sys: &mut System, line: LineAddr, dt: DataType, t: u64) -> u64 {
+        let llc_lat = sys.cfg.llc.latency;
         let block = line.block();
 
         // (a) DBUF lookup (accessed in parallel with the LLC tag array).
-        if self.cfg.avr.enable_dbuf && self.dbuf.request(line) {
-            self.counters.approx_requests.dbuf_hit += 1;
+        if sys.cfg.avr.enable_dbuf && self.dbuf.request(line) {
+            sys.counters.approx_requests.dbuf_hit += 1;
             // "the UCL is also written from DBUF to the LLC".
-            let evs = self.llc_decoupled().insert_ucl(line, false);
-            self.handle_avr_evictions(evs, t);
+            let evs = self.llc.insert_ucl(line, false);
+            self.handle_avr_evictions(sys, evs, t);
             return t + llc_lat;
         }
 
         // (b) UCL lookup.
-        if self.llc_decoupled().access_ucl(line, false) {
-            self.counters.approx_requests.uncompressed_hit += 1;
+        if self.llc.access_ucl(line, false) {
+            sys.counters.approx_requests.uncompressed_hit += 1;
             return t + llc_lat;
         }
 
         // (c) CMS lookup: the compressed block is resident — read all its
         // sub-blocks (one LLC access each) and decompress.
-        if let Some(count) = self.llc_decoupled().probe_cms(block) {
-            self.counters.approx_requests.compressed_hit += 1;
-            self.llc_line_touches += count as u64;
+        if let Some(count) = self.llc.probe_cms(block) {
+            sys.counters.approx_requests.compressed_hit += 1;
+            sys.llc_line_touches += count as u64;
             let lat = llc_lat * count as u64 + self.compressor.latency.decompress_total();
-            self.counters.compressed_hit_cycles_sum += lat;
-            self.counters.blocks_decompressed += 1;
-            self.load_dbuf(block, line, t);
-            let evs = self.llc_decoupled().insert_ucl(line, false);
-            self.handle_avr_evictions(evs, t + lat);
+            sys.counters.compressed_hit_cycles_sum += lat;
+            sys.counters.blocks_decompressed += 1;
+            self.load_dbuf(sys, block, line, t);
+            let evs = self.llc.insert_ucl(line, false);
+            self.handle_avr_evictions(sys, evs, t + lat);
             return t + lat;
         }
 
         // (d) Full miss: consult the CMT and go to memory.
-        self.counters.approx_requests.miss += 1;
-        self.counters.llc_misses_total += 1;
-        self.cmt_touch(block);
+        sys.counters.approx_requests.miss += 1;
+        sys.counters.llc_misses_total += 1;
+        self.cmt_touch(sys, block);
         let entry = self.cmt.get(block);
 
         if !entry.compressed {
             // Block stored uncompressed: fetch just the requested line.
-            let resp = self.dram.access(line, AccessKind::Read, t + llc_lat);
-            self.count_traffic(true, false, CL_BYTES as u64);
-            self.device_line_faults(line, AccessKind::Read, resp.complete_at);
-            let evs = self.llc_decoupled().insert_ucl(line, false);
-            self.handle_avr_evictions(evs, resp.complete_at);
+            let resp = sys.dram.access(line, AccessKind::Read, t + llc_lat);
+            sys.count_traffic(true, false, CL_BYTES as u64);
+            sys.device_line_faults(line, AccessKind::Read, resp.complete_at);
+            let evs = self.llc.insert_ucl(line, false);
+            self.handle_avr_evictions(sys, evs, resp.complete_at);
             return resp.complete_at;
         }
 
@@ -109,14 +130,14 @@ impl System {
         // (summary + bitmap + outliers) arrives and decompresses; the lazy
         // lines stream in behind it and only gate the background
         // recompaction, not the core.
-        let resp = self.dram.access_burst(
+        let resp = sys.dram.access_burst(
             block.line(0),
             entry.size_lines as usize,
             AccessKind::Read,
             t + llc_lat,
         );
         if entry.n_lazy > 0 {
-            self.dram.access_burst(
+            sys.dram.access_burst(
                 block.line(entry.size_lines as usize),
                 entry.n_lazy as usize,
                 AccessKind::Read,
@@ -124,22 +145,22 @@ impl System {
             );
         }
         let lines = (entry.size_lines + entry.n_lazy) as usize;
-        self.count_traffic(true, false, (lines * CL_BYTES) as u64);
+        sys.count_traffic(true, false, (lines * CL_BYTES) as u64);
         // The compressed image + lazy lines occupy the block's first
         // `lines` device lines — that is the exposed fault surface, applied
         // (before any recompression below reads the block) to the
         // reconstructed data the backing store holds for them.
-        self.device_burst_faults(block.line(0), lines, AccessKind::Read, resp.complete_at);
-        self.counters.blocks_decompressed += 1;
+        sys.device_burst_faults(block.line(0), lines, AccessKind::Read, resp.complete_at);
+        sys.counters.blocks_decompressed += 1;
         let completion = resp.complete_at + self.compressor.latency.decompress_total();
 
         if entry.n_lazy > 0 {
             // Incorporate the lazy lines and immediately recompress
             // (values are already current in the backing store).
-            let data = self.mem.read_block(block);
+            let data = sys.mem.read_block(block);
             match self.compressor.compress(&data, dt) {
                 Ok(o) => {
-                    self.mem.write_block(block, &o.reconstructed);
+                    sys.mem.write_block(block, &o.reconstructed);
                     let size = o.compressed.size_lines() as u8;
                     let e = self.cmt.get_mut(block);
                     e.compressed = true;
@@ -148,22 +169,22 @@ impl System {
                     e.method = o.compressed.method.encode();
                     e.bias = o.compressed.bias;
                     e.record_attempt(true);
-                    if self.cfg.avr.store_cms_in_llc {
+                    if sys.cfg.avr.store_cms_in_llc {
                         // Dirty: memory's image is stale until written back.
-                        let evs = self.llc_decoupled().insert_cms(block, size, true);
-                        self.handle_avr_evictions(evs, completion);
-                        self.llc_line_touches += size as u64;
+                        let evs = self.llc.insert_cms(block, size, true);
+                        self.handle_avr_evictions(sys, evs, completion);
+                        sys.llc_line_touches += size as u64;
                     } else {
                         // Without LLC co-location the recompacted image goes
                         // straight back to memory.
-                        self.dram.access_burst(
+                        sys.dram.access_burst(
                             block.line(0),
                             size as usize,
                             AccessKind::Write,
                             completion,
                         );
-                        self.count_traffic(true, true, size as u64 * CL_BYTES as u64);
-                        self.device_burst_faults(
+                        sys.count_traffic(true, true, size as u64 * CL_BYTES as u64);
+                        sys.device_burst_faults(
                             block.line(0),
                             size as usize,
                             AccessKind::Write,
@@ -178,14 +199,14 @@ impl System {
                     e.compressed = false;
                     e.n_lazy = 0;
                     e.record_attempt(false);
-                    self.dram.access_burst(
+                    sys.dram.access_burst(
                         block.line(0),
                         LINES_PER_BLOCK,
                         AccessKind::Write,
                         completion,
                     );
-                    self.count_traffic(true, true, (LINES_PER_BLOCK * CL_BYTES) as u64);
-                    self.device_burst_faults(
+                    sys.count_traffic(true, true, (LINES_PER_BLOCK * CL_BYTES) as u64);
+                    sys.device_burst_faults(
                         block.line(0),
                         LINES_PER_BLOCK,
                         AccessKind::Write,
@@ -193,37 +214,37 @@ impl System {
                     );
                 }
             }
-        } else if self.cfg.avr.store_cms_in_llc {
+        } else if sys.cfg.avr.store_cms_in_llc {
             // Store the compressed image in the LLC as-is (clean).
-            let evs = self.llc_decoupled().insert_cms(block, entry.size_lines, false);
-            self.handle_avr_evictions(evs, completion);
-            self.llc_line_touches += entry.size_lines as u64;
+            let evs = self.llc.insert_cms(block, entry.size_lines, false);
+            self.handle_avr_evictions(sys, evs, completion);
+            sys.llc_line_touches += entry.size_lines as u64;
         }
 
-        self.load_dbuf(block, line, completion);
-        let evs = self.llc_decoupled().insert_ucl(line, false);
-        self.handle_avr_evictions(evs, completion);
+        self.load_dbuf(sys, block, line, completion);
+        let evs = self.llc.insert_ucl(line, false);
+        self.handle_avr_evictions(sys, evs, completion);
         completion
     }
 
     /// Replace the DBUF contents with `block`, consulting the PFE about the
     /// outgoing block's unsaved lines (§3.3).
-    fn load_dbuf(&mut self, block: BlockAddr, requested: LineAddr, now: u64) {
+    fn load_dbuf(&mut self, sys: &mut System, block: BlockAddr, requested: LineAddr, now: u64) {
         debug_assert_eq!(requested.block(), block);
-        if !self.cfg.avr.enable_dbuf {
+        if !sys.cfg.avr.enable_dbuf {
             return;
         }
         let old = self.dbuf.load(block, Some(requested.cl_offset()));
         if let Some(ev) = old {
-            self.counters.block_reuse_sum += ev.requested_mask.count_ones() as u64;
-            self.counters.block_reuse_count += 1;
+            sys.counters.block_reuse_sum += ev.requested_mask.count_ones() as u64;
+            sys.counters.block_reuse_count += 1;
             let save = self.pfe.decide(&ev);
             for cl in save.iter() {
                 let l = ev.block.line(cl as usize);
-                if !self.llc_decoupled().probe_ucl(l) {
-                    let evs = self.llc_decoupled().insert_ucl(l, false);
-                    self.handle_avr_evictions(evs, now);
-                    self.llc_line_touches += 1;
+                if !self.llc.probe_ucl(l) {
+                    let evs = self.llc.insert_ucl(l, false);
+                    self.handle_avr_evictions(sys, evs, now);
+                    sys.llc_line_touches += 1;
                 }
             }
         }
@@ -237,10 +258,10 @@ impl System {
     /// Evictions are write-buffered: they cost traffic and events but do
     /// not extend the triggering request's latency.
     ///
-    /// The work queue is owned by the `System` and reused across calls
+    /// The work queue is owned by the policy and reused across calls
     /// (recompressions enqueue follow-on evictions), so the steady-state
     /// path performs no allocation.
-    pub(crate) fn handle_avr_evictions(&mut self, evs: EvictList, now: u64) {
+    fn handle_avr_evictions(&mut self, sys: &mut System, evs: EvictList, now: u64) {
         if evs.is_empty() {
             return;
         }
@@ -256,20 +277,20 @@ impl System {
                     if !dirty {
                         continue;
                     }
-                    match self.approx_of(line) {
+                    match sys.approx_of(line) {
                         None => {
-                            self.dram.access(line, AccessKind::Write, now);
-                            self.count_traffic(false, true, CL_BYTES as u64);
-                            self.device_line_faults(line, AccessKind::Write, now);
+                            sys.dram.access(line, AccessKind::Write, now);
+                            sys.count_traffic(false, true, CL_BYTES as u64);
+                            sys.device_line_faults(line, AccessKind::Write, now);
                         }
-                        Some(dt) => self.evict_dirty_approx_ucl(line, dt, now, &mut work),
+                        Some(dt) => self.evict_dirty_approx_ucl(sys, line, dt, now, &mut work),
                     }
                 }
                 Evicted::CmsBlock { block, dirty, size_lines } => {
                     if !dirty {
                         continue; // memory's image is current
                     }
-                    self.writeback_dirty_image(block, size_lines, now);
+                    self.writeback_dirty_image(sys, block, size_lines, now);
                 }
             }
         }
@@ -279,6 +300,7 @@ impl System {
     /// Fig. 8, dirty-UCL path.
     fn evict_dirty_approx_ucl(
         &mut self,
+        sys: &mut System,
         line: LineAddr,
         dt: DataType,
         now: u64,
@@ -287,81 +309,81 @@ impl System {
         let block = line.block();
 
         // Compressed block resident in LLC? -> update + recompress on-chip.
-        if let Some(count) = self.llc_decoupled().probe_cms(block) {
-            self.llc_line_touches += count as u64;
-            self.counters.blocks_decompressed += 1;
-            let data = self.mem.read_block(block);
+        if let Some(count) = self.llc.probe_cms(block) {
+            sys.llc_line_touches += count as u64;
+            sys.counters.blocks_decompressed += 1;
+            let data = sys.mem.read_block(block);
             if let Ok(o) = self.compressor.compress(&data, dt) {
-                self.counters.evictions.recompress += 1;
-                self.mem.write_block(block, &o.reconstructed);
+                sys.counters.evictions.recompress += 1;
+                sys.mem.write_block(block, &o.reconstructed);
                 let size = o.compressed.size_lines() as u8;
-                debug_assert!(self.cfg.avr.store_cms_in_llc, "CMS hit implies co-location");
-                let evs = self.llc_decoupled().insert_cms(block, size, true);
+                debug_assert!(sys.cfg.avr.store_cms_in_llc, "CMS hit implies co-location");
+                let evs = self.llc.insert_cms(block, size, true);
                 work.extend(evs);
                 // The block's other dirty UCLs folded into the dirty image
                 // ("Overlay Dirty UCLs", Fig. 8): they are clean now.
-                self.llc_decoupled().clean_ucls_of(block);
-                self.llc_line_touches += size as u64;
+                self.llc.clean_ucls_of(block);
+                sys.llc_line_touches += size as u64;
                 return;
             }
             // Recompression failed: fall through to the lazy/fetch paths.
         }
 
-        self.cmt_touch(block);
+        self.cmt_touch(sys, block);
         let entry = self.cmt.get(block);
 
-        if self.cfg.avr.enable_lazy && entry.compressed && entry.lazy_space() > 0 {
+        if sys.cfg.avr.enable_lazy && entry.compressed && entry.lazy_space() > 0 {
             // Lazy writeback: park the line uncompressed in the block's
             // free space.
-            self.counters.evictions.lazy_writeback += 1;
-            self.dram.access(line, AccessKind::Write, now);
-            self.count_traffic(true, true, CL_BYTES as u64);
-            self.device_line_faults(line, AccessKind::Write, now);
+            sys.counters.evictions.lazy_writeback += 1;
+            sys.dram.access(line, AccessKind::Write, now);
+            sys.count_traffic(true, true, CL_BYTES as u64);
+            sys.device_line_faults(line, AccessKind::Write, now);
             self.cmt.get_mut(block).n_lazy += 1;
             return;
         }
 
         if entry.compressed {
             // No free space: fetch, merge, recompress, write back.
-            self.counters.evictions.fetch_recompress += 1;
+            sys.counters.evictions.fetch_recompress += 1;
             let lines = (entry.size_lines + entry.n_lazy) as usize;
-            self.dram.access_burst(block.line(0), lines, AccessKind::Read, now);
-            self.count_traffic(true, false, (lines * CL_BYTES) as u64);
-            self.device_burst_faults(block.line(0), lines, AccessKind::Read, now);
-            self.counters.blocks_decompressed += 1;
-            if self.compress_to_memory(block, dt, now) {
-                self.llc_decoupled().clean_ucls_of(block);
+            sys.dram.access_burst(block.line(0), lines, AccessKind::Read, now);
+            sys.count_traffic(true, false, (lines * CL_BYTES) as u64);
+            sys.device_burst_faults(block.line(0), lines, AccessKind::Read, now);
+            sys.counters.blocks_decompressed += 1;
+            if self.compress_to_memory(sys, block, dt, now) {
+                self.llc.clean_ucls_of(block);
             }
             return;
         }
 
         // Block is uncompressed in memory. Honor the skip history before
         // re-attempting compression (§3.5 last paragraph).
-        if self.cfg.avr.enable_skip_history && entry.should_skip() {
-            self.counters.evictions.uncompressed_writeback += 1;
-            self.counters.compression_skips += 1;
+        if sys.cfg.avr.enable_skip_history && entry.should_skip() {
+            sys.counters.evictions.uncompressed_writeback += 1;
+            sys.counters.compression_skips += 1;
             self.cmt.get_mut(block).record_skip();
-            self.dram.access(line, AccessKind::Write, now);
-            self.count_traffic(true, true, CL_BYTES as u64);
-            self.device_line_faults(line, AccessKind::Write, now);
+            sys.dram.access(line, AccessKind::Write, now);
+            sys.count_traffic(true, true, CL_BYTES as u64);
+            sys.device_line_faults(line, AccessKind::Write, now);
             return;
         }
 
         // Attempt to compress the whole block: read its other 15 lines.
-        self.counters.evictions.fetch_recompress += 1;
-        self.dram.access_burst(block.line(0), LINES_PER_BLOCK - 1, AccessKind::Read, now);
-        self.count_traffic(true, false, ((LINES_PER_BLOCK - 1) * CL_BYTES) as u64);
-        self.device_burst_faults(block.line(0), LINES_PER_BLOCK - 1, AccessKind::Read, now);
-        if self.compress_to_memory(block, dt, now) {
+        sys.counters.evictions.fetch_recompress += 1;
+        sys.dram.access_burst(block.line(0), LINES_PER_BLOCK - 1, AccessKind::Read, now);
+        sys.count_traffic(true, false, ((LINES_PER_BLOCK - 1) * CL_BYTES) as u64);
+        sys.device_burst_faults(block.line(0), LINES_PER_BLOCK - 1, AccessKind::Read, now);
+        if self.compress_to_memory(sys, block, dt, now) {
             // Sibling dirty UCLs folded in ("Overlay Dirty UCLs", Fig. 8).
-            self.llc_decoupled().clean_ucls_of(block);
+            self.llc.clean_ucls_of(block);
         } else {
             // Failure: the dirty line goes back as-is.
-            self.counters.evictions.fetch_recompress -= 1;
-            self.counters.evictions.uncompressed_writeback += 1;
-            self.dram.access(line, AccessKind::Write, now);
-            self.count_traffic(true, true, CL_BYTES as u64);
-            self.device_line_faults(line, AccessKind::Write, now);
+            sys.counters.evictions.fetch_recompress -= 1;
+            sys.counters.evictions.uncompressed_writeback += 1;
+            sys.dram.access(line, AccessKind::Write, now);
+            sys.count_traffic(true, true, CL_BYTES as u64);
+            sys.device_line_faults(line, AccessKind::Write, now);
         }
     }
 
@@ -369,15 +391,21 @@ impl System {
     /// memory, updating the CMT. Returns `false` on compression failure
     /// (CMT then marks the block uncompressed; the caller handles the data
     /// writeback).
-    fn compress_to_memory(&mut self, block: BlockAddr, dt: DataType, now: u64) -> bool {
-        let data = self.mem.read_block(block);
+    fn compress_to_memory(
+        &mut self,
+        sys: &mut System,
+        block: BlockAddr,
+        dt: DataType,
+        now: u64,
+    ) -> bool {
+        let data = sys.mem.read_block(block);
         match self.compressor.compress(&data, dt) {
             Ok(o) => {
-                self.mem.write_block(block, &o.reconstructed);
+                sys.mem.write_block(block, &o.reconstructed);
                 let size = o.compressed.size_lines();
-                self.dram.access_burst(block.line(0), size, AccessKind::Write, now);
-                self.count_traffic(true, true, (size * CL_BYTES) as u64);
-                self.device_burst_faults(block.line(0), size, AccessKind::Write, now);
+                sys.dram.access_burst(block.line(0), size, AccessKind::Write, now);
+                sys.count_traffic(true, true, (size * CL_BYTES) as u64);
+                sys.device_burst_faults(block.line(0), size, AccessKind::Write, now);
                 let e = self.cmt.get_mut(block);
                 e.compressed = true;
                 e.size_lines = size as u8;
@@ -395,14 +423,9 @@ impl System {
                 e.record_attempt(false);
                 if was_compressed {
                     // The block reverts to uncompressed storage in full.
-                    self.dram.access_burst(block.line(0), LINES_PER_BLOCK, AccessKind::Write, now);
-                    self.count_traffic(true, true, (LINES_PER_BLOCK * CL_BYTES) as u64);
-                    self.device_burst_faults(
-                        block.line(0),
-                        LINES_PER_BLOCK,
-                        AccessKind::Write,
-                        now,
-                    );
+                    sys.dram.access_burst(block.line(0), LINES_PER_BLOCK, AccessKind::Write, now);
+                    sys.count_traffic(true, true, (LINES_PER_BLOCK * CL_BYTES) as u64);
+                    sys.device_burst_faults(block.line(0), LINES_PER_BLOCK, AccessKind::Write, now);
                 }
                 false
             }
@@ -412,25 +435,104 @@ impl System {
     /// Fig. 8, dirty-CMS path: a dirty compressed image leaves the LLC.
     /// Dirty UCLs of the block fold in (their values are already current in
     /// the backing store) and become clean.
-    fn writeback_dirty_image(&mut self, block: BlockAddr, size_lines: u8, now: u64) {
+    fn writeback_dirty_image(
+        &mut self,
+        sys: &mut System,
+        block: BlockAddr,
+        size_lines: u8,
+        now: u64,
+    ) {
         debug_assert!(size_lines > 0);
-        let Some(dt) = self.approx_of(block.line(0)) else {
+        let Some(dt) = sys.approx_of(block.line(0)) else {
             debug_assert!(false, "compressed image of a precise block");
             return;
         };
-        self.cmt_touch(block);
-        self.counters.blocks_decompressed += 1;
-        self.llc_line_touches += size_lines as u64;
-        if !self.compress_to_memory(block, dt, now) {
+        self.cmt_touch(sys, block);
+        sys.counters.blocks_decompressed += 1;
+        sys.llc_line_touches += size_lines as u64;
+        if !self.compress_to_memory(sys, block, dt, now) {
             // Failed after the update: the block was written back
             // uncompressed by compress_to_memory's failure path only if it
             // was previously compressed — it was (an image existed).
         }
-        self.llc_decoupled().clean_ucls_of(block);
-        if matches!(self.design, DesignKind::Avr) && self.dbuf.current() == Some(block) {
+        self.llc.clean_ucls_of(block);
+        if matches!(self.kind, DesignKind::Avr) && self.dbuf.current() == Some(block) {
             // The buffered decompressed copy served stale data fine (values
             // identical), keep it: requests continue to hit.
         }
+    }
+}
+
+impl DesignPolicy for DecoupledPolicy {
+    fn kind(&self) -> DesignKind {
+        self.kind
+    }
+
+    fn honor_approx(&self) -> bool {
+        self.kind == DesignKind::Avr
+    }
+
+    /// Request `line` at cycle `t` from the decoupled LLC (ZeroAVR + AVR).
+    fn request(&mut self, sys: &mut System, line: LineAddr, t: u64) -> u64 {
+        let llc_lat = sys.cfg.llc.latency;
+        match sys.approx_of(line) {
+            None => {
+                // Conventional UCL path for precise lines.
+                if self.llc.access_ucl(line, false) {
+                    return t + llc_lat;
+                }
+                sys.counters.llc_misses_total += 1;
+                let resp = sys.dram.access(line, AccessKind::Read, t + llc_lat);
+                sys.count_traffic(false, false, CL_BYTES as u64);
+                sys.device_line_faults(line, AccessKind::Read, resp.complete_at);
+                let evs = self.llc.insert_ucl(line, false);
+                self.handle_avr_evictions(sys, evs, resp.complete_at);
+                resp.complete_at
+            }
+            Some(dt) => self.avr_request(sys, line, dt, t),
+        }
+    }
+
+    fn writeback(&mut self, sys: &mut System, line: LineAddr, now: u64) {
+        // Decoupled LLC: the dirty line allocates as a UCL; its
+        // displacements run the Fig. 8 eviction machine.
+        if self.llc.probe_ucl(line) {
+            self.llc.access_ucl(line, true);
+        } else {
+            let evs = self.llc.insert_ucl(line, true);
+            self.handle_avr_evictions(sys, evs, now);
+        }
+    }
+
+    fn has_compressor(&self) -> bool {
+        true
+    }
+
+    fn codec_stats(&self) -> (u64, u64) {
+        (self.compressor.blocks_compressed, self.compressor.failures)
+    }
+
+    fn llc_cms_fraction(&self) -> f64 {
+        self.llc.cms_fraction()
+    }
+
+    fn summary(&mut self, sys: &mut System) -> (f64, BlockScan) {
+        let blocks: Vec<_> = sys.space.approx_blocks().collect();
+        if blocks.is_empty() || self.kind == DesignKind::ZeroAvr {
+            return (1.0, BlockScan::default());
+        }
+        let scan = crate::summary::parallel_summary(
+            &sys.mem,
+            &blocks,
+            self.compressor.thresholds,
+            self.compressor.max_lines,
+            sys.summary_threads,
+        );
+        (scan.raw_bytes as f64 / scan.stored_bytes.max(1) as f64, scan)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -442,6 +544,10 @@ mod tests {
 
     fn avr_sys() -> System {
         System::new(SystemConfig::tiny(), DesignKind::Avr)
+    }
+
+    fn policy(s: &System) -> &DecoupledPolicy {
+        s.policy_as::<DecoupledPolicy>().expect("AVR system runs the decoupled policy")
     }
 
     /// Write a smooth field into an approx region, then stream enough
@@ -463,12 +569,13 @@ mod tests {
     fn dirty_evictions_trigger_compression() {
         let mut s = avr_sys();
         warm_and_flush(&mut s, 64 << 10);
-        assert!(s.compressor.attempts > 0, "evictions must attempt compression");
+        let c = &policy(&s).compressor;
+        assert!(c.attempts > 0, "evictions must attempt compression");
         assert!(
-            s.compressor.blocks_compressed > 0,
+            c.blocks_compressed > 0,
             "smooth data must compress ({} attempts, {} failures)",
-            s.compressor.attempts,
-            s.compressor.failures
+            c.attempts,
+            c.failures
         );
     }
 
@@ -537,7 +644,7 @@ mod tests {
                 s.read_u32(PhysAddr(flush.base.0 + i as u64));
             }
         }
-        assert!(s.compressor.failures > 0, "noise must fail compression");
+        assert!(policy(&s).compressor.failures > 0, "noise must fail compression");
         assert!(s.counters.compression_skips > 0, "skip history must suppress some attempts");
         assert!(s.counters.evictions.uncompressed_writeback > 0);
     }
@@ -582,15 +689,14 @@ mod tests {
         for i in (0..32 << 10).step_by(64) {
             s.read_u32(PhysAddr(r.base.0 + i as u64));
         }
-        for (_, e) in s.cmt.iter() {
+        let p = policy(&s);
+        for (_, e) in p.cmt.iter() {
             if e.compressed {
                 assert!((1..=8).contains(&e.size_lines));
                 assert!(e.size_lines + e.n_lazy <= 16);
             }
             let _ = e.encode(); // must fit 24 bits (debug asserts inside)
         }
-        if let LlcVariant::Decoupled(llc) = &s.llc {
-            llc.check_invariants();
-        }
+        p.llc.check_invariants();
     }
 }

@@ -15,7 +15,9 @@
 //! timing, traffic) to the word-at-a-time decomposition.
 
 pub mod avr_ops;
+pub mod design;
 pub mod layout;
+pub mod memo;
 pub mod multicore;
 pub mod overhead;
 pub mod pool;
@@ -23,6 +25,7 @@ pub mod summary;
 pub mod system;
 pub mod vm_api;
 
+pub use design::{policy_for, DesignPolicy};
 pub use layout::{
     FieldSpec, FieldType, FieldView, Layout, LayoutMap, PlacementPolicy, RecordSchema, SoaGrouping,
 };

@@ -1,0 +1,415 @@
+//! The HPAC-style memoization design family (Tziantzioulis et al., IEEE
+//! Micro 2018), recast as memory-system designs over a conventional LLC:
+//!
+//! * [`MemoInPolicy`] (`memoin`) — *input memoization*: a small
+//!   content-fingerprint table in the memory controller. On each
+//!   approximable writeback the line's content is probed against the
+//!   table's canonical entries under a per-value relative-error threshold
+//!   (playing the role of AVR's T1); a match stores only an 8 B table
+//!   reference instead of the 64 B line, and later fetches of the line are
+//!   served from the canonical entry without a DRAM data transfer.
+//!   Non-matching lines commit exactly and (FCFS, table never evicts)
+//!   seed new canonical entries.
+//! * [`MemoOutPolicy`] (`memoout`) — *output memoization*: per-line
+//!   temporal prediction. Each approximable line keeps a sliding window of
+//!   its recent committed signatures (line means); when the window's
+//!   relative standard deviation sits under the threshold *and* the new
+//!   content is per-value close to the last committed shadow, the
+//!   writeback is elided (8 B of metadata, bounded consecutive elides) and
+//!   the line architecturally keeps its previous contents. Unstable lines
+//!   commit exactly.
+//!
+//! Both designs follow the crate's value-feedback contract: every lossy
+//! event (serving canonical table content, eliding a commit) rewrites the
+//! backing store at that moment, so approximation error feeds back into
+//! the running application. Lines carrying a nonzero critical mask
+//! (partitioned layouts place exact words inside approx regions) are
+//! never memoized — indices and control data always take the exact path.
+//!
+//! Determinism: all table/window state is per-`System`, content-driven,
+//! and RNG-free, so both designs are bit-identical at any `SimPool` width
+//! and under the per-word/batched walk toggle. Steady state allocates
+//! nothing: the fingerprint table is reserved at construction and the
+//! per-line state at `on_region` time (`tests/zero_alloc.rs`).
+
+use avr_cache::set_assoc::SetAssocCache;
+use avr_dram::AccessKind;
+use avr_sim::vm::Region;
+use avr_types::{CacheLine, DataType, DesignKind, LineAddr, MemoParams, SystemConfig, CL_BYTES};
+
+use crate::design::DesignPolicy;
+use crate::system::System;
+
+/// Metadata cost of one memo-table reference / elision record.
+pub const MEMO_META_BYTES: u64 = 8;
+
+/// Extra cycles to serve a fetch from the controller-side memo table
+/// (table lookup + line mux), replacing the DRAM access latency.
+const MEMO_SERVE_LAT: u64 = 4;
+
+/// Decode one stored word as the region's value type.
+#[inline]
+fn decode(w: u32, dt: DataType) -> f64 {
+    match dt {
+        DataType::F32 => f32::from_bits(w) as f64,
+        DataType::Fixed32 => (w as i32) as f64 / 65536.0,
+    }
+}
+
+/// Relative difference of `a` against reference `b`.
+#[inline]
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-6)
+}
+
+/// Mean of a line's decoded values; `None` if any value is non-finite
+/// (NaN/Inf content is never memoized).
+fn finite_mean(line: &CacheLine, dt: DataType) -> Option<f64> {
+    let mut sum = 0.0;
+    for &w in line.words.iter() {
+        let v = decode(w, dt);
+        if !v.is_finite() {
+            return None;
+        }
+        sum += v;
+    }
+    Some(sum / line.words.len() as f64)
+}
+
+/// Is every value of `a` within relative `threshold` of `b`'s?
+fn line_close(a: &CacheLine, b: &CacheLine, dt: DataType, threshold: f64) -> bool {
+    a.words.iter().zip(b.words.iter()).all(|(&wa, &wb)| {
+        let (va, vb) = (decode(wa, dt), decode(wb, dt));
+        va.is_finite() && vb.is_finite() && rel(va, vb) <= threshold
+    })
+}
+
+/// Memoizability of `line` under `sys`: its (region index, line index
+/// within region, value type), or `None` for precise lines and for lines
+/// carrying critical words (which must never see memo error).
+fn memo_dt(sys: &System, line: LineAddr) -> Option<(usize, usize, DataType)> {
+    let dt = sys.approx_of(line)?;
+    let ri = sys.space.approx_region_index_of_line(line)?;
+    let region = sys.space.regions()[ri];
+    if region.critical_mask_of_line(line) != 0 {
+        return None;
+    }
+    let li = (line.0 - region.base.line().0) as usize;
+    Some((ri, li, dt))
+}
+
+/// Per-region line state sizing: one slot per line of an approx region,
+/// nothing for precise regions (keeps the vectors parallel to
+/// `space.regions()`).
+fn region_lines(region: &Region) -> usize {
+    if region.approx.is_some() {
+        region.len_bytes.div_ceil(CL_BYTES)
+    } else {
+        0
+    }
+}
+
+// ----------------------------------------------------------------------
+// MemoIn: content-fingerprint input memoization
+// ----------------------------------------------------------------------
+
+/// One canonical entry of the fingerprint table.
+struct MemoSlot {
+    words: CacheLine,
+    dt: DataType,
+    mean: f64,
+}
+
+/// `MemoIn`: conventional LLC + a controller-side content-fingerprint
+/// table (see the module docs).
+pub struct MemoInPolicy {
+    llc: SetAssocCache,
+    params: MemoParams,
+    /// Canonical entries, FCFS, never evicted; reserved at construction
+    /// so steady state never reallocates.
+    slots: Vec<MemoSlot>,
+    /// Per region: per-line canonical mapping (`slot index + 1`; 0 = the
+    /// line is stored exactly). Parallel to `space.regions()`.
+    line_map: Vec<Vec<u16>>,
+}
+
+impl MemoInPolicy {
+    pub(crate) fn new(cfg: &SystemConfig) -> Self {
+        let cap = cfg.memo.table_slots.min(u16::MAX as usize - 1);
+        assert!(cap > 0, "memo table needs at least one slot");
+        MemoInPolicy {
+            llc: SetAssocCache::new(cfg.llc),
+            params: cfg.memo,
+            slots: Vec::with_capacity(cap),
+            line_map: Vec::new(),
+        }
+    }
+
+    /// Is `line` currently represented by a canonical table entry?
+    fn mapped(&self, ri: usize, li: usize) -> bool {
+        self.line_map[ri][li] != 0
+    }
+
+    /// First canonical entry matching `data` under the relative-error
+    /// threshold (linear scan: first match wins, deterministic).
+    fn find_match(&self, data: &CacheLine, dt: DataType) -> Option<usize> {
+        let mean = finite_mean(data, dt)?;
+        let thr = self.params.match_threshold;
+        self.slots.iter().position(|s| {
+            s.dt == dt && rel(mean, s.mean) <= thr && line_close(data, &s.words, dt, thr)
+        })
+    }
+
+    /// Commit a dirty line leaving the LLC: match against the table
+    /// (reference-only store), or commit exactly and maybe seed a new
+    /// canonical entry.
+    fn commit_line(&mut self, sys: &mut System, line: LineAddr, now: u64) {
+        let Some((ri, li, dt)) = memo_dt(sys, line) else {
+            sys.dram_write_line(line, now);
+            return;
+        };
+        sys.counters.memo.in_probes += 1;
+        let data = sys.mem.read_line(line);
+        if let Some(si) = self.find_match(&data, dt) {
+            // Match: store only the table reference; the line's
+            // architectural content becomes the canonical entry (value
+            // feedback).
+            sys.counters.memo.in_hits += 1;
+            sys.counters.traffic.metadata_bytes += MEMO_META_BYTES;
+            sys.mem.write_line(line, &self.slots[si].words);
+            self.line_map[ri][li] = si as u16 + 1;
+            return;
+        }
+        // No match: the line is stored exactly.
+        self.line_map[ri][li] = 0;
+        sys.dram_write_line(line, now);
+        if self.slots.len() < self.slots.capacity() {
+            // Seed a canonical entry from what the device actually holds
+            // (post-fault), so table serves reproduce memory content.
+            let words = sys.mem.read_line(line);
+            if let Some(mean) = finite_mean(&words, dt) {
+                sys.counters.memo.in_inserts += 1;
+                self.slots.push(MemoSlot { words, dt, mean });
+                self.line_map[ri][li] = self.slots.len() as u16;
+            }
+        }
+    }
+}
+
+impl DesignPolicy for MemoInPolicy {
+    fn kind(&self) -> DesignKind {
+        DesignKind::MemoIn
+    }
+
+    fn honor_approx(&self) -> bool {
+        true
+    }
+
+    fn request(&mut self, sys: &mut System, line: LineAddr, t: u64) -> u64 {
+        let llc_lat = sys.cfg.llc.latency;
+        let approx = sys.approx_of(line);
+        if self.llc.access(line, false) {
+            if approx.is_some() {
+                sys.counters.approx_requests.uncompressed_hit += 1;
+            }
+            return t + llc_lat;
+        }
+        sys.counters.llc_misses_total += 1;
+        if approx.is_some() {
+            sys.counters.approx_requests.miss += 1;
+        }
+        let served = memo_dt(sys, line).is_some_and(|(ri, li, _)| self.mapped(ri, li));
+        let completion = if served {
+            // The line is stored as a table reference: serve the canonical
+            // content from the controller, no DRAM data transfer. The
+            // backing store already holds the canonical words (written at
+            // commit time), so the value path needs no movement.
+            sys.counters.memo.in_served += 1;
+            sys.counters.traffic.metadata_bytes += MEMO_META_BYTES;
+            t + llc_lat + MEMO_SERVE_LAT
+        } else {
+            let resp = sys.dram.access(line, AccessKind::Read, t + llc_lat);
+            sys.count_traffic(approx.is_some(), false, CL_BYTES as u64);
+            sys.device_line_faults(line, AccessKind::Read, resp.complete_at);
+            resp.complete_at
+        };
+        if let Some(ev) = self.llc.insert(line, false) {
+            if ev.dirty {
+                self.commit_line(sys, ev.line, completion);
+            }
+        }
+        completion
+    }
+
+    fn writeback(&mut self, sys: &mut System, line: LineAddr, now: u64) {
+        if self.llc.contains(line) {
+            self.llc.access(line, true);
+        } else if let Some(ev) = self.llc.insert(line, true) {
+            if ev.dirty {
+                self.commit_line(sys, ev.line, now);
+            }
+        }
+    }
+
+    fn on_region(&mut self, region: &Region) {
+        self.line_map.push(vec![0u16; region_lines(region)]);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// MemoOut: sliding-window output memoization
+// ----------------------------------------------------------------------
+
+/// Per-line temporal state for `MemoOut`.
+#[derive(Clone, Default)]
+struct OutLine {
+    /// The last exactly committed content.
+    shadow: CacheLine,
+    shadow_valid: bool,
+    /// Circular window of recent committed signatures (line means).
+    window: [f64; 8],
+    len: u8,
+    pos: u8,
+    /// Consecutive elisions since the last exact commit.
+    elides: u8,
+}
+
+/// `MemoOut`: conventional LLC + per-line commit elision gated on the
+/// sliding window's relative standard deviation (see the module docs).
+pub struct MemoOutPolicy {
+    llc: SetAssocCache,
+    params: MemoParams,
+    /// Effective window length (`params.window` clamped to the inline
+    /// window storage).
+    window: usize,
+    /// Per region: per-line temporal state. Parallel to
+    /// `space.regions()`.
+    lines: Vec<Vec<OutLine>>,
+}
+
+impl MemoOutPolicy {
+    pub(crate) fn new(cfg: &SystemConfig) -> Self {
+        MemoOutPolicy {
+            llc: SetAssocCache::new(cfg.llc),
+            params: cfg.memo,
+            window: cfg.memo.window.clamp(2, 8),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Relative standard deviation of a full signature window.
+    fn window_rsd(window: &[f64]) -> f64 {
+        let n = window.len() as f64;
+        let mean = window.iter().sum::<f64>() / n;
+        let var = window.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        var.sqrt() / mean.abs().max(1e-6)
+    }
+
+    /// Commit a dirty line leaving the LLC: push its signature into the
+    /// window, elide the writeback if the line is temporally stable,
+    /// otherwise commit exactly and refresh the shadow.
+    fn commit_line(&mut self, sys: &mut System, line: LineAddr, now: u64) {
+        let Some((ri, li, dt)) = memo_dt(sys, line) else {
+            sys.dram_write_line(line, now);
+            return;
+        };
+        let params = self.params;
+        let w = self.window;
+        let data = sys.mem.read_line(line);
+        let mean = finite_mean(&data, dt);
+        sys.counters.memo.out_windows += 1;
+        let st = &mut self.lines[ri][li];
+        let stable = match mean {
+            Some(m) => {
+                st.window[st.pos as usize] = m;
+                st.pos = (st.pos + 1) % w as u8;
+                st.len = (st.len + 1).min(w as u8);
+                st.len as usize == w && Self::window_rsd(&st.window[..w]) <= params.rsd_threshold
+            }
+            None => {
+                // Non-finite content resets the history: never elided.
+                st.len = 0;
+                st.pos = 0;
+                false
+            }
+        };
+        let elide = stable
+            && st.shadow_valid
+            && (st.elides as u32) < params.max_consecutive_elides
+            && line_close(&data, &st.shadow, dt, params.rsd_threshold);
+        if elide {
+            st.elides += 1;
+            let shadow = st.shadow;
+            sys.counters.memo.out_elided += 1;
+            sys.counters.traffic.metadata_bytes += MEMO_META_BYTES;
+            // The line architecturally keeps its previous contents
+            // (value feedback: bounded temporal error).
+            sys.mem.write_line(line, &shadow);
+        } else {
+            st.elides = 0;
+            sys.counters.memo.out_commits += 1;
+            sys.dram_write_line(line, now);
+            // Shadow what the device actually holds (post-fault).
+            let committed = sys.mem.read_line(line);
+            let st = &mut self.lines[ri][li];
+            st.shadow = committed;
+            st.shadow_valid = true;
+        }
+    }
+}
+
+impl DesignPolicy for MemoOutPolicy {
+    fn kind(&self) -> DesignKind {
+        DesignKind::MemoOut
+    }
+
+    fn honor_approx(&self) -> bool {
+        true
+    }
+
+    fn request(&mut self, sys: &mut System, line: LineAddr, t: u64) -> u64 {
+        let llc_lat = sys.cfg.llc.latency;
+        let approx = sys.approx_of(line);
+        if self.llc.access(line, false) {
+            if approx.is_some() {
+                sys.counters.approx_requests.uncompressed_hit += 1;
+            }
+            return t + llc_lat;
+        }
+        sys.counters.llc_misses_total += 1;
+        if approx.is_some() {
+            sys.counters.approx_requests.miss += 1;
+        }
+        let resp = sys.dram.access(line, AccessKind::Read, t + llc_lat);
+        sys.count_traffic(approx.is_some(), false, CL_BYTES as u64);
+        sys.device_line_faults(line, AccessKind::Read, resp.complete_at);
+        if let Some(ev) = self.llc.insert(line, false) {
+            if ev.dirty {
+                self.commit_line(sys, ev.line, resp.complete_at);
+            }
+        }
+        resp.complete_at
+    }
+
+    fn writeback(&mut self, sys: &mut System, line: LineAddr, now: u64) {
+        if self.llc.contains(line) {
+            self.llc.access(line, true);
+        } else if let Some(ev) = self.llc.insert(line, true) {
+            if ev.dirty {
+                self.commit_line(sys, ev.line, now);
+            }
+        }
+    }
+
+    fn on_region(&mut self, region: &Region) {
+        self.lines.push(vec![OutLine::default(); region_lines(region)]);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -7,31 +7,15 @@
 //! dedup) rewrites the backing store at the architecturally correct moment
 //! so approximation error feeds back into the running application.
 
-use avr_baselines::doppelganger::DoppelLlc;
-use avr_baselines::truncate::{truncate_line, TRUNCATED_LINE_BYTES};
-use avr_cache::cmt::{CmtCache, CmtTable, CMT_MISS_BYTES};
-use avr_cache::dbuf::Dbuf;
-use avr_cache::llc::AvrLlc;
-use avr_cache::pfe::PrefetchEngine;
 use avr_cache::set_assoc::SetAssocCache;
-use avr_compress::{Compressor, Thresholds};
 use avr_dram::{backend_for, AccessKind, DramBackend, FaultCtx};
 use avr_sim::energy::{EnergyEvents, EnergyModel};
 use avr_sim::vm::{AddressSpace, PhysMem, Region, RegionOpts};
 use avr_sim::{Counters, FaultBreakdown, IntervalCore, RunMetrics};
 use avr_types::{DataType, DesignKind, LineAddr, PhysAddr, SystemConfig, CL_BYTES};
 
+use crate::design::DesignPolicy;
 use crate::vm_api::Vm;
-
-/// The design-specific last-level cache.
-pub(crate) enum LlcVariant {
-    /// Baseline and Truncate: a conventional set-associative LLC.
-    Conventional(SetAssocCache),
-    /// ZeroAVR and AVR: the decoupled UCL/CMS cache.
-    Decoupled(AvrLlc),
-    /// Doppelgänger: the approximate-dedup cache.
-    Dedup(DoppelLlc),
-}
 
 /// One simulated system instance.
 pub struct System {
@@ -40,18 +24,16 @@ pub struct System {
     pub(crate) core: IntervalCore,
     pub(crate) l1: SetAssocCache,
     pub(crate) l2: SetAssocCache,
-    pub(crate) llc: LlcVariant,
+    /// The design policy: the LLC variant, per-request routing, and
+    /// writeback/compression behavior live behind [`DesignPolicy`]
+    /// (`crate::design`), the way the device axis lives behind
+    /// [`DramBackend`]. Boxed in an `Option` so [`System::with_policy`]
+    /// can lend the policy and the `System` to each other without
+    /// aliasing.
+    policy: Option<Box<dyn DesignPolicy>>,
     /// The device error-model backend (exact DRAM, relaxed-refresh DRAM,
     /// approximate MRAM) behind the shared DDR4 timing engine.
     pub(crate) dram: Box<dyn DramBackend>,
-    pub(crate) compressor: Compressor,
-    pub(crate) cmt: CmtTable,
-    pub(crate) cmt_cache: CmtCache,
-    pub(crate) dbuf: Dbuf,
-    pub(crate) pfe: PrefetchEngine,
-    /// Reusable eviction work queue (capacity retained across requests so
-    /// the steady-state eviction machine never allocates).
-    pub(crate) evict_queue: Vec<avr_cache::llc::Evicted>,
     pub mem: PhysMem,
     pub space: AddressSpace,
     pub counters: Counters,
@@ -89,33 +71,21 @@ fn batched_walk_disabled() -> bool {
 
 impl System {
     pub fn new(cfg: SystemConfig, design: DesignKind) -> Self {
-        let llc = match design {
-            DesignKind::Baseline | DesignKind::Truncate => {
-                LlcVariant::Conventional(SetAssocCache::new(cfg.llc))
-            }
-            DesignKind::ZeroAvr | DesignKind::Avr => LlcVariant::Decoupled(AvrLlc::new(cfg.llc)),
-            DesignKind::Doppelganger => LlcVariant::Dedup(DoppelLlc::new(cfg.llc)),
-        };
-        let thresholds = Thresholds::new(cfg.avr.t1, cfg.avr.t2);
+        let policy = crate::design::policy_for(design, &cfg);
+        let honor_approx = policy.honor_approx();
         let dram = backend_for(&cfg.dram, &cfg.error_model);
         let faults_enabled = dram.injects_faults();
         System {
             core: IntervalCore::new(cfg.issue_width, cfg.rob_size, cfg.mshrs),
             l1: SetAssocCache::new(cfg.l1),
             l2: SetAssocCache::new(cfg.l2),
-            llc,
+            policy: Some(policy),
             dram,
-            compressor: Compressor::new(thresholds, cfg.avr.max_compressed_lines),
-            cmt: CmtTable::default(),
-            cmt_cache: CmtCache::new(cfg.avr.cmt_cache_pages),
-            dbuf: Dbuf::new(),
-            pfe: PrefetchEngine::new(cfg.avr.pfe_threshold),
-            evict_queue: Vec::with_capacity(256),
             mem: PhysMem::new(),
             space: AddressSpace::new(),
             counters: Counters::default(),
             energy_model: EnergyModel::default(),
-            honor_approx: !matches!(design, DesignKind::Baseline | DesignKind::ZeroAvr),
+            honor_approx,
             llc_line_touches: 0,
             // Same parse-and-fallback semantics as AVR_THREADS (one shared
             // helper); the documented default is 1 — grid-level
@@ -129,6 +99,28 @@ impl System {
             design,
             cfg,
         }
+    }
+
+    /// Lend the design policy and the `System` to each other: the policy
+    /// is taken out of its slot for the duration of `f`, so policy code
+    /// gets `&mut self` access to the shared machinery (DRAM, backing
+    /// store, counters, fault hooks) without aliasing its own state.
+    /// Policies never re-enter the LLC dispatch (the access path only
+    /// reaches them through `llc_request`/`llc_writeback`), so the empty
+    /// slot is unobservable.
+    pub(crate) fn with_policy<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn DesignPolicy, &mut System) -> R,
+    ) -> R {
+        let mut p = self.policy.take().expect("design policy present");
+        let r = f(p.as_mut(), self);
+        self.policy = Some(p);
+        r
+    }
+
+    /// Downcast the design policy to a concrete type (tests/diagnostics).
+    pub fn policy_as<T: 'static>(&self) -> Option<&T> {
+        self.policy.as_ref().and_then(|p| p.as_any().downcast_ref())
     }
 
     /// Force (or re-enable) the batched span-level timed walk. The
@@ -529,145 +521,26 @@ impl System {
     fn llc_request(&mut self, line: LineAddr, t: u64) -> u64 {
         self.counters.llc_requests_total += 1;
         self.llc_line_touches += 1;
-        match self.design {
-            DesignKind::Baseline | DesignKind::Truncate => self.conventional_request(line, t),
-            DesignKind::Doppelganger => self.doppel_request(line, t),
-            DesignKind::ZeroAvr | DesignKind::Avr => self.decoupled_request(line, t),
-        }
+        self.with_policy(|p, sys| p.request(sys, line, t))
     }
 
     fn llc_writeback(&mut self, line: LineAddr, now: u64) {
         self.llc_line_touches += 1;
-        match self.design {
-            DesignKind::Baseline | DesignKind::Truncate => {
-                let LlcVariant::Conventional(llc) = &mut self.llc else { unreachable!() };
-                if llc.contains(line) {
-                    llc.access(line, true);
-                } else if let Some(ev) = llc.insert(line, true) {
-                    if ev.dirty {
-                        self.dram_write_line(ev.line, now);
-                    }
-                }
-            }
-            DesignKind::Doppelganger => {
-                let approx = self.approx_of(line).is_some();
-                let LlcVariant::Dedup(llc) = &mut self.llc else { unreachable!() };
-                if llc.contains(line) {
-                    llc.access(line, true);
-                } else {
-                    let values = self.mem.read_line(line);
-                    let out = llc.insert(line, &values, approx, true);
-                    if let Some(rep) = out.mapped_to {
-                        // Destructive dedup: readers observe the
-                        // representative from now on.
-                        self.mem.write_line(line, &rep);
-                    }
-                    for (l, dirty) in out.evicted {
-                        if dirty {
-                            self.dram_write_line(l, now);
-                        }
-                    }
-                }
-            }
-            DesignKind::ZeroAvr | DesignKind::Avr => {
-                // Decoupled LLC: the dirty line allocates as a UCL; its
-                // displacements run the Fig. 8 eviction machine.
-                let LlcVariant::Decoupled(llc) = &mut self.llc else { unreachable!() };
-                if llc.probe_ucl(line) {
-                    llc.access_ucl(line, true);
-                } else {
-                    let evs = llc.insert_ucl(line, true);
-                    self.handle_avr_evictions(evs, now);
-                }
-            }
-        }
-    }
-
-    fn conventional_request(&mut self, line: LineAddr, t: u64) -> u64 {
-        let llc_lat = self.cfg.llc.latency;
-        let approx = self.approx_of(line);
-        let LlcVariant::Conventional(llc) = &mut self.llc else { unreachable!() };
-        if llc.access(line, false) {
-            if approx.is_some() {
-                self.counters.approx_requests.uncompressed_hit += 1;
-            }
-            return t + llc_lat;
-        }
-        // Miss: fetch from DRAM.
-        self.counters.llc_misses_total += 1;
-        if approx.is_some() {
-            self.counters.approx_requests.miss += 1;
-        }
-        let bytes = match (self.design, approx) {
-            (DesignKind::Truncate, Some(_)) => TRUNCATED_LINE_BYTES as usize,
-            _ => CL_BYTES,
-        };
-        let resp = self.dram.access_bytes(line, AccessKind::Read, t + llc_lat, bytes);
-        self.count_traffic(approx.is_some(), false, bytes as u64);
-        if let (DesignKind::Truncate, Some(dt)) = (self.design, approx) {
-            // Value feedback: memory only holds truncated data.
-            let truncated = truncate_line(&self.mem.read_line(line), dt);
-            self.mem.write_line(line, &truncated);
-        }
-        self.device_line_faults(line, AccessKind::Read, resp.complete_at);
-        let LlcVariant::Conventional(llc) = &mut self.llc else { unreachable!() };
-        if let Some(ev) = llc.insert(line, false) {
-            if ev.dirty {
-                self.dram_write_line(ev.line, resp.complete_at);
-            }
-        }
-        resp.complete_at
-    }
-
-    fn doppel_request(&mut self, line: LineAddr, t: u64) -> u64 {
-        let llc_lat = self.cfg.llc.latency;
-        let approx = self.approx_of(line);
-        let LlcVariant::Dedup(llc) = &mut self.llc else { unreachable!() };
-        if llc.access(line, false) {
-            if approx.is_some() {
-                self.counters.approx_requests.uncompressed_hit += 1;
-            }
-            return t + llc_lat;
-        }
-        self.counters.llc_misses_total += 1;
-        if approx.is_some() {
-            self.counters.approx_requests.miss += 1;
-        }
-        let resp = self.dram.access(line, AccessKind::Read, t + llc_lat);
-        self.count_traffic(approx.is_some(), false, CL_BYTES as u64);
-        // Corrupt before the dedup insert so the map ingests what the
-        // device actually delivered.
-        self.device_line_faults(line, AccessKind::Read, resp.complete_at);
-        let values = self.mem.read_line(line);
-        let LlcVariant::Dedup(llc) = &mut self.llc else { unreachable!() };
-        let out = llc.insert(line, &values, approx.is_some(), false);
-        if let Some(rep) = out.mapped_to {
-            self.mem.write_line(line, &rep);
-        }
-        for (l, dirty) in out.evicted {
-            if dirty {
-                self.dram_write_line(l, resp.complete_at);
-            }
-        }
-        resp.complete_at
+        self.with_policy(|p, sys| p.writeback(sys, line, now));
     }
 
     // ------------------------------------------------------------------
     // DRAM helpers with paper-facing traffic accounting
     // ------------------------------------------------------------------
 
+    /// Write a full line to DRAM with traffic accounting and the device
+    /// fault hook. Policies with design-specific writeback sizing
+    /// (Truncate) implement their own variant; everything else funnels
+    /// through here.
     pub(crate) fn dram_write_line(&mut self, line: LineAddr, now: u64) {
         let approx = self.approx_of(line);
-        let bytes = match (self.design, approx) {
-            (DesignKind::Truncate, Some(dt)) => {
-                let truncated = truncate_line(&self.mem.read_line(line), dt);
-                self.mem.write_line(line, &truncated);
-                TRUNCATED_LINE_BYTES as usize
-            }
-            _ => CL_BYTES,
-        };
-        self.dram.access_bytes(line, AccessKind::Write, now, bytes);
-        self.count_traffic(approx.is_some(), true, bytes as u64);
+        self.dram.access_bytes(line, AccessKind::Write, now, CL_BYTES);
+        self.count_traffic(approx.is_some(), true, CL_BYTES as u64);
         self.device_line_faults(line, AccessKind::Write, now);
     }
 
@@ -678,14 +551,6 @@ impl System {
             (true, true) => t.approx_write_bytes += bytes,
             (false, false) => t.nonapprox_read_bytes += bytes,
             (false, true) => t.nonapprox_write_bytes += bytes,
-        }
-    }
-
-    /// Consult the CMT through its on-chip cache; misses cost metadata
-    /// bandwidth (§3.2).
-    pub(crate) fn cmt_touch(&mut self, block: avr_types::BlockAddr) {
-        if !self.cmt_cache.touch(block) {
-            self.counters.traffic.metadata_bytes += CMT_MISS_BYTES;
         }
     }
 
@@ -701,9 +566,13 @@ impl System {
     /// Drain the pipeline and assemble the paper-facing metrics.
     pub fn finish(&mut self, benchmark: &str) -> RunMetrics {
         self.core.drain();
+        let policy = self.policy.as_ref().expect("design policy present");
+        let (blocks_compressed, compression_failures) = policy.codec_stats();
+        let has_compressor = policy.has_compressor();
+        let llc_cms_fraction = policy.llc_cms_fraction();
         self.counters.instructions = self.core.instructions;
-        self.counters.blocks_compressed = self.compressor.blocks_compressed;
-        self.counters.compression_failures = self.compressor.failures;
+        self.counters.blocks_compressed = blocks_compressed;
+        self.counters.compression_failures = compression_failures;
 
         let cycles = self.core.cycles;
         let exec_seconds = cycles as f64 / self.cfg.clock_hz;
@@ -717,17 +586,12 @@ impl System {
             dram_activates: self.dram.stats().activates,
             dram_refreshes: self.dram.stats().refreshes,
             ecc_scrubs: self.counters.faults.ecc_scrubs,
-            blocks_compressed: self.compressor.blocks_compressed,
+            blocks_compressed,
             blocks_decompressed: self.counters.blocks_decompressed,
         };
-        let has_compressor = matches!(self.design, DesignKind::Avr | DesignKind::ZeroAvr);
         let energy = self.energy_model.breakdown(&events, exec_seconds, 1, has_compressor);
 
         let (ratio, footprint, scan) = self.compression_summary();
-        let llc_cms_fraction = match &self.llc {
-            LlcVariant::Decoupled(llc) => llc.cms_fraction(),
-            _ => 0.0,
-        };
 
         RunMetrics {
             design: self.design.label().to_string(),
@@ -752,34 +616,11 @@ impl System {
     /// across `summary_threads` workers ([`crate::summary`]), each reusing
     /// its own compressor scratch; the totals are thread-count-invariant.
     fn compression_summary(&mut self) -> (f64, f64, crate::summary::BlockScan) {
-        let mut scan = crate::summary::BlockScan::default();
         let (total, approx) = self.space.footprint();
         if total == 0 {
-            return (1.0, 1.0, scan);
+            return (1.0, 1.0, crate::summary::BlockScan::default());
         }
-        let ratio = match self.design {
-            DesignKind::Avr | DesignKind::ZeroAvr => {
-                let blocks: Vec<_> = self.space.approx_blocks().collect();
-                if blocks.is_empty() || self.design == DesignKind::ZeroAvr {
-                    1.0
-                } else {
-                    scan = crate::summary::parallel_summary(
-                        &self.mem,
-                        &blocks,
-                        self.compressor.thresholds,
-                        self.compressor.max_lines,
-                        self.summary_threads,
-                    );
-                    scan.raw_bytes as f64 / scan.stored_bytes.max(1) as f64
-                }
-            }
-            DesignKind::Truncate => 2.0,
-            DesignKind::Doppelganger => match &self.llc {
-                LlcVariant::Dedup(llc) => llc.dedup_factor(),
-                _ => 1.0,
-            },
-            DesignKind::Baseline => 1.0,
-        };
+        let (ratio, scan) = self.with_policy(|p, sys| p.summary(sys));
         let approx_f = approx as f64;
         let nonapprox_f = (total - approx) as f64;
         let effective = if self.honor_approx { approx_f / ratio.max(1.0) } else { approx_f };
@@ -790,20 +631,33 @@ impl System {
 
 impl Vm for System {
     fn malloc(&mut self, len_bytes: usize) -> Region {
-        // Per-region fault slots are sized at malloc time so the fault
-        // hook never allocates in steady state (tests/zero_alloc.rs).
+        // Per-region fault slots (and any per-region policy state) are
+        // sized at malloc time so neither the fault hook nor the policy
+        // request path allocates in steady state (tests/zero_alloc.rs).
         self.region_faults.push(FaultBreakdown::default());
-        self.space.malloc(len_bytes)
+        let r = self.space.malloc(len_bytes);
+        if let Some(p) = self.policy.as_mut() {
+            p.on_region(&r);
+        }
+        r
     }
 
     fn approx_malloc(&mut self, len_bytes: usize, dt: DataType) -> Region {
         self.region_faults.push(FaultBreakdown::default());
-        self.space.approx_malloc(len_bytes, dt)
+        let r = self.space.approx_malloc(len_bytes, dt);
+        if let Some(p) = self.policy.as_mut() {
+            p.on_region(&r);
+        }
+        r
     }
 
     fn approx_malloc_with(&mut self, len_bytes: usize, dt: DataType, opts: RegionOpts) -> Region {
         self.region_faults.push(FaultBreakdown::default());
-        self.space.approx_malloc_with(len_bytes, dt, opts)
+        let r = self.space.approx_malloc_with(len_bytes, dt, opts);
+        if let Some(p) = self.policy.as_mut() {
+            p.on_region(&r);
+        }
+        r
     }
 
     fn read_u32(&mut self, addr: PhysAddr) -> u32 {
@@ -1155,7 +1009,8 @@ mod tests {
         for i in (0..1 << 18).step_by(64) {
             s.read_u32(PhysAddr(r.base.0 + i as u64));
         }
-        assert_eq!(s.compressor.attempts, 0);
+        let p = s.policy_as::<crate::avr_ops::DecoupledPolicy>().unwrap();
+        assert_eq!(p.compressor.attempts, 0);
         assert_eq!(s.counters.approx_requests.total(), 0, "no approx classification");
     }
 

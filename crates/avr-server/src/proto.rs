@@ -288,6 +288,18 @@ fn counters_to_json(c: &Counters) -> Json {
                 ("ecc_scrubs", Json::from(c.faults.ecc_scrubs)),
             ]),
         ),
+        (
+            "memo",
+            Json::obj([
+                ("in_probes", Json::from(c.memo.in_probes)),
+                ("in_hits", Json::from(c.memo.in_hits)),
+                ("in_inserts", Json::from(c.memo.in_inserts)),
+                ("in_served", Json::from(c.memo.in_served)),
+                ("out_windows", Json::from(c.memo.out_windows)),
+                ("out_elided", Json::from(c.memo.out_elided)),
+                ("out_commits", Json::from(c.memo.out_commits)),
+            ]),
+        ),
     ])
 }
 

@@ -1,6 +1,6 @@
 //! Design-agnostic simulation substrate: backing-store memory + virtual
 //! address space, the interval-based core model, the energy model, and the
-//! statistics plumbing shared by all five evaluated designs.
+//! statistics plumbing shared by all evaluated designs.
 
 pub mod energy;
 pub mod interval;
@@ -10,7 +10,7 @@ pub mod vm;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use interval::IntervalCore;
 pub use stats::{
-    Counters, EvictionBreakdown, FaultBreakdown, LlcRequestBreakdown, MergedRun, RunMetrics,
-    Traffic,
+    Counters, EvictionBreakdown, FaultBreakdown, LlcRequestBreakdown, MemoBreakdown, MergedRun,
+    RunMetrics, Traffic,
 };
 pub use vm::{AddressSpace, PhysMem, Region, RegionOpts};

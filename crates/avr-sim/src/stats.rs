@@ -149,8 +149,52 @@ impl FaultBreakdown {
     }
 }
 
+/// Memoization-design events (PR 10): what the `MemoIn` reconstruction
+/// table and the `MemoOut` temporal predictor did. All zero under every
+/// other design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoBreakdown {
+    /// `MemoIn`: dirty approximable writebacks probed against the table.
+    pub in_probes: u64,
+    /// `MemoIn`: probes that matched a slot within the error threshold
+    /// (the line's DRAM write was replaced by a table mapping).
+    pub in_hits: u64,
+    /// `MemoIn`: probes that seeded a fresh table slot.
+    pub in_inserts: u64,
+    /// `MemoIn`: LLC read misses served from the reconstruction table
+    /// instead of DRAM.
+    pub in_served: u64,
+    /// `MemoOut`: dirty approximable writebacks pushed into a line's
+    /// sliding window.
+    pub out_windows: u64,
+    /// `MemoOut`: writebacks elided because the window's signature RSD was
+    /// under threshold (last committed content re-served).
+    pub out_elided: u64,
+    /// `MemoOut`: writebacks committed exactly (window not yet full,
+    /// unstable, or the consecutive-elision cap fired).
+    pub out_commits: u64,
+}
+
+impl MemoBreakdown {
+    /// Whether either memo mechanism redeemed any traffic at all.
+    pub fn any_hits(&self) -> bool {
+        self.in_hits + self.in_served + self.out_elided > 0
+    }
+
+    /// Accumulate another shard's memo events (all additive).
+    pub fn merge(&mut self, other: &MemoBreakdown) {
+        self.in_probes += other.in_probes;
+        self.in_hits += other.in_hits;
+        self.in_inserts += other.in_inserts;
+        self.in_served += other.in_served;
+        self.out_windows += other.out_windows;
+        self.out_elided += other.out_elided;
+        self.out_commits += other.out_commits;
+    }
+}
+
 /// Raw event counters accumulated during a run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     pub instructions: u64,
     pub loads: u64,
@@ -181,6 +225,8 @@ pub struct Counters {
     pub block_reuse_count: u64,
     /// Device error-model events (all zero on the exact backend).
     pub faults: FaultBreakdown,
+    /// Memoization-design events (all zero outside `MemoIn`/`MemoOut`).
+    pub memo: MemoBreakdown,
 }
 
 impl Counters {
@@ -212,6 +258,7 @@ impl Counters {
         self.block_reuse_sum += other.block_reuse_sum;
         self.block_reuse_count += other.block_reuse_count;
         self.faults.merge(&other.faults);
+        self.memo.merge(&other.memo);
     }
 
     /// Average memory access time (cycles) over all core memory requests.

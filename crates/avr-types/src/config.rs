@@ -207,6 +207,49 @@ impl Default for ErrorModelParams {
     }
 }
 
+/// Memoization-design parameters (the `MemoIn`/`MemoOut` designs). Only
+/// consulted by those two designs; every other design ignores this block.
+///
+/// All thresholds are deterministic pure functions of line *content* — no
+/// RNG anywhere — so memo behaviour is bit-identical at any `SimPool`
+/// width and across per-word/batched/SIMD walks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoParams {
+    /// `MemoIn` reconstruction-table capacity in cacheline slots. Slots
+    /// are allocated once per run (at the first approximable `malloc`) and
+    /// filled first-come-first-served; the table never evicts, so a line's
+    /// table mapping stays valid for the whole run.
+    pub table_slots: usize,
+    /// `MemoIn` per-value relative-error match threshold: a candidate line
+    /// matches a table slot when *every* value is within this relative
+    /// error of the slot's value (and the line means agree to the same
+    /// threshold). Plays the role of AVR's T1.
+    pub match_threshold: f64,
+    /// `MemoOut` sliding-window length in writebacks (capped at 8).
+    pub window: usize,
+    /// `MemoOut` relative-standard-deviation gate: once a line's window is
+    /// full and the RSD of its value signatures is at or under this
+    /// threshold, the dirty writeback is elided and the last committed
+    /// content re-served.
+    pub rsd_threshold: f64,
+    /// `MemoOut` safety valve: after this many consecutive elisions the
+    /// next writeback commits exactly regardless of the RSD gate, bounding
+    /// how long a drifting-but-stable-looking line can go uncommitted.
+    pub max_consecutive_elides: u32,
+}
+
+impl Default for MemoParams {
+    fn default() -> Self {
+        MemoParams {
+            table_slots: 256,
+            match_threshold: 0.04,
+            window: 4,
+            rsd_threshold: 0.04,
+            max_consecutive_elides: 3,
+        }
+    }
+}
+
 /// Which memory layout a workload's record data is instantiated in (the
 /// layout-transform axis, ROADMAP item 3). Layouts change *placement*, not
 /// math: an exact run produces bit-identical output in every variant, while
@@ -248,7 +291,9 @@ impl LayoutKind {
     }
 }
 
-/// Which of the five evaluated designs a `System` implements.
+/// Which evaluated design a `System` implements: the paper's five plus the
+/// two HPAC-style memoization designs (Tziantzioulis et al., IEEE Micro
+/// 2018) recast as memory-system techniques.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DesignKind {
     /// Unmodified system, no compression.
@@ -261,15 +306,26 @@ pub enum DesignKind {
     Doppelganger,
     /// The full AVR architecture.
     Avr,
+    /// Input memoization: a content-fingerprint table of whole cachelines;
+    /// within-threshold matches are served from the on-chip reconstruction
+    /// table instead of DRAM (exact fallback on miss).
+    MemoIn,
+    /// Temporal output memoization: per-line sliding-window prediction —
+    /// a dirty writeback whose value signature is temporally stable
+    /// (window RSD under threshold) is elided and the last committed
+    /// content re-served; unstable lines commit exactly.
+    MemoOut,
 }
 
 impl DesignKind {
-    pub const ALL: [DesignKind; 5] = [
+    pub const ALL: [DesignKind; 7] = [
         DesignKind::Baseline,
         DesignKind::Doppelganger,
         DesignKind::Truncate,
         DesignKind::ZeroAvr,
         DesignKind::Avr,
+        DesignKind::MemoIn,
+        DesignKind::MemoOut,
     ];
 
     /// Label used in the paper's figures.
@@ -280,6 +336,8 @@ impl DesignKind {
             DesignKind::Truncate => "truncate",
             DesignKind::Doppelganger => "dganger",
             DesignKind::Avr => "AVR",
+            DesignKind::MemoIn => "memoin",
+            DesignKind::MemoOut => "memoout",
         }
     }
 
@@ -339,6 +397,8 @@ pub struct SystemConfig {
     pub avr: AvrParams,
     /// Device error-model backend selection and fault rates.
     pub error_model: ErrorModelParams,
+    /// Memoization-design knobs (`MemoIn`/`MemoOut` only).
+    pub memo: MemoParams,
 }
 
 impl Default for SystemConfig {
@@ -355,6 +415,7 @@ impl Default for SystemConfig {
             dram: DramParams::default(),
             avr: AvrParams::default(),
             error_model: ErrorModelParams::default(),
+            memo: MemoParams::default(),
         }
     }
 }
@@ -430,7 +491,22 @@ mod tests {
     fn design_labels_match_paper() {
         assert_eq!(DesignKind::Avr.label(), "AVR");
         assert_eq!(DesignKind::Doppelganger.label(), "dganger");
-        assert_eq!(DesignKind::ALL.len(), 5);
+        assert_eq!(DesignKind::ALL.len(), 7);
+        // The memoization designs ride the same label/from_label contract.
+        assert_eq!(DesignKind::MemoIn.label(), "memoin");
+        assert_eq!(DesignKind::MemoOut.label(), "memoout");
+        for k in DesignKind::ALL {
+            assert_eq!(DesignKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(DesignKind::from_label("memofoo"), None);
+    }
+
+    #[test]
+    fn memo_defaults_are_sane() {
+        let m = MemoParams::default();
+        assert!(m.table_slots > 0 && m.table_slots < u16::MAX as usize);
+        assert!(m.window >= 2 && m.window <= 8);
+        assert!(m.match_threshold > 0.0 && m.rsd_threshold > 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub use addr::{BlockAddr, LineAddr, PhysAddr, CL_BYTES, CL_OFFSET_BITS, LINES_PE
 pub use block::BlockData;
 pub use config::{
     AvrParams, BackendKind, BenchScale, CacheGeometry, DesignKind, DramParams, ErrorModelParams,
-    LayoutKind, SystemConfig,
+    LayoutKind, MemoParams, SystemConfig,
 };
 pub use job::{CellSpec, ConfigOverrides};
 pub use line::CacheLine;

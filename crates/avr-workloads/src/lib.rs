@@ -42,7 +42,7 @@ pub mod wrf;
 
 pub use golden::{golden_run, GoldenKey};
 pub use runner::{
-    all_benchmarks, mean_relative_error, run_grid, run_grid_layouts, run_on_design,
+    all_benchmarks, mean_relative_error, metrics_digest, run_grid, run_grid_layouts, run_on_design,
     run_on_design_in, run_suite_on_pool, workload_by_name, workload_names, BenchScale, GridRun,
     Workload,
 };

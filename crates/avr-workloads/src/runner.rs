@@ -89,6 +89,87 @@ pub fn mean_relative_error(golden: &[f64], approx: &[f64]) -> f64 {
     sum / golden.len() as f64
 }
 
+/// FNV-1a fold over one `u64` of digest input.
+#[inline]
+fn fnv1a(h: u64, x: u64) -> u64 {
+    let mut h = h;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A 64-bit digest over every paper-facing field of a [`RunMetrics`]:
+/// all event counters, traffic bytes, fault events, cycles, the exact bit
+/// patterns of the derived floats (energy stack, IPC, output error,
+/// compression ratio, footprint) — everything a table or figure is built
+/// from. Two runs digest equal iff they are bit-identical on all of it.
+///
+/// The field list is **frozen**: `tests/designs.rs` pins digests captured
+/// on the tree *before* the design-policy extraction, so this function must
+/// keep hashing exactly these fields in exactly this order. Counters added
+/// by later PRs (e.g. the memo breakdown) are deliberately excluded —
+/// they are asserted separately where they matter.
+pub fn metrics_digest(m: &RunMetrics) -> u64 {
+    let c = &m.counters;
+    let fields = [
+        c.instructions,
+        c.loads,
+        c.stores,
+        c.l1_hits,
+        c.l2_hits,
+        c.llc_requests_total,
+        c.llc_misses_total,
+        c.approx_requests.miss,
+        c.approx_requests.uncompressed_hit,
+        c.approx_requests.dbuf_hit,
+        c.approx_requests.compressed_hit,
+        c.evictions.recompress,
+        c.evictions.lazy_writeback,
+        c.evictions.fetch_recompress,
+        c.evictions.uncompressed_writeback,
+        c.traffic.approx_read_bytes,
+        c.traffic.approx_write_bytes,
+        c.traffic.nonapprox_read_bytes,
+        c.traffic.nonapprox_write_bytes,
+        c.traffic.metadata_bytes,
+        c.amat_cycles_sum,
+        c.amat_count,
+        c.miss_lat_sum,
+        c.miss_lat_count,
+        c.miss_lat_max,
+        c.compressed_hit_cycles_sum,
+        c.blocks_compressed,
+        c.blocks_decompressed,
+        c.compression_failures,
+        c.compression_skips,
+        c.block_reuse_sum,
+        c.block_reuse_count,
+        c.faults.injected_bit_flips,
+        c.faults.faulted_lines,
+        c.faults.retries,
+        c.faults.degraded_lines,
+        c.faults.sanitized_values,
+        c.faults.ecc_scrubs,
+        m.cycles,
+        m.exec_seconds.to_bits(),
+        m.ipc.to_bits(),
+        m.energy.core.to_bits(),
+        m.energy.l1l2.to_bits(),
+        m.energy.llc.to_bits(),
+        m.energy.dram.to_bits(),
+        m.energy.compressor.to_bits(),
+        m.output_error.to_bits(),
+        m.compression_ratio.to_bits(),
+        m.approx_blocks,
+        m.compressible_blocks,
+        m.footprint_fraction.to_bits(),
+        m.llc_cms_fraction.to_bits(),
+    ];
+    fields.iter().fold(0xcbf2_9ce4_8422_2325, |h, &x| fnv1a(h, x))
+}
+
 /// Run `workload` on `design`, returning full metrics including the output
 /// error vs. the exact golden run.
 pub fn run_on_design(

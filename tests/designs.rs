@@ -1,0 +1,182 @@
+//! The design axis behind `DesignPolicy` (PR 10): bit-identity pins for
+//! every design, thread-width invariance for the memoization family, and
+//! the memo designs' effectiveness/accuracy contract.
+//!
+//! The five legacy-design digests were captured with
+//! `avr-bench/src/bin/design_digest.rs` on the tree *before* the policy
+//! extraction — the trait refactor had to reproduce every counter and
+//! every output bit of the old hard-wired dispatch. The memo-design
+//! digests pin the new designs' determinism across the CI legs (scalar
+//! codec kernels, per-word walk, pooled runs): any divergence between
+//! legs shows up as a digest mismatch.
+
+use avr::arch::{BackendKind, DesignKind, LayoutKind, SimPool, SystemConfig};
+use avr::workloads::{all_benchmarks, metrics_digest, run_grid, run_on_design_in, BenchScale};
+
+/// Captured by `design_digest` (see module docs): tiny scale, SoA layout,
+/// exact backend, one thread.
+const DIGESTS: &[(&str, DesignKind, u64)] = &[
+    ("heat", DesignKind::Baseline, 0xb517941192a75eff),
+    ("heat", DesignKind::Doppelganger, 0x9fab6d762c4b7d8b),
+    ("heat", DesignKind::Truncate, 0xbcb07c896a7fb2b4),
+    ("heat", DesignKind::ZeroAvr, 0x0dba67a923f5eb7a),
+    ("heat", DesignKind::Avr, 0xbc691077278f012f),
+    ("heat", DesignKind::MemoIn, 0x1885fe4adbab3979),
+    ("heat", DesignKind::MemoOut, 0x0e81bd391d56ecd6),
+    ("lattice", DesignKind::Baseline, 0x4138d11a809064ad),
+    ("lattice", DesignKind::Doppelganger, 0x38dda8dc30ecaf1b),
+    ("lattice", DesignKind::Truncate, 0x04e6d19e106f5149),
+    ("lattice", DesignKind::ZeroAvr, 0x9a520dedcd0c9dd1),
+    ("lattice", DesignKind::Avr, 0x0d637993b2d2b084),
+    ("lattice", DesignKind::MemoIn, 0x77447f98f968f0dc),
+    ("lattice", DesignKind::MemoOut, 0x730ba59f16c31dcb),
+    ("lbm", DesignKind::Baseline, 0x0c722986d36b128c),
+    ("lbm", DesignKind::Doppelganger, 0x668751b42c63fb02),
+    ("lbm", DesignKind::Truncate, 0x63d8faa433231804),
+    ("lbm", DesignKind::ZeroAvr, 0x927ff0d484a4b875),
+    ("lbm", DesignKind::Avr, 0x954cb6546eaec9b8),
+    ("lbm", DesignKind::MemoIn, 0xf30ff7302d4e5704),
+    ("lbm", DesignKind::MemoOut, 0x2b8aa9b9d4bf1022),
+    ("orbit", DesignKind::Baseline, 0xccf3a28c7d421c00),
+    ("orbit", DesignKind::Doppelganger, 0x0c8fa2893611299e),
+    ("orbit", DesignKind::Truncate, 0xcb7b5c6b861a1e9c),
+    ("orbit", DesignKind::ZeroAvr, 0x21b9400231cc57f4),
+    ("orbit", DesignKind::Avr, 0x7c71eeba1c97bfa1),
+    ("orbit", DesignKind::MemoIn, 0xfb00f1a55d80f8fa),
+    ("orbit", DesignKind::MemoOut, 0x73c386e25536cceb),
+    ("kmeans", DesignKind::Baseline, 0xb5186e4dc840a9b5),
+    ("kmeans", DesignKind::Doppelganger, 0x5bb228f7b7d7f129),
+    ("kmeans", DesignKind::Truncate, 0xb461e97f18a7047e),
+    ("kmeans", DesignKind::ZeroAvr, 0xf9b28d5fc989cd55),
+    ("kmeans", DesignKind::Avr, 0xe328f7762d7d2212),
+    ("kmeans", DesignKind::MemoIn, 0x1a51a4bcd0b7e037),
+    ("kmeans", DesignKind::MemoOut, 0x1a51a4bcd0b7e037),
+    ("bscholes", DesignKind::Baseline, 0xa75736e4e57f80f2),
+    ("bscholes", DesignKind::Doppelganger, 0xb7408ecb1d77bc1b),
+    ("bscholes", DesignKind::Truncate, 0x0b65f49ae063c09d),
+    ("bscholes", DesignKind::ZeroAvr, 0xa3deb7c27e9917ae),
+    ("bscholes", DesignKind::Avr, 0xd29ce4af2503b0a0),
+    ("bscholes", DesignKind::MemoIn, 0x1ebb78a3cc6d93d4),
+    ("bscholes", DesignKind::MemoOut, 0x7dd4ffc29e627e4f),
+    ("wrf", DesignKind::Baseline, 0x2c32501d2246024b),
+    ("wrf", DesignKind::Doppelganger, 0x452252e61f21c2e6),
+    ("wrf", DesignKind::Truncate, 0x282b06a7251c1fe5),
+    ("wrf", DesignKind::ZeroAvr, 0xa1e496e02b816575),
+    ("wrf", DesignKind::Avr, 0xf294481d4739b70a),
+    ("wrf", DesignKind::MemoIn, 0xabbe383135206fc3),
+    ("wrf", DesignKind::MemoOut, 0x6c15a18298cb4c3a),
+    ("sobel", DesignKind::Baseline, 0x4753380481604205),
+    ("sobel", DesignKind::Doppelganger, 0xd58744335eebebdd),
+    ("sobel", DesignKind::Truncate, 0x8980d4b180a5885a),
+    ("sobel", DesignKind::ZeroAvr, 0x8b3e08df35255fbd),
+    ("sobel", DesignKind::Avr, 0x13433c569c76b836),
+    ("sobel", DesignKind::MemoIn, 0xdee2b7853a439376),
+    ("sobel", DesignKind::MemoOut, 0x1f90a25b409ac3e3),
+    ("fft", DesignKind::Baseline, 0xcc3b72253d60d369),
+    ("fft", DesignKind::Doppelganger, 0xb2ee0ca9b1eceb9e),
+    ("fft", DesignKind::Truncate, 0x927f99ea06dc559a),
+    ("fft", DesignKind::ZeroAvr, 0x941e420fcc62ffa0),
+    ("fft", DesignKind::Avr, 0xc442c47742383973),
+    ("fft", DesignKind::MemoIn, 0x0c1cff3a199c2d95),
+    ("fft", DesignKind::MemoOut, 0x0606e1509badcd25),
+    ("particles", DesignKind::Baseline, 0xa6d43dfe9b5bcd32),
+    ("particles", DesignKind::Doppelganger, 0x3855f130c51d7f4a),
+    ("particles", DesignKind::Truncate, 0x91858434cd643243),
+    ("particles", DesignKind::ZeroAvr, 0xda8e1f9102086ec7),
+    ("particles", DesignKind::Avr, 0xfe1a0c5b9c444986),
+    ("particles", DesignKind::MemoIn, 0x8a028afbf5b5dd32),
+    ("particles", DesignKind::MemoOut, 0x7e7f6a8bd945a5a7),
+];
+
+fn exact_tiny() -> SystemConfig {
+    SystemConfig::tiny().with_backend(BackendKind::Exact)
+}
+
+/// Every (workload × design) digest matches its pin: the legacy designs
+/// are bit-identical to the pre-extraction dispatch, the memo designs are
+/// frozen across all CI legs.
+#[test]
+fn design_digests_match_pins() {
+    let cfg = exact_tiny();
+    let mut checked = 0;
+    for w in all_benchmarks(BenchScale::Tiny) {
+        for design in DesignKind::ALL {
+            let pin = DIGESTS
+                .iter()
+                .find(|(n, d, _)| *n == w.name() && *d == design)
+                .unwrap_or_else(|| panic!("no pin for {} {design:?}", w.name()))
+                .2;
+            let m = run_on_design_in(w.as_ref(), &cfg, design, LayoutKind::Soa);
+            let got = metrics_digest(&m);
+            assert_eq!(
+                got,
+                pin,
+                "{} {design:?}: digest 0x{got:016x} != pinned 0x{pin:016x}",
+                w.name()
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, DIGESTS.len(), "every pin exercised");
+}
+
+/// The memo designs' table/window state is per-`System` and content-
+/// driven: pooled grid runs are bit-identical on every counter (including
+/// the memo breakdown) at widths 1 and 4.
+#[test]
+fn memo_designs_are_thread_width_invariant() {
+    let cfg = exact_tiny();
+    let designs = [DesignKind::MemoIn, DesignKind::MemoOut];
+    let serial = run_grid(&SimPool::new(1), &all_benchmarks(BenchScale::Tiny), &cfg, &designs);
+    let pooled = run_grid(&SimPool::new(4), &all_benchmarks(BenchScale::Tiny), &cfg, &designs);
+    assert_eq!(serial.len(), pooled.len());
+    for (a, b) in serial.iter().zip(pooled.iter()) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.design, b.design);
+        let tag = format!("{} {:?}", a.workload, a.design);
+        assert_eq!(a.metrics.cycles, b.metrics.cycles, "{tag}: cycles");
+        assert_eq!(a.metrics.counters, b.metrics.counters, "{tag}: counters (incl. memo)");
+        assert_eq!(
+            a.metrics.output_error.to_bits(),
+            b.metrics.output_error.to_bits(),
+            "{tag}: output error"
+        );
+    }
+}
+
+/// The memo designs actually memoize — table/window hits on a meaningful
+/// share of the suite — while output error stays in Table-3-style bands.
+#[test]
+fn memo_designs_hit_and_stay_accurate() {
+    let cfg = exact_tiny();
+    for design in [DesignKind::MemoIn, DesignKind::MemoOut] {
+        let mut hitting = Vec::new();
+        let mut errors = Vec::new();
+        for w in all_benchmarks(BenchScale::Tiny) {
+            let m = run_on_design_in(w.as_ref(), &cfg, design, LayoutKind::Soa);
+            let memo = m.counters.memo;
+            if memo.any_hits() {
+                hitting.push(w.name());
+            }
+            assert!(
+                m.output_error.is_finite(),
+                "{} {design:?}: output error {}",
+                w.name(),
+                m.output_error
+            );
+            errors.push(m.output_error);
+        }
+        assert!(
+            hitting.len() >= 3,
+            "{design:?} must memoize on at least 3 workloads, hit on {hitting:?}"
+        );
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(
+            mean < 0.05,
+            "{design:?}: mean output error {mean} outside the Table-3 band (errors {errors:?})"
+        );
+        for (e, w) in errors.iter().zip(all_benchmarks(BenchScale::Tiny)) {
+            assert!(*e < 0.5, "{design:?} {}: per-workload output error {e} is runaway", w.name());
+        }
+    }
+}

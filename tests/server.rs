@@ -139,7 +139,7 @@ fn malformed_and_invalid_requests_get_error_replies_without_wedging() {
     // Raw socket: drive the wire by hand.
     let stream = TcpStream::connect(addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
-    let mut send = |line: &str| {
+    let send = |reader: &mut BufReader<TcpStream>, line: &str| {
         let mut w = &stream;
         w.write_all(line.as_bytes()).unwrap();
         w.write_all(b"\n").unwrap();
@@ -153,31 +153,46 @@ fn malformed_and_invalid_requests_get_error_replies_without_wedging() {
         "{\"cells\":[]}",
         "{\"cmd\":\"fly\"}",
         "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\",\"design\":\"warp\"}]}",
+        "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\",\"design\":\"memo\"}]}",
+        "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\",\"design\":\"memo_in\"}]}",
         "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"warp\"}]}",
         "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\",\"layout\":\"partitioned\"}]}",
         "{\"cmd\":\"cancel\",\"job\":999}",
         "{\"cmd\":\"results\",\"job\":999}",
     ] {
-        let reply = send(bad);
+        let reply = send(&mut reader, bad);
         assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
         assert!(reply.get("error").is_some(), "{bad}");
     }
     // The unknown-workload error names the registry.
-    let reply = send("{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"warp\"}]}");
+    let reply = send(&mut reader, "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"warp\"}]}");
     assert!(reply.get("error").unwrap().as_str().unwrap().contains("heat"));
+    // The unknown-design error names the offending label.
+    let reply = send(
+        &mut reader,
+        "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\",\"design\":\"memo\"}]}",
+    );
+    assert!(reply.get("error").unwrap().as_str().unwrap().contains("memo"));
 
-    // The connection is still healthy: a valid submit goes through.
-    let reply = send("{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"heat\"}]}");
-    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
-    let job = reply.get("job").and_then(Json::as_u64).unwrap();
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        let event = Json::parse(line.trim()).unwrap();
-        if event.get("event").and_then(Json::as_str) == Some("job_done") {
-            assert_eq!(event.get("job").and_then(Json::as_u64), Some(job));
-            assert_eq!(event.get("completed").and_then(Json::as_u64), Some(1));
-            break;
+    // The connection is still healthy: valid submits go through — including
+    // the memoization designs under their real wire labels.
+    for cells in [
+        "[{\"workload\":\"heat\"}]",
+        "[{\"workload\":\"heat\",\"design\":\"memoin\"},{\"workload\":\"heat\",\"design\":\"memoout\"}]",
+    ] {
+        let n = cells.matches("workload").count() as u64;
+        let reply = send(&mut reader, &format!("{{\"cmd\":\"submit\",\"cells\":{cells}}}"));
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "{cells}");
+        let job = reply.get("job").and_then(Json::as_u64).unwrap();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let event = Json::parse(line.trim()).unwrap();
+            if event.get("event").and_then(Json::as_str) == Some("job_done") {
+                assert_eq!(event.get("job").and_then(Json::as_u64), Some(job));
+                assert_eq!(event.get("completed").and_then(Json::as_u64), Some(n));
+                break;
+            }
         }
     }
 
@@ -263,7 +278,7 @@ fn drain_finishes_queued_work_then_refuses_submissions_and_exits() {
 
     // The in-flight job still completes in full on the submitter's stream.
     let outcome = submitter.collect_job(job).unwrap();
-    assert_eq!(outcome.completed, 5);
+    assert_eq!(outcome.completed, DesignKind::ALL.len() as u64);
     assert_eq!(outcome.cancelled, 0);
     drop(submitter);
 
@@ -302,11 +317,12 @@ fn golden_cache_amortizes_repeated_submissions() {
     let hits_before = golden_hits(&client.status().unwrap());
     let job = client.submit(batch()).unwrap();
     let outcome = client.collect_job(job).unwrap();
-    assert_eq!(outcome.completed, 5);
+    let n = DesignKind::ALL.len() as u64;
+    assert_eq!(outcome.completed, n);
     let hits_after = golden_hits(&client.status().unwrap());
     assert!(
-        hits_after >= hits_before + 5,
-        "resubmitting 5 cells must hit the golden cache 5 more times ({hits_before} -> {hits_after})"
+        hits_after >= hits_before + n,
+        "resubmitting {n} cells must hit the golden cache {n} more times ({hits_before} -> {hits_after})"
     );
 
     client.shutdown().unwrap();

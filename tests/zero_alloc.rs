@@ -211,6 +211,46 @@ fn steady_state_hot_paths_do_not_allocate() {
     assert_eq!(bulk_allocs, 0, "steady-state bulk-API traffic allocated {bulk_allocs} times");
 
     // ------------------------------------------------------------------
+    // Memoization designs: MemoIn's fingerprint table is pre-sized at
+    // construction (slot seeding pushes into reserved capacity) and
+    // MemoOut's per-line window/shadow state is sized at region creation,
+    // so repeated memo traffic — probes, table serves, window updates,
+    // elisions — performs zero steady-state allocations.
+    // ------------------------------------------------------------------
+    for design in [DesignKind::MemoIn, DesignKind::MemoOut] {
+        let mut msys = AvrSystem::new(SystemConfig::tiny(), design);
+        let mregion = msys.approx_malloc(64 << 10, DataType::F32);
+        let mflush = msys.malloc(1 << 18);
+        let memo_pass = |msys: &mut AvrSystem, seed: f32| {
+            for i in 0..(64 << 10) / 4_u64 {
+                msys.write_f32(PhysAddr(mregion.base.0 + 4 * i), seed + (i as f32) * 0.001);
+            }
+            for off in (0..1 << 18).step_by(64) {
+                msys.read_u32(PhysAddr(mflush.base.0 + off as u64));
+            }
+            for i in (0..(64 << 10) / 4_u64).step_by(16) {
+                msys.read_f32(PhysAddr(mregion.base.0 + 4 * i));
+            }
+        };
+        // Warm-up materializes pages and fills the memo table / windows;
+        // the repeated identical pass then exercises matches and elisions.
+        memo_pass(&mut msys, 200.0);
+        memo_pass(&mut msys, 200.0);
+        let before = allocations();
+        memo_pass(&mut msys, 200.0);
+        let memo_allocs = allocations() - before;
+        assert_eq!(
+            memo_allocs, 0,
+            "steady-state {design:?} memo traffic allocated {memo_allocs} times"
+        );
+        let memo = msys.counters.memo;
+        assert!(
+            memo.in_probes + memo.out_windows > 0,
+            "{design:?} saw no memo activity — the section measured nothing"
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Parallel compression summary: each worker's block-scan loop reuses
     // its own Compressor scratch, so once all workers are warmed the whole
     // pool performs zero allocations while scanning. Barriers carve out a
